@@ -1,0 +1,245 @@
+//! AS numbers, organizations, and the AS→Org mapping.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsId(pub u32);
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An organization identifier in the AS-to-Org dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrgId(pub String);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for OrgId {
+    fn from(s: &str) -> OrgId {
+        OrgId(s.to_string())
+    }
+}
+
+/// Functional category of an AS, matching the paper's Fig 4 grouping.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum AsCategory {
+    /// Hosting and cloud providers (Fastly, Cloudflare, Akamai, AWS, ...).
+    Hosting,
+    /// Software development companies (Microsoft, Apple, Zoom).
+    Software,
+    /// Internet service providers (Comcast, AT&T, Frontier, ...).
+    Isp,
+    /// Web and social media (Google, Facebook, Wikimedia, ByteDance).
+    WebSocial,
+    /// Everything else (Netflix, Valve, Internet Archive, universities).
+    Other,
+}
+
+impl AsCategory {
+    /// All categories in the paper's presentation order.
+    pub fn all() -> [AsCategory; 5] {
+        [
+            AsCategory::Hosting,
+            AsCategory::Software,
+            AsCategory::Isp,
+            AsCategory::WebSocial,
+            AsCategory::Other,
+        ]
+    }
+
+    /// Human-readable label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsCategory::Hosting => "Hosting and Cloud Provider",
+            AsCategory::Software => "Software Development",
+            AsCategory::Isp => "ISP",
+            AsCategory::WebSocial => "Web and Social Media",
+            AsCategory::Other => "Other",
+        }
+    }
+}
+
+/// Metadata about one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsInfo {
+    /// AS number.
+    pub asn: AsId,
+    /// Registry name, e.g. `"CLOUDFLARENET"`.
+    pub name: String,
+    /// Owning organization in the AS-to-Org dataset.
+    pub org: OrgId,
+    /// Functional category.
+    pub category: AsCategory,
+}
+
+/// An organization entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Organization {
+    /// Stable identifier.
+    pub id: OrgId,
+    /// Display name, e.g. `"Cloudflare, Inc."`.
+    pub name: String,
+}
+
+/// The AS and organization registry (CAIDA AS2Org analogue).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    ases: HashMap<AsId, AsInfo>,
+    orgs: HashMap<OrgId, Organization>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register an organization (idempotent by id; last name wins).
+    pub fn add_org(&mut self, id: OrgId, name: &str) {
+        self.orgs.insert(
+            id.clone(),
+            Organization {
+                id,
+                name: name.to_string(),
+            },
+        );
+    }
+
+    /// Register an AS.
+    ///
+    /// # Panics
+    /// Panics if the org has not been registered first — the generator must
+    /// create organizations before assigning ASes to them.
+    pub fn add_as(&mut self, asn: AsId, name: &str, org: OrgId, category: AsCategory) {
+        assert!(
+            self.orgs.contains_key(&org),
+            "org {org} not registered before {asn}"
+        );
+        self.ases.insert(
+            asn,
+            AsInfo {
+                asn,
+                name: name.to_string(),
+                org,
+                category,
+            },
+        );
+    }
+
+    /// Metadata for an AS.
+    pub fn as_info(&self, asn: AsId) -> Option<&AsInfo> {
+        self.ases.get(&asn)
+    }
+
+    /// Organization for an AS (the AS2Org lookup).
+    pub fn org_of(&self, asn: AsId) -> Option<&Organization> {
+        self.ases.get(&asn).and_then(|a| self.orgs.get(&a.org))
+    }
+
+    /// Organization by id.
+    pub fn org(&self, id: &OrgId) -> Option<&Organization> {
+        self.orgs.get(id)
+    }
+
+    /// All registered ASes (unordered).
+    pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
+        self.ases.values()
+    }
+
+    /// All registered organizations (unordered).
+    pub fn orgs(&self) -> impl Iterator<Item = &Organization> {
+        self.orgs.values()
+    }
+
+    /// Number of registered ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = Registry::new();
+        r.add_org("org-cf".into(), "Cloudflare, Inc.");
+        r.add_as(AsId(13335), "CLOUDFLARENET", "org-cf".into(), AsCategory::Hosting);
+        let info = r.as_info(AsId(13335)).unwrap();
+        assert_eq!(info.name, "CLOUDFLARENET");
+        assert_eq!(r.org_of(AsId(13335)).unwrap().name, "Cloudflare, Inc.");
+        assert_eq!(r.as_count(), 1);
+    }
+
+    #[test]
+    fn same_org_many_ases() {
+        let mut r = Registry::new();
+        r.add_org("org-cf".into(), "Cloudflare, Inc.");
+        r.add_as(AsId(13335), "CLOUDFLARENET", "org-cf".into(), AsCategory::Hosting);
+        r.add_as(
+            AsId(209242),
+            "CLOUDFLARESPECTRUM",
+            "org-cf".into(),
+            AsCategory::Hosting,
+        );
+        assert_eq!(
+            r.org_of(AsId(13335)).unwrap().id,
+            r.org_of(AsId(209242)).unwrap().id
+        );
+    }
+
+    #[test]
+    fn org_split_modelled() {
+        // The Akamai wart: two org entries for one company.
+        let mut r = Registry::new();
+        r.add_org("org-akam-intl".into(), "Akamai International B.V.");
+        r.add_org("org-akam-us".into(), "Akamai Technologies, Inc.");
+        r.add_as(AsId(20940), "AKAMAI-ASN1", "org-akam-intl".into(), AsCategory::Hosting);
+        r.add_as(AsId(16625), "AKAMAI-AS", "org-akam-us".into(), AsCategory::Hosting);
+        assert_ne!(
+            r.org_of(AsId(20940)).unwrap().id,
+            r.org_of(AsId(16625)).unwrap().id
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn as_requires_org() {
+        let mut r = Registry::new();
+        r.add_as(AsId(1), "X", "nope".into(), AsCategory::Other);
+    }
+
+    #[test]
+    fn missing_lookups_are_none() {
+        let r = Registry::new();
+        assert!(r.as_info(AsId(7)).is_none());
+        assert!(r.org_of(AsId(7)).is_none());
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(AsCategory::all().len(), 5);
+        assert_eq!(AsCategory::Isp.label(), "ISP");
+    }
+}

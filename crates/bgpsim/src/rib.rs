@@ -1,0 +1,143 @@
+//! The routing information base: announced prefixes → origin AS.
+
+use crate::registry::AsId;
+use iputil::prefix::{Prefix, Prefix4, Prefix6};
+use iputil::trie::{Lpm4, Lpm6};
+use std::net::IpAddr;
+
+/// A dual-family RIB mapping announced prefixes to their origin AS.
+///
+/// ```
+/// use bgpsim::{Rib, AsId};
+/// let mut rib = Rib::new();
+/// rib.announce("198.51.100.0/24".parse().unwrap(), AsId(64500));
+/// assert_eq!(rib.origin_of("198.51.100.7".parse().unwrap()), Some(AsId(64500)));
+/// assert_eq!(rib.origin_of("198.51.101.7".parse().unwrap()), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    v4: Lpm4<AsId>,
+    v6: Lpm6<AsId>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Rib {
+        Rib::default()
+    }
+
+    /// Announce a prefix with an origin AS. Re-announcing an existing prefix
+    /// replaces the origin (no path attributes are modelled — origin
+    /// attribution is all the analyses need). Returns the previous origin.
+    pub fn announce(&mut self, prefix: Prefix, origin: AsId) -> Option<AsId> {
+        match prefix {
+            Prefix::V4(p) => self.v4.insert(p, origin),
+            Prefix::V6(p) => self.v6.insert(p, origin),
+        }
+    }
+
+    /// Announce an IPv4 prefix.
+    pub fn announce4(&mut self, prefix: Prefix4, origin: AsId) -> Option<AsId> {
+        self.v4.insert(prefix, origin)
+    }
+
+    /// Announce an IPv6 prefix.
+    pub fn announce6(&mut self, prefix: Prefix6, origin: AsId) -> Option<AsId> {
+        self.v6.insert(prefix, origin)
+    }
+
+    /// Withdraw a prefix. Returns the origin that was removed.
+    pub fn withdraw(&mut self, prefix: Prefix) -> Option<AsId> {
+        match prefix {
+            Prefix::V4(p) => self.v4.remove(p),
+            Prefix::V6(p) => self.v6.remove(p),
+        }
+    }
+
+    /// Longest-prefix-match origin lookup for an address.
+    pub fn origin_of(&self, addr: IpAddr) -> Option<AsId> {
+        match addr {
+            IpAddr::V4(a) => self.v4.longest_match(a).map(|(_, asn)| *asn),
+            IpAddr::V6(a) => self.v6.longest_match(a).map(|(_, asn)| *asn),
+        }
+    }
+
+    /// The matched prefix and origin for an address, if covered.
+    pub fn match_of(&self, addr: IpAddr) -> Option<(Prefix, AsId)> {
+        match addr {
+            IpAddr::V4(a) => self
+                .v4
+                .longest_match(a)
+                .map(|(p, asn)| (Prefix::V4(p), *asn)),
+            IpAddr::V6(a) => self
+                .v6
+                .longest_match(a)
+                .map(|(p, asn)| (Prefix::V6(p), *asn)),
+        }
+    }
+
+    /// Number of announced prefixes (both families).
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// True when nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_match_wins() {
+        let mut rib = Rib::new();
+        rib.announce("10.0.0.0/8".parse().unwrap(), AsId(1));
+        rib.announce("10.99.0.0/16".parse().unwrap(), AsId(2));
+        assert_eq!(rib.origin_of("10.99.1.1".parse().unwrap()), Some(AsId(2)));
+        assert_eq!(rib.origin_of("10.98.1.1".parse().unwrap()), Some(AsId(1)));
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let mut rib = Rib::new();
+        rib.announce("203.0.113.0/24".parse().unwrap(), AsId(10));
+        rib.announce("2001:db8::/32".parse().unwrap(), AsId(20));
+        assert_eq!(rib.origin_of("203.0.113.1".parse().unwrap()), Some(AsId(10)));
+        assert_eq!(rib.origin_of("2001:db8::1".parse().unwrap()), Some(AsId(20)));
+        assert_eq!(rib.len(), 2);
+    }
+
+    #[test]
+    fn reannounce_replaces_origin() {
+        let mut rib = Rib::new();
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(rib.announce(p, AsId(1)), None);
+        assert_eq!(rib.announce(p, AsId(2)), Some(AsId(1)));
+        assert_eq!(rib.origin_of("192.0.2.1".parse().unwrap()), Some(AsId(2)));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn withdraw_uncovers() {
+        let mut rib = Rib::new();
+        rib.announce("10.0.0.0/8".parse().unwrap(), AsId(1));
+        rib.announce("10.5.0.0/16".parse().unwrap(), AsId(2));
+        assert_eq!(rib.withdraw("10.5.0.0/16".parse().unwrap()), Some(AsId(2)));
+        assert_eq!(rib.origin_of("10.5.1.1".parse().unwrap()), Some(AsId(1)));
+        assert_eq!(rib.withdraw("10.0.0.0/8".parse().unwrap()), Some(AsId(1)));
+        assert_eq!(rib.origin_of("10.5.1.1".parse().unwrap()), None);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn match_of_reports_prefix() {
+        let mut rib = Rib::new();
+        rib.announce("198.51.100.0/24".parse().unwrap(), AsId(7));
+        let (p, asn) = rib.match_of("198.51.100.20".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "198.51.100.0/24");
+        assert_eq!(asn, AsId(7));
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the RIB: LPM origin lookup vs a brute-force oracle.
+
+use bgpsim::{AsId, Rib};
+use iputil::prefix::Prefix4;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix4> {
+    (any::<u32>(), 0u8..=28).prop_map(|(bits, len)| Prefix4::new(Ipv4Addr::from(bits), len))
+}
+
+proptest! {
+    /// The RIB's origin answer equals a linear scan for the longest
+    /// covering announcement.
+    #[test]
+    fn origin_matches_linear_oracle(
+        announcements in proptest::collection::vec((arb_prefix(), 1u32..100), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut rib = Rib::new();
+        // Later announcements of the same prefix replace earlier ones,
+        // mirrored in the oracle by keeping the last.
+        let mut table: Vec<(Prefix4, AsId)> = Vec::new();
+        for (p, asn) in &announcements {
+            rib.announce4(*p, AsId(*asn));
+            table.retain(|(q, _)| q != p);
+            table.push((*p, AsId(*asn)));
+        }
+        for probe in probes {
+            let addr = Ipv4Addr::from(probe);
+            let oracle = table
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, asn)| *asn);
+            prop_assert_eq!(rib.origin_of(std::net::IpAddr::V4(addr)), oracle, "{}", addr);
+        }
+    }
+
+    /// Withdrawing everything empties the RIB and uncovers all probes.
+    #[test]
+    fn withdraw_all(announcements in proptest::collection::vec((arb_prefix(), 1u32..100), 1..30)) {
+        let mut rib = Rib::new();
+        for (p, asn) in &announcements {
+            rib.announce4(*p, AsId(*asn));
+        }
+        for (p, _) in &announcements {
+            rib.withdraw(iputil::prefix::Prefix::V4(*p));
+        }
+        prop_assert!(rib.is_empty());
+        for (p, _) in &announcements {
+            prop_assert_eq!(rib.origin_of(std::net::IpAddr::V4(p.network())), None);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # cloudmodel — cloud providers, services and IPv6 enablement policies
+//!
+//! §5 of the paper studies how cloud/CDN *deployment policy* shapes tenant
+//! IPv6 adoption: always-on services sit at 100%, default-on-with-opt-out
+//! lands at 50–70%, opt-in at single digits, and "opt-in by code change"
+//! (Amazon S3's separate dual-stack URL) at 0.4% after nine years.
+//!
+//! This crate models that world:
+//!
+//! * [`policy::Ipv6Policy`] — the enablement-policy spectrum with an *ease
+//!   score* used both by the tenant-behaviour generator and by the §5
+//!   correlation analysis.
+//! * [`catalog`] — the concrete catalog of the paper's Table 3 organizations
+//!   (with their Fig 11 readiness mix as calibration targets, including the
+//!   Bunnyway/Datacamp IPv4-partnership and the Akamai org-split artifacts)
+//!   and Table 2 services (with CNAME suffixes for He-et-al-style service
+//!   identification).
+//!
+//! The world generator consumes the catalog to synthesize tenancies; the
+//! analysis layer re-measures them and compares against the catalog's
+//! calibration targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod policy;
+
+pub use catalog::{paper_orgs, paper_services, CloudOrg, CloudService, ServiceCatalog};
+pub use policy::Ipv6Policy;

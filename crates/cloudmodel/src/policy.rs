@@ -1,0 +1,101 @@
+//! IPv6 enablement policies and their ease scores.
+
+use serde::{Deserialize, Serialize};
+
+/// How a cloud service exposes IPv6 to tenants — the paper's §5.2/§5.3
+/// policy spectrum, ordered roughly from easiest to hardest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ipv6Policy {
+    /// IPv6 cannot be disabled (Azure Front Door).
+    AlwaysOn,
+    /// Enabled by default, no documented opt-out (bunny.net, App Engine).
+    DefaultOn,
+    /// Enabled by default but tenants may opt out (Cloudflare, Akamai,
+    /// CloudFront).
+    DefaultOnOptOut,
+    /// Supported, but the tenant must flip a control-plane switch.
+    OptIn,
+    /// Supported only for some product variants (Amazon ELB).
+    Partial,
+    /// Supported, but enabling requires changing URLs/code the tenant has
+    /// already deployed (Amazon S3's dual-stack endpoints).
+    OptInCodeChange,
+    /// No documented IPv6 support.
+    Unknown,
+}
+
+impl Ipv6Policy {
+    /// Label matching the paper's Table 2 wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            Ipv6Policy::AlwaysOn => "Always On",
+            Ipv6Policy::DefaultOn => "Default-On",
+            Ipv6Policy::DefaultOnOptOut => "Default-On, Opt-out",
+            Ipv6Policy::OptIn => "Yes",
+            Ipv6Policy::Partial => "Partial",
+            Ipv6Policy::OptInCodeChange => "Yes (code change)",
+            Ipv6Policy::Unknown => "Unknown",
+        }
+    }
+
+    /// Ease-of-enabling score in `[0, 1]`: 1 = nothing for the tenant to do,
+    /// 0 = no way to do it. Used as the x-axis of the §5 policy-vs-adoption
+    /// correlation and as the prior for tenant behaviour in the generator.
+    pub fn ease(self) -> f64 {
+        match self {
+            Ipv6Policy::AlwaysOn => 1.0,
+            Ipv6Policy::DefaultOn => 0.95,
+            Ipv6Policy::DefaultOnOptOut => 0.7,
+            Ipv6Policy::OptIn => 0.3,
+            Ipv6Policy::Partial => 0.15,
+            Ipv6Policy::OptInCodeChange => 0.05,
+            Ipv6Policy::Unknown => 0.0,
+        }
+    }
+
+    /// All policies, easiest first.
+    pub fn all() -> [Ipv6Policy; 7] {
+        [
+            Ipv6Policy::AlwaysOn,
+            Ipv6Policy::DefaultOn,
+            Ipv6Policy::DefaultOnOptOut,
+            Ipv6Policy::OptIn,
+            Ipv6Policy::Partial,
+            Ipv6Policy::OptInCodeChange,
+            Ipv6Policy::Unknown,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ease_is_monotone_in_declared_order() {
+        let all = Ipv6Policy::all();
+        for w in all.windows(2) {
+            assert!(
+                w[0].ease() >= w[1].ease(),
+                "{:?} should be at least as easy as {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ease_bounds() {
+        for p in Ipv6Policy::all() {
+            assert!((0.0..=1.0).contains(&p.ease()));
+        }
+        assert_eq!(Ipv6Policy::AlwaysOn.ease(), 1.0);
+        assert_eq!(Ipv6Policy::Unknown.ease(), 0.0);
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(Ipv6Policy::DefaultOnOptOut.label(), "Default-On, Opt-out");
+        assert_eq!(Ipv6Policy::AlwaysOn.label(), "Always On");
+    }
+}

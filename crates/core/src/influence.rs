@@ -1,0 +1,408 @@
+//! Influence of IPv4-only resources on IPv6-partial websites
+//! (Fig 7, 8, 9, 18 and the §4.3 first-party analysis).
+
+use crate::classify::{classify_site, SiteClass};
+use crawlsim::CrawlReport;
+use dnssim::Name;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use webmodel::psl::Psl;
+use webmodel::resource::{DomainCategory, ResourceType};
+
+/// Per-domain influence metrics (Fig 8), following Bajpai & Schönwälder.
+#[derive(Debug, Clone, Serialize)]
+pub struct DomainInfluence {
+    /// The IPv4-only eTLD+1.
+    pub domain: Name,
+    /// Span: number of IPv6-partial sites depending on it.
+    pub span: usize,
+    /// Median over dependent sites of the fraction of that site's
+    /// IPv4-only resources supplied by this domain.
+    pub median_contribution: f64,
+    /// Third-party from the perspective of every dependent site?
+    pub third_party: bool,
+}
+
+/// Per-partial-site counts (Fig 7).
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteV4Dependence {
+    /// Site rank.
+    pub rank: usize,
+    /// Number of IPv4-only resource fetches.
+    pub v4only_count: usize,
+    /// Fraction of this site's resources that are IPv4-only.
+    pub v4only_fraction: f64,
+    /// Is at least one IPv4-only resource first-party?
+    pub has_first_party_v4only: bool,
+    /// Are *all* IPv4-only resources first-party (the §4.3 "easy to fix"
+    /// population)?
+    pub only_first_party_v4only: bool,
+}
+
+/// The complete influence analysis of one crawl epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct InfluenceReport {
+    /// Per-partial-site dependence stats (Fig 7).
+    pub sites: Vec<SiteV4Dependence>,
+    /// Per-IPv4-only-domain influence, sorted by descending span (Fig 8).
+    pub domains: Vec<DomainInfluence>,
+    /// Sites that are partial purely because of first-party resources
+    /// (paper: 565 of 24,384 = 2.3%).
+    pub first_party_only_partial: usize,
+    /// The site→v4-only-domain dependence edges (used by the what-if
+    /// simulation), as indices into `sites`/`domains`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl InfluenceReport {
+    /// Run the influence analysis over a crawl report.
+    pub fn compute(report: &CrawlReport, psl: &Psl) -> InfluenceReport {
+        let mut sites = Vec::new();
+        let mut domain_index: HashMap<Name, u32> = HashMap::new();
+        let mut domains: Vec<(Name, bool)> = Vec::new(); // (domain, always_third_party)
+        let mut per_domain_contributions: Vec<Vec<f64>> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+
+        for s in &report.sites {
+            if classify_site(s) != SiteClass::Partial {
+                continue;
+            }
+            let ok = s.outcome.as_ref().expect("partial implies success");
+            let loaded: Vec<_> = ok
+                .resources
+                .iter()
+                .filter(|r| r.has_a || r.has_aaaa)
+                .collect();
+            let v4only: Vec<_> = loaded.iter().filter(|r| !r.has_aaaa).collect();
+            if v4only.is_empty() {
+                continue; // defensive: classification said partial
+            }
+            let v4only_count = v4only.len();
+            let v4only_fraction = v4only_count as f64 / loaded.len() as f64;
+            let has_fp = v4only.iter().any(|r| r.first_party);
+            let only_fp = v4only.iter().all(|r| r.first_party);
+
+            let site_idx = sites.len() as u32;
+            sites.push(SiteV4Dependence {
+                rank: s.rank,
+                v4only_count,
+                v4only_fraction,
+                has_first_party_v4only: has_fp,
+                only_first_party_v4only: only_fp,
+            });
+
+            // Group this site's IPv4-only resources by eTLD+1.
+            let mut by_domain: HashMap<Name, (usize, bool)> = HashMap::new();
+            for r in &v4only {
+                let etld1 = psl.etld_plus_one(&r.fqdn).unwrap_or_else(|| r.fqdn.clone());
+                let entry = by_domain.entry(etld1).or_insert((0, true));
+                entry.0 += 1;
+                entry.1 &= !r.first_party;
+            }
+            for (domain, (count, third_party)) in by_domain {
+                let idx = *domain_index.entry(domain.clone()).or_insert_with(|| {
+                    domains.push((domain.clone(), true));
+                    per_domain_contributions.push(Vec::new());
+                    (domains.len() - 1) as u32
+                });
+                domains[idx as usize].1 &= third_party;
+                per_domain_contributions[idx as usize]
+                    .push(count as f64 / v4only_count as f64);
+                edges.push((site_idx, idx));
+            }
+        }
+
+        let mut influence: Vec<DomainInfluence> = domains
+            .into_iter()
+            .zip(per_domain_contributions)
+            .map(|((domain, third_party), mut contribs)| {
+                contribs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let span = contribs.len();
+                let median_contribution = contribs[span / 2];
+                DomainInfluence {
+                    domain,
+                    span,
+                    median_contribution,
+                    third_party,
+                }
+            })
+            .collect();
+        // Sort by descending span; stable tiebreak on name for determinism.
+        influence.sort_by(|a, b| b.span.cmp(&a.span).then(a.domain.cmp(&b.domain)));
+
+        // Remap edge domain indices to the sorted order.
+        let mut new_index = vec![0u32; influence.len()];
+        let name_to_new: HashMap<&Name, u32> = influence
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (&d.domain, i as u32))
+            .collect();
+        // (indices were assigned in first-seen order; rebuild via names)
+        let old_names: Vec<Name> = {
+            let mut v: Vec<(u32, Name)> = domain_index.into_iter().map(|(n, i)| (i, n)).collect();
+            v.sort_by_key(|(i, _)| *i);
+            v.into_iter().map(|(_, n)| n).collect()
+        };
+        for (old, name) in old_names.iter().enumerate() {
+            new_index[old] = name_to_new[name];
+        }
+        for e in &mut edges {
+            e.1 = new_index[e.1 as usize];
+        }
+
+        let first_party_only_partial = sites.iter().filter(|s| s.only_first_party_v4only).count();
+        InfluenceReport {
+            sites,
+            domains: influence,
+            first_party_only_partial,
+            edges,
+        }
+    }
+
+    /// Quantiles of the per-site IPv4-only resource count (Fig 7, red).
+    pub fn count_quantiles(&self) -> Option<(f64, f64, f64)> {
+        let xs: Vec<f64> = self.sites.iter().map(|s| s.v4only_count as f64).collect();
+        Some((
+            netstats::quantile(&xs, 0.25)?,
+            netstats::quantile(&xs, 0.5)?,
+            netstats::quantile(&xs, 0.75)?,
+        ))
+    }
+
+    /// Quantiles of the per-site IPv4-only fraction (Fig 7, blue).
+    pub fn fraction_quantiles(&self) -> Option<(f64, f64, f64)> {
+        let xs: Vec<f64> = self.sites.iter().map(|s| s.v4only_fraction).collect();
+        Some((
+            netstats::quantile(&xs, 0.25)?,
+            netstats::quantile(&xs, 0.5)?,
+            netstats::quantile(&xs, 0.75)?,
+        ))
+    }
+
+    /// Heavy hitters: domains with span at least `min_span` (the paper uses
+    /// 100 at 100k-site scale — scale it down proportionally for smaller
+    /// crawls).
+    pub fn heavy_hitters(&self, min_span: usize) -> impl Iterator<Item = &DomainInfluence> {
+        self.domains.iter().filter(move |d| d.span >= min_span)
+    }
+
+    /// Fig 9: category histogram of heavy-hitter domains, given a category
+    /// oracle (the VirusTotal substitute).
+    pub fn heavy_hitter_categories(
+        &self,
+        min_span: usize,
+        category_of: &HashMap<Name, DomainCategory>,
+    ) -> Vec<(DomainCategory, usize)> {
+        let mut counts: HashMap<DomainCategory, usize> = HashMap::new();
+        for d in self.heavy_hitters(min_span) {
+            let cat = category_of
+                .get(&d.domain)
+                .copied()
+                .unwrap_or(DomainCategory::Other);
+            *counts.entry(cat).or_default() += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        out
+    }
+}
+
+/// Fig 18: the top-N IPv4-only domains × resource type incidence matrix.
+/// Cell (d, t) counts IPv6-partial sites where domain `d` served at least
+/// one resource of type `t`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TypeHeatmap {
+    /// Row domains, descending by total incidence.
+    pub domains: Vec<Name>,
+    /// Column types.
+    pub types: Vec<ResourceType>,
+    /// `matrix[row][col]` = number of partial sites.
+    pub matrix: Vec<Vec<usize>>,
+    /// Row totals ("any" column of Fig 18).
+    pub any: Vec<usize>,
+}
+
+impl TypeHeatmap {
+    /// Build the heatmap over the top `top_n` IPv4-only domains by span.
+    pub fn compute(report: &CrawlReport, psl: &Psl, top_n: usize) -> TypeHeatmap {
+        // site -> domain -> set of types (only partial sites, v4-only resources)
+        let mut span: HashMap<Name, usize> = HashMap::new();
+        let mut per_site: Vec<HashMap<Name, HashSet<ResourceType>>> = Vec::new();
+        for s in &report.sites {
+            if classify_site(s) != SiteClass::Partial {
+                continue;
+            }
+            let ok = s.outcome.as_ref().expect("partial implies success");
+            let mut map: HashMap<Name, HashSet<ResourceType>> = HashMap::new();
+            for r in ok.resources.iter().filter(|r| r.has_a && !r.has_aaaa) {
+                let etld1 = psl.etld_plus_one(&r.fqdn).unwrap_or_else(|| r.fqdn.clone());
+                map.entry(etld1).or_default().insert(r.rtype);
+            }
+            for d in map.keys() {
+                *span.entry(d.clone()).or_default() += 1;
+            }
+            per_site.push(map);
+        }
+        let mut ranked: Vec<(Name, usize)> = span.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(top_n);
+        let domains: Vec<Name> = ranked.iter().map(|(n, _)| n.clone()).collect();
+        let types: Vec<ResourceType> = ResourceType::all().to_vec();
+        let index: HashMap<&Name, usize> =
+            domains.iter().enumerate().map(|(i, n)| (n, i)).collect();
+
+        let mut matrix = vec![vec![0usize; types.len()]; domains.len()];
+        let mut any = vec![0usize; domains.len()];
+        for site_map in &per_site {
+            for (domain, tset) in site_map {
+                if let Some(&row) = index.get(domain) {
+                    any[row] += 1;
+                    for (col, t) in types.iter().enumerate() {
+                        if tset.contains(t) {
+                            matrix[row][col] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        TypeHeatmap {
+            domains,
+            types,
+            matrix,
+            any,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawlsim::{crawl_epoch, CrawlConfig};
+    use worldgen::{World, WorldConfig};
+
+    fn setup() -> (World, CrawlReport, InfluenceReport) {
+        let w = World::generate(&WorldConfig::small());
+        let r = crawl_epoch(&w, w.latest_epoch(), &CrawlConfig::default());
+        let inf = InfluenceReport::compute(&r, &w.psl);
+        (w, r, inf)
+    }
+
+    #[test]
+    fn fig7_quantiles_shape() {
+        let (_, _, inf) = setup();
+        let (q25, q50, q75) = inf.count_quantiles().unwrap();
+        // Paper: 3 / 7 / 21. Accept the right order of magnitude and strict
+        // ordering.
+        assert!((1.0..=8.0).contains(&q25), "p25 {q25}");
+        assert!(q50 > q25 && q50 <= 16.0, "p50 {q50}");
+        assert!(q75 > q50 && q75 <= 45.0, "p75 {q75}");
+        let (f25, f50, f75) = inf.fraction_quantiles().unwrap();
+        // Paper: 0.09 / 0.21 / 0.41.
+        assert!((0.02..0.25).contains(&f25), "p25 {f25}");
+        assert!((0.08..0.40).contains(&f50), "p50 {f50}");
+        assert!((0.2..0.65).contains(&f75), "p75 {f75}");
+    }
+
+    #[test]
+    fn fig8_span_distribution_is_heavy_tailed() {
+        let (_, _, inf) = setup();
+        assert!(!inf.domains.is_empty());
+        let spans: Vec<f64> = inf.domains.iter().map(|d| d.span as f64).collect();
+        let p75 = netstats::quantile(&spans, 0.75).unwrap();
+        // Paper: 2 at 100k scale. Small worlds shrink the tail pool faster
+        // than the reuse pools, inflating the quantile slightly.
+        assert!(p75 <= 6.0, "p75 span {p75} (paper: 2)");
+        let max = spans[0];
+        assert!(
+            max > 20.0 * p75,
+            "heavy tail expected: max {max} vs p75 {p75}"
+        );
+        // Median contribution near the paper's 0.04–0.13 range.
+        let contribs: Vec<f64> = inf
+            .domains
+            .iter()
+            .map(|d| d.median_contribution)
+            .collect();
+        let c50 = netstats::quantile(&contribs, 0.5).unwrap();
+        assert!((0.02..0.6).contains(&c50), "median contribution {c50}");
+    }
+
+    #[test]
+    fn first_party_partial_population() {
+        let (_, _, inf) = setup();
+        let rate = inf.first_party_only_partial as f64 / inf.sites.len() as f64;
+        assert!(
+            (0.002..0.08).contains(&rate),
+            "first-party-only partial rate {rate} (paper: 2.3%)"
+        );
+    }
+
+    #[test]
+    fn fig9_ads_dominate_heavy_hitters() {
+        let (w, _, inf) = setup();
+        let category_of: HashMap<Name, DomainCategory> = w
+            .web
+            .third_parties
+            .iter()
+            .map(|t| (t.domain.clone(), t.category))
+            .collect();
+        // Scale the paper's span ≥ 100 (at 100k) to this crawl.
+        let min_span = (100.0 * w.web.sites.len() as f64 / 100_000.0).ceil() as usize;
+        let cats = inf.heavy_hitter_categories(min_span.max(2), &category_of);
+        assert!(!cats.is_empty());
+        let total: usize = cats.iter().map(|(_, c)| c).sum();
+        let ads = cats
+            .iter()
+            .find(|(c, _)| *c == DomainCategory::Ads)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(
+            ads * 2 >= total / 2,
+            "ads should be the dominant heavy-hitter category ({ads}/{total})"
+        );
+    }
+
+    #[test]
+    fn fig18_heatmap_rows_are_descending() {
+        let (w, r, _) = setup();
+        let hm = TypeHeatmap::compute(&r, &w.psl, 20);
+        assert!(hm.domains.len() <= 20);
+        for win in hm.any.windows(2) {
+            assert!(win[0] >= win[1], "rows must be sorted by incidence");
+        }
+        // Images are the most common type overall (paper Fig 18).
+        let img_col = hm
+            .types
+            .iter()
+            .position(|t| *t == ResourceType::Image)
+            .unwrap();
+        let img_total: usize = hm.matrix.iter().map(|row| row[img_col]).sum();
+        for (col, t) in hm.types.iter().enumerate() {
+            if *t == ResourceType::Image {
+                continue;
+            }
+            let total: usize = hm.matrix.iter().map(|row| row[col]).sum();
+            assert!(
+                img_total >= total,
+                "images ({img_total}) must dominate {t:?} ({total})"
+            );
+        }
+        // doubleclick.net must appear among the top rows.
+        assert!(
+            hm.domains.iter().any(|d| d.as_str() == "doubleclick.net"),
+            "doubleclick.net missing from heatmap rows"
+        );
+    }
+
+    #[test]
+    fn edges_are_valid() {
+        let (_, _, inf) = setup();
+        for &(s, d) in &inf.edges {
+            assert!((s as usize) < inf.sites.len());
+            assert!((d as usize) < inf.domains.len());
+        }
+        // Every partial site has at least one edge.
+        let sites_with_edges: HashSet<u32> = inf.edges.iter().map(|e| e.0).collect();
+        assert_eq!(sites_with_edges.len(), inf.sites.len());
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text rendering: tables, CDF sparklines, boxplot panels, and
+//! paper-vs-measured comparison rows.
+//!
+//! The experiment binaries print through this module so every figure has a
+//! consistent, diffable textual form (bench logs capture the same output).
+
+use netstats::{BoxplotStats, Ecdf};
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                let _ = write!(out, "{}{}  ", c, " ".repeat(pad));
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Render an ECDF as a fixed-width textual curve: `k` sampled points as
+/// `x=… F=…` pairs plus a unicode sparkline.
+pub fn render_cdf(label: &str, ecdf: &Ecdf, k: usize) -> String {
+    if ecdf.is_empty() {
+        return format!("{label}: (no data)\n");
+    }
+    let pts = ecdf.sampled_points(k);
+    let spark: String = {
+        // Sample F at evenly spaced x positions over the data range.
+        let lo = ecdf.values()[0];
+        let hi = *ecdf.values().last().expect("non-empty");
+        let blocks = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        (0..32)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / 31.0;
+                let f = ecdf.fraction_at(x);
+                blocks[((f * 7.0).round() as usize).min(7)]
+            })
+            .collect()
+    };
+    let mut out = format!("{label}  n={}  {spark}\n", ecdf.n());
+    for (x, f) in pts {
+        let _ = writeln!(out, "    x={x:>10.4}  F={f:.3}");
+    }
+    out
+}
+
+/// Render a boxplot panel row: label, stats, ASCII box.
+pub fn render_box_row(label: &str, stats: &BoxplotStats, lo: f64, hi: f64) -> String {
+    format!(
+        "{label:<32} med={:.2} iqr=[{:.2},{:.2}]  |{}|\n",
+        stats.median,
+        stats.q1,
+        stats.q3,
+        stats.ascii(lo, hi, 44)
+    )
+}
+
+/// A paper-vs-measured comparison line with relative error.
+pub fn compare(label: &str, paper: f64, measured: f64) -> String {
+    let err = if paper.abs() > 1e-12 {
+        100.0 * (measured - paper) / paper
+    } else {
+        0.0
+    };
+    format!("{label:<46} paper={paper:>10.3}  measured={measured:>10.3}  Δ={err:>+7.1}%\n")
+}
+
+/// Section header used by the experiment binaries.
+pub fn heading(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "count"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("a"));
+        // All data lines equal width of their content columns.
+        assert!(lines[3].contains("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn cdf_rendering() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let s = render_cdf("test", &e, 5);
+        assert!(s.contains("n=100"));
+        assert!(s.contains("F=1.000"));
+        let empty = render_cdf("empty", &Ecdf::new(vec![]), 5);
+        assert!(empty.contains("no data"));
+    }
+
+    #[test]
+    fn comparison_line() {
+        let s = compare("IPv6-full share", 12.6, 13.1);
+        assert!(s.contains("12.6"));
+        assert!(s.contains("13.1"));
+        assert!(s.contains("+4.0%") || s.contains("+3.9%"));
+    }
+
+    #[test]
+    fn box_row_contains_stats() {
+        let b = BoxplotStats::of(&[0.1, 0.4, 0.5, 0.6, 0.9]).unwrap();
+        let s = render_box_row("FASTLY (54113)", &b, 0.0, 1.0);
+        assert!(s.contains("FASTLY"));
+        assert!(s.contains("med=0.50"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Domain names: normalized, comparable, cheap to clone.
+//!
+//! Names are stored lowercase without a trailing dot. The type is used
+//! pervasively (every site, resource, CNAME target and reverse mapping), so
+//! it wraps an `Arc<str>` — clones are reference bumps.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A normalized DNS name (lowercase, no trailing dot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Normalize and wrap a name. Empty input becomes the root name `""`.
+    pub fn new(s: &str) -> Name {
+        let trimmed = s.trim_end_matches('.');
+        if trimmed.chars().all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic()) {
+            Name(Arc::from(trimmed))
+        } else {
+            Name(Arc::from(trimmed.to_ascii_lowercase().as_str()))
+        }
+    }
+
+    /// The textual form (lowercase, no trailing dot).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels from leftmost (most specific) to rightmost (TLD).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.').filter(|l| !l.is_empty())
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// The parent domain (`www.example.com` → `example.com`), or `None` at a
+    /// single label.
+    pub fn parent(&self) -> Option<Name> {
+        let (_, rest) = self.0.split_once('.')?;
+        Some(Name::new(rest))
+    }
+
+    /// True if `self` equals `suffix` or ends with `.suffix`.
+    pub fn is_subdomain_of(&self, suffix: &Name) -> bool {
+        if self.0.len() == suffix.0.len() {
+            return self.0 == suffix.0;
+        }
+        self.0.len() > suffix.0.len()
+            && self.0.ends_with(suffix.0.as_ref())
+            && self.0.as_bytes()[self.0.len() - suffix.0.len() - 1] == b'.'
+    }
+
+    /// Prepend a label: `Name("example.com").child("www")` → `www.example.com`.
+    pub fn child(&self, label: &str) -> Name {
+        debug_assert!(!label.contains('.'), "child label must be a single label");
+        Name::new(&format!("{label}.{}", self.0))
+    }
+
+    /// The last `n` labels as a suffix name (`a.b.c.d`.suffix(2) → `c.d`).
+    pub fn suffix(&self, n: usize) -> Name {
+        let labels: Vec<&str> = self.labels().collect();
+        if n >= labels.len() {
+            return self.clone();
+        }
+        Name::new(&labels[labels.len() - n..].join("."))
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name::new(&s)
+    }
+}
+
+impl serde::Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Name, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Name::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_case_and_trailing_dot() {
+        assert_eq!(Name::new("WWW.Example.COM.").as_str(), "www.example.com");
+        assert_eq!(Name::new("already.lower").as_str(), "already.lower");
+    }
+
+    #[test]
+    fn labels_and_parent() {
+        let n = Name::new("a.b.example.com");
+        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(n.label_count(), 4);
+        assert_eq!(n.parent().unwrap().as_str(), "b.example.com");
+        assert_eq!(Name::new("com").parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let base = Name::new("example.com");
+        assert!(Name::new("example.com").is_subdomain_of(&base));
+        assert!(Name::new("www.example.com").is_subdomain_of(&base));
+        assert!(Name::new("a.b.example.com").is_subdomain_of(&base));
+        assert!(!Name::new("badexample.com").is_subdomain_of(&base));
+        assert!(!Name::new("example.org").is_subdomain_of(&base));
+        assert!(!Name::new("com").is_subdomain_of(&base));
+    }
+
+    #[test]
+    fn child_and_suffix() {
+        let n = Name::new("example.com");
+        assert_eq!(n.child("cdn").as_str(), "cdn.example.com");
+        let deep = Name::new("x.y.z.example.com");
+        assert_eq!(deep.suffix(2).as_str(), "example.com");
+        assert_eq!(deep.suffix(99).as_str(), "x.y.z.example.com");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let n = Name::new("Foo.Bar.");
+        assert_eq!(format!("{n}"), "foo.bar");
+        assert_eq!(Name::from("foo.bar"), n);
+    }
+}

@@ -1,0 +1,281 @@
+//! The stub resolver: CNAME chains, failure semantics, reverse queries.
+
+use crate::name::Name;
+use crate::record::{QueryType, RecordData};
+use crate::zone::{FailureMode, ZoneDb};
+use iputil::Family;
+use std::net::IpAddr;
+
+/// Maximum CNAME chain length before the resolver declares a loop
+/// (real resolvers use similar small limits).
+pub const MAX_CNAME_DEPTH: usize = 8;
+
+/// Outcome of an address resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Got at least one address.
+    Answers(AddrAnswer),
+    /// The final name does not exist at all.
+    NxDomain,
+    /// The name exists but has no records of the requested family
+    /// (NODATA in DNS terms — *the* signal for "IPv4-only domain").
+    NoData {
+        /// The end of the CNAME chain that was followed.
+        final_name: Name,
+        /// The chain of names traversed, starting with the query name.
+        chain: Vec<Name>,
+    },
+    /// Server failure (injected, or a CNAME loop).
+    ServFail,
+    /// Query timed out (injected).
+    Timeout,
+}
+
+impl LookupOutcome {
+    /// The resolved addresses, if any.
+    pub fn addresses(&self) -> &[IpAddr] {
+        match self {
+            LookupOutcome::Answers(a) => &a.addresses,
+            _ => &[],
+        }
+    }
+
+    /// True when the lookup produced at least one address.
+    pub fn is_success(&self) -> bool {
+        matches!(self, LookupOutcome::Answers(_))
+    }
+}
+
+/// A successful address answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrAnswer {
+    /// Resolved addresses (all of the requested family).
+    pub addresses: Vec<IpAddr>,
+    /// The CNAME chain traversed, starting with the query name and ending
+    /// with the name owning the address records.
+    pub chain: Vec<Name>,
+}
+
+impl AddrAnswer {
+    /// The name that actually owned the address records.
+    pub fn final_name(&self) -> &Name {
+        self.chain.last().expect("chain always has the query name")
+    }
+}
+
+/// A stub resolver over a [`ZoneDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct Resolver<'a> {
+    db: &'a ZoneDb,
+}
+
+impl<'a> Resolver<'a> {
+    /// Create a resolver reading from `db`.
+    pub fn new(db: &'a ZoneDb) -> Resolver<'a> {
+        Resolver { db }
+    }
+
+    /// Resolve `name` to addresses of `family`, following CNAME chains.
+    pub fn resolve(&self, name: &Name, family: Family) -> LookupOutcome {
+        let qtype = match family {
+            Family::V4 => QueryType::A,
+            Family::V6 => QueryType::Aaaa,
+        };
+        let mut chain = vec![name.clone()];
+        let mut current = name.clone();
+        for _ in 0..=MAX_CNAME_DEPTH {
+            if let Some(mode) = self.db.failure_for(&current) {
+                return match mode {
+                    FailureMode::ServFail => LookupOutcome::ServFail,
+                    FailureMode::Timeout => LookupOutcome::Timeout,
+                };
+            }
+            // CNAME takes precedence over other data at a name.
+            if let Some(target) = self.db.cname_target(&current) {
+                if chain.contains(&target) {
+                    return LookupOutcome::ServFail; // loop
+                }
+                chain.push(target.clone());
+                current = target;
+                continue;
+            }
+            let answers: Vec<IpAddr> = self
+                .db
+                .lookup(&current, qtype)
+                .into_iter()
+                .filter_map(|r| match r {
+                    RecordData::A(a) => Some(IpAddr::V4(a)),
+                    RecordData::Aaaa(a) => Some(IpAddr::V6(a)),
+                    _ => None,
+                })
+                .collect();
+            if !answers.is_empty() {
+                return LookupOutcome::Answers(AddrAnswer {
+                    addresses: answers,
+                    chain,
+                });
+            }
+            return if self.db.exists(&current) {
+                LookupOutcome::NoData {
+                    final_name: current,
+                    chain,
+                }
+            } else {
+                LookupOutcome::NxDomain
+            };
+        }
+        LookupOutcome::ServFail // chain too deep
+    }
+
+    /// Does the name (following CNAMEs) have any address of this family?
+    pub fn has_family(&self, name: &Name, family: Family) -> bool {
+        self.resolve(name, family).is_success()
+    }
+
+    /// Follow the CNAME chain without resolving addresses; returns every
+    /// name traversed including the query name. Used by the cloud service
+    /// identifier (He et al. style CNAME analysis).
+    pub fn cname_chain(&self, name: &Name) -> Vec<Name> {
+        let mut chain = vec![name.clone()];
+        let mut current = name.clone();
+        for _ in 0..MAX_CNAME_DEPTH {
+            match self.db.cname_target(&current) {
+                Some(target) if !chain.contains(&target) => {
+                    chain.push(target.clone());
+                    current = target;
+                }
+                _ => break,
+            }
+        }
+        chain
+    }
+
+    /// Reverse (PTR) lookup.
+    pub fn reverse(&self, addr: IpAddr) -> Option<Name> {
+        self.db.reverse_lookup(addr).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> ZoneDb {
+        let mut db = ZoneDb::new();
+        db.add_a("dual.test".into(), "192.0.2.1".parse().unwrap());
+        db.add_aaaa("dual.test".into(), "2001:db8::1".parse().unwrap());
+        db.add_a("v4only.test".into(), "192.0.2.2".parse().unwrap());
+        db.add_aaaa("v6only.test".into(), "2001:db8::2".parse().unwrap());
+        db.add_cname("www.dual.test".into(), "dual.test".into());
+        db.add_cname("cdn.site.test".into(), "edge.cloud.test".into());
+        db.add_cname("edge.cloud.test".into(), "pop.cloud.test".into());
+        db.add_a("pop.cloud.test".into(), "203.0.113.5".parse().unwrap());
+        db
+    }
+
+    #[test]
+    fn resolves_both_families() {
+        let db = db();
+        let r = Resolver::new(&db);
+        let v4 = r.resolve(&"dual.test".into(), Family::V4);
+        let v6 = r.resolve(&"dual.test".into(), Family::V6);
+        assert_eq!(v4.addresses(), ["192.0.2.1".parse::<IpAddr>().unwrap()]);
+        assert_eq!(v6.addresses(), ["2001:db8::1".parse::<IpAddr>().unwrap()]);
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let db = db();
+        let r = Resolver::new(&db);
+        match r.resolve(&"v4only.test".into(), Family::V6) {
+            LookupOutcome::NoData { final_name, .. } => {
+                assert_eq!(final_name.as_str(), "v4only.test")
+            }
+            other => panic!("expected NoData, got {other:?}"),
+        }
+        assert_eq!(
+            r.resolve(&"missing.test".into(), Family::V4),
+            LookupOutcome::NxDomain
+        );
+    }
+
+    #[test]
+    fn follows_cname_chain() {
+        let db = db();
+        let r = Resolver::new(&db);
+        match r.resolve(&"cdn.site.test".into(), Family::V4) {
+            LookupOutcome::Answers(a) => {
+                assert_eq!(a.addresses, ["203.0.113.5".parse::<IpAddr>().unwrap()]);
+                let chain: Vec<&str> = a.chain.iter().map(|n| n.as_str()).collect();
+                assert_eq!(
+                    chain,
+                    vec!["cdn.site.test", "edge.cloud.test", "pop.cloud.test"]
+                );
+                assert_eq!(a.final_name().as_str(), "pop.cloud.test");
+            }
+            other => panic!("expected answers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_is_servfail() {
+        let mut db = ZoneDb::new();
+        db.add_cname("a.test".into(), "b.test".into());
+        db.add_cname("b.test".into(), "a.test".into());
+        let r = Resolver::new(&db);
+        assert_eq!(r.resolve(&"a.test".into(), Family::V4), LookupOutcome::ServFail);
+    }
+
+    #[test]
+    fn deep_chain_is_servfail() {
+        let mut db = ZoneDb::new();
+        for i in 0..12 {
+            db.add_cname(
+                format!("n{i}.test").into(),
+                format!("n{}.test", i + 1).into(),
+            );
+        }
+        let r = Resolver::new(&db);
+        assert_eq!(r.resolve(&"n0.test".into(), Family::V4), LookupOutcome::ServFail);
+    }
+
+    #[test]
+    fn injected_failures_surface() {
+        let mut db = db();
+        db.inject_failure("dual.test".into(), FailureMode::Timeout);
+        let r = Resolver::new(&db);
+        assert_eq!(r.resolve(&"dual.test".into(), Family::V4), LookupOutcome::Timeout);
+        // Failure on a CNAME target also propagates.
+        let mut db2 = ZoneDb::new();
+        db2.add_cname("x.test".into(), "y.test".into());
+        db2.inject_failure("y.test".into(), FailureMode::ServFail);
+        let r2 = Resolver::new(&db2);
+        assert_eq!(r2.resolve(&"x.test".into(), Family::V4), LookupOutcome::ServFail);
+    }
+
+    #[test]
+    fn has_family_and_chain_helpers() {
+        let db = db();
+        let r = Resolver::new(&db);
+        assert!(r.has_family(&"dual.test".into(), Family::V6));
+        assert!(!r.has_family(&"v4only.test".into(), Family::V6));
+        assert!(r.has_family(&"v6only.test".into(), Family::V6));
+        assert!(!r.has_family(&"v6only.test".into(), Family::V4));
+        let chain = r.cname_chain(&"cdn.site.test".into());
+        assert_eq!(chain.len(), 3);
+        let no_chain = r.cname_chain(&"dual.test".into());
+        assert_eq!(no_chain.len(), 1);
+    }
+
+    #[test]
+    fn reverse_queries() {
+        let mut db = db();
+        db.map_reverse("203.0.113.5".parse().unwrap(), "pop.cloud.test".into());
+        let r = Resolver::new(&db);
+        assert_eq!(
+            r.reverse("203.0.113.5".parse().unwrap()).unwrap().as_str(),
+            "pop.cloud.test"
+        );
+        assert!(r.reverse("203.0.113.6".parse().unwrap()).is_none());
+    }
+}

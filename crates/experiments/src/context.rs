@@ -1,0 +1,137 @@
+//! Shared experiment context: the world, cached crawls and traffic runs.
+
+use crawlsim::{crawl_epoch, CrawlConfig, CrawlReport};
+use trafficgen::{synthesize_all, ResidenceDataset, TrafficConfig};
+use worldgen::{World, WorldConfig};
+
+/// Lazily-built shared state for all experiments of one invocation.
+pub struct Ctx {
+    /// The synthetic Internet.
+    pub world: World,
+    /// Requested traffic duration (days).
+    pub days: u32,
+    crawls: Vec<Option<CrawlReport>>,
+    crawl_mainpage_only: Option<CrawlReport>,
+    traffic: Option<Vec<ResidenceDataset>>,
+    traffic_dense: Option<Vec<ResidenceDataset>>,
+}
+
+impl Ctx {
+    /// Generate the world (this is the expensive step, done eagerly so the
+    /// user sees progress immediately).
+    pub fn new(sites: usize, seed: u64, days: u32) -> Ctx {
+        eprintln!("[repro] generating world: {sites} sites, seed {seed:#x} ...");
+        let t0 = std::time::Instant::now();
+        let config = WorldConfig {
+            seed,
+            num_sites: sites,
+            num_epochs: 3,
+            calibration: worldgen::Calibration::default(),
+        };
+        let world = World::generate(&config);
+        eprintln!(
+            "[repro] world ready in {:.1}s ({} third-party domains, {} zone names in Jul 2025)",
+            t0.elapsed().as_secs_f64(),
+            world.web.third_parties.len(),
+            world.zone(world.latest_epoch()).name_count(),
+        );
+        let epochs = world.web.epochs.len();
+        Ctx {
+            world,
+            days,
+            crawls: (0..epochs).map(|_| None).collect(),
+            crawl_mainpage_only: None,
+            traffic: None,
+            traffic_dense: None,
+        }
+    }
+
+    /// The scale factor relative to the paper's 100k-site crawl; used to
+    /// scale absolute thresholds like "span ≥ 100".
+    pub fn site_scale(&self) -> f64 {
+        self.world.web.sites.len() as f64 / 100_000.0
+    }
+
+    /// Crawl (cached) of one epoch.
+    pub fn crawl(&mut self, epoch: usize) -> &CrawlReport {
+        if self.crawls[epoch].is_none() {
+            eprintln!("[repro] crawling epoch {epoch} ...");
+            let t0 = std::time::Instant::now();
+            let report = crawl_epoch(&self.world, epoch, &CrawlConfig::default());
+            eprintln!("[repro] crawl done in {:.1}s", t0.elapsed().as_secs_f64());
+            self.crawls[epoch] = Some(report);
+        }
+        self.crawls[epoch].as_ref().expect("just filled")
+    }
+
+    /// Crawl of the latest epoch (Jul 2025).
+    pub fn latest_crawl(&mut self) -> &CrawlReport {
+        let e = self.world.latest_epoch();
+        self.crawl(e)
+    }
+
+    /// Shared-reference accessor for an already-run crawl (panics if the
+    /// epoch has not been crawled yet — call [`Ctx::crawl`] first). Exists
+    /// so call sites can borrow the crawl and `world` fields together.
+    pub fn crawl_ref(&self, epoch: usize) -> &CrawlReport {
+        self.crawls[epoch]
+            .as_ref()
+            .expect("crawl(epoch) must run before crawl_ref(epoch)")
+    }
+
+    /// Shared-reference accessor for already-synthesized traffic.
+    pub fn traffic_ref(&self) -> &[ResidenceDataset] {
+        self.traffic
+            .as_ref()
+            .expect("traffic() must run before traffic_ref()")
+    }
+
+    /// Main-page-only ablation crawl of the latest epoch.
+    pub fn mainpage_crawl(&mut self) -> &CrawlReport {
+        if self.crawl_mainpage_only.is_none() {
+            eprintln!("[repro] crawling latest epoch (main-page-only ablation) ...");
+            let cfg = CrawlConfig {
+                click_links: false,
+                ..CrawlConfig::default()
+            };
+            let report = crawl_epoch(&self.world, self.world.latest_epoch(), &cfg);
+            self.crawl_mainpage_only = Some(report);
+        }
+        self.crawl_mainpage_only.as_ref().expect("just filled")
+    }
+
+    /// The nine-month traffic run at 1/1000 sampling (Table 1, Fig 1, ...).
+    pub fn traffic(&mut self) -> &[ResidenceDataset] {
+        if self.traffic.is_none() {
+            eprintln!("[repro] synthesizing {}-day traffic for 5 residences ...", self.days);
+            let t0 = std::time::Instant::now();
+            let cfg = TrafficConfig {
+                num_days: self.days,
+                ..TrafficConfig::default()
+            };
+            let ds = synthesize_all(&self.world, &cfg);
+            let flows: usize = ds.iter().map(|d| d.flows.len()).sum();
+            eprintln!(
+                "[repro] traffic done in {:.1}s ({flows} sampled flow records)",
+                t0.elapsed().as_secs_f64()
+            );
+            self.traffic = Some(ds);
+        }
+        self.traffic.as_ref().expect("just filled")
+    }
+
+    /// A dense (1/20 sampling) shorter traffic run for the hourly MSTL
+    /// figures, which need many flows per hour.
+    pub fn traffic_dense(&mut self) -> &[ResidenceDataset] {
+        if self.traffic_dense.is_none() {
+            eprintln!("[repro] synthesizing dense traffic (hourly analyses) ...");
+            let cfg = TrafficConfig {
+                num_days: self.days.min(63),
+                scale: 1.0 / 20.0,
+                ..TrafficConfig::default()
+            };
+            self.traffic_dense = Some(synthesize_all(&self.world, &cfg));
+        }
+        self.traffic_dense.as_ref().expect("just filled")
+    }
+}

@@ -1,0 +1,130 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--sites N] [--seed S] [--days D] [--full]
+//!
+//! experiments:
+//!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!   fig11 fig12 table2 table3 fig13 fig14 fig15 fig16 fig17 fig18
+//!   ablation-mainpage ablation-firstparty ablation-he ablation-policy
+//!   all          (everything above, in paper order)
+//! ```
+//!
+//! Every experiment prints the paper's reported value next to the measured
+//! reproduction and the relative error. Defaults run a 20k-site world
+//! (1/5th of the paper's 100k) and scale rank-dependent thresholds
+//! accordingly; `--full` switches to the paper's full scale.
+
+mod client_exps;
+mod cloud_exps;
+mod context;
+mod export;
+mod server_exps;
+
+use context::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut sites = 20_000usize;
+    let mut seed = 0x1f6_ad0bu64;
+    let mut days = 273u32;
+    let mut positional_seen = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sites needs a number"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--days" => {
+                days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--days needs a number"));
+            }
+            "--full" => sites = 100_000,
+            "--help" | "-h" => {
+                usage("");
+            }
+            other if !other.starts_with('-') && !positional_seen => {
+                experiment = other.to_string();
+                positional_seen = true;
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut ctx = Ctx::new(sites, seed, days);
+    run(&mut ctx, &experiment);
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: repro <experiment> [--sites N] [--seed S] [--days D] [--full]\n\
+         experiments: table1 fig1..fig18 table2 table3 export robustness \
+         ablation-mainpage ablation-firstparty ablation-he ablation-policy all"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn run(ctx: &mut Ctx, experiment: &str) {
+    match experiment {
+        "table1" => client_exps::table1(ctx),
+        "fig1" => client_exps::fig1(ctx),
+        "fig2" => client_exps::fig2(ctx),
+        "fig3" => client_exps::fig3(ctx),
+        "fig4" => client_exps::fig4(ctx),
+        "fig13" => client_exps::fig13(ctx),
+        "fig14" => client_exps::fig14(ctx),
+        "fig15" => client_exps::fig15(ctx),
+        "fig16" => client_exps::fig16(ctx),
+        "fig17" => client_exps::fig17(ctx),
+        "fig5" => server_exps::fig5(ctx),
+        "fig6" => server_exps::fig6(ctx),
+        "fig7" => server_exps::fig7(ctx),
+        "fig8" => server_exps::fig8(ctx),
+        "fig9" => server_exps::fig9(ctx),
+        "fig10" => server_exps::fig10(ctx),
+        "fig18" => server_exps::fig18(ctx),
+        "ablation-mainpage" => server_exps::ablation_mainpage(ctx),
+        "ablation-firstparty" => server_exps::ablation_firstparty(ctx),
+        "ablation-he" => server_exps::ablation_he(ctx),
+        "fig11" => cloud_exps::fig11(ctx),
+        "fig12" => cloud_exps::fig12(ctx),
+        "table2" => cloud_exps::table2(ctx),
+        "table3" => cloud_exps::table3(ctx),
+        "ablation-policy" => cloud_exps::ablation_policy(ctx),
+        "robustness" => {
+            let sites = ctx.world.web.sites.len().min(5_000);
+            server_exps::robustness(sites, ctx.world.config.seed);
+        }
+        "export" => {
+            let dir = std::path::PathBuf::from("datasets");
+            export::export_all(ctx, &dir).expect("dataset export");
+        }
+        "all" => {
+            for e in [
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "fig10", "fig11", "fig12", "table2", "table3", "fig13", "fig14",
+                "fig15", "fig16", "fig17", "fig18", "ablation-mainpage",
+                "ablation-firstparty", "ablation-he", "ablation-policy",
+            ] {
+                run(ctx, e);
+            }
+        }
+        other => usage(&format!("unknown experiment: {other}")),
+    }
+}

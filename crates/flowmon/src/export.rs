@@ -1,0 +1,148 @@
+//! Daily rotation and the anonymizing exporter.
+//!
+//! Appendix A of the paper: the router anonymizes addresses with CryptoPAN
+//! (scrambling the low 8 bits of IPv4 and the low /64 of IPv6), then uploads
+//! one log per day over TLS. We reproduce the rotation and anonymization;
+//! transport is out of scope.
+
+use crate::flow::{FlowKey, FlowRecord};
+use crate::{day_of, Timestamp};
+use iputil::anon::Anonymizer;
+use std::collections::BTreeMap;
+
+/// One day's worth of (anonymized) flow records.
+#[derive(Debug, Clone)]
+pub struct DailyLog {
+    /// 0-based day index since the simulation epoch.
+    pub day: u64,
+    /// First timestamp of the day (microseconds).
+    pub day_start: Timestamp,
+    /// The records whose flow *ended* on this day (conntrack reports at
+    /// `DESTROY`, so a flow belongs to the day it was destroyed — same as
+    /// the real monitor).
+    pub records: Vec<FlowRecord>,
+}
+
+/// Applies prefix-preserving anonymization and groups records by day.
+#[derive(Debug)]
+pub struct AnonymizingExporter {
+    anonymizer: Anonymizer,
+}
+
+impl AnonymizingExporter {
+    /// Create an exporter with the given anonymizer (typically
+    /// `Anonymizer::new(key, AnonymizerConfig::paper())`).
+    pub fn new(anonymizer: Anonymizer) -> AnonymizingExporter {
+        AnonymizingExporter { anonymizer }
+    }
+
+    /// Anonymize one record (both endpoints).
+    pub fn anonymize(&self, record: &FlowRecord) -> FlowRecord {
+        let mut out = record.clone();
+        out.key = FlowKey {
+            src: self.anonymizer.anon(record.key.src),
+            dst: self.anonymizer.anon(record.key.dst),
+            ..record.key
+        };
+        out
+    }
+
+    /// Anonymize and rotate records into daily logs, ordered by day.
+    pub fn export(&self, records: &[FlowRecord]) -> Vec<DailyLog> {
+        let mut by_day: BTreeMap<u64, Vec<FlowRecord>> = BTreeMap::new();
+        for r in records {
+            by_day
+                .entry(day_of(r.end))
+                .or_default()
+                .push(self.anonymize(r));
+        }
+        by_day
+            .into_iter()
+            .map(|(day, records)| DailyLog {
+                day,
+                day_start: day * crate::DAY,
+                records,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowKey, Scope};
+    use crate::DAY;
+    use iputil::anon::AnonymizerConfig;
+
+    fn record(end: Timestamp, sport: u16) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::tcp(
+                "192.168.1.77".parse().unwrap(),
+                sport,
+                "203.0.113.9".parse().unwrap(),
+                443,
+            ),
+            start: end.saturating_sub(1000),
+            end,
+            bytes_orig: 100,
+            bytes_reply: 1000,
+            packets_orig: 2,
+            packets_reply: 3,
+            scope: Scope::External,
+        }
+    }
+
+    fn exporter() -> AnonymizingExporter {
+        AnonymizingExporter::new(Anonymizer::new(
+            *b"residence-key-01",
+            AnonymizerConfig::paper(),
+        ))
+    }
+
+    #[test]
+    fn anonymization_changes_low_bits_only() {
+        let e = exporter();
+        let r = record(500, 40_000);
+        let a = e.anonymize(&r);
+        let (orig_src, anon_src) = match (r.key.src, a.key.src) {
+            (std::net::IpAddr::V4(o), std::net::IpAddr::V4(n)) => (o, n),
+            _ => panic!("family changed"),
+        };
+        assert_eq!(orig_src.octets()[..3], anon_src.octets()[..3]);
+        assert_ne!(orig_src, anon_src, "low byte must scramble for this key");
+        // Counters and ports untouched.
+        assert_eq!(a.bytes_reply, r.bytes_reply);
+        assert_eq!(a.key.sport, r.key.sport);
+    }
+
+    #[test]
+    fn anonymization_is_consistent() {
+        let e = exporter();
+        let a1 = e.anonymize(&record(1, 1));
+        let a2 = e.anonymize(&record(2, 2));
+        assert_eq!(a1.key.src, a2.key.src, "same host maps to same pseudonym");
+    }
+
+    #[test]
+    fn daily_rotation_groups_by_destroy_day() {
+        let e = exporter();
+        let records = vec![
+            record(100, 1),
+            record(DAY - 1, 2),
+            record(DAY + 5, 3),
+            record(3 * DAY + 5, 4),
+        ];
+        let logs = e.export(&records);
+        assert_eq!(logs.len(), 3);
+        assert_eq!(logs[0].day, 0);
+        assert_eq!(logs[0].records.len(), 2);
+        assert_eq!(logs[1].day, 1);
+        assert_eq!(logs[2].day, 3);
+        assert_eq!(logs[2].day_start, 3 * DAY);
+    }
+
+    #[test]
+    fn empty_export() {
+        assert!(exporter().export(&[]).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # flowmon — a conntrack-style flow monitor
+//!
+//! The paper's client-side data comes from a "custom built, lightweight flow
+//! monitor" on OpenWRT routers: it records flow beginnings and ends from
+//! Linux connection-tracking events (`conntrack` `NEW` / `DESTROY`), with
+//! per-direction byte counts from `nf_conntrack_acct`, keyed by the 5-tuple
+//! (protocol, addresses, ports) and ICMP type/code/id (§3.1). Logs rotate
+//! daily and are anonymized with CryptoPAN before leaving the router
+//! (appendix A).
+//!
+//! This crate is that monitor:
+//!
+//! * [`flow`] — flow keys (5-tuple + ICMP metadata), records and scopes.
+//! * [`table`] — the connection-tracking table: `NEW`/packet/`DESTROY`
+//!   event API with idle timeout eviction, plus a whole-flow injection path
+//!   used by the traffic synthesizer.
+//! * [`router`] — the router pipeline: classifies flows as internal
+//!   (LAN↔LAN) or external (LAN↔WAN) from configured LAN prefixes, exactly
+//!   the split of Table 1.
+//! * [`export`] — daily log rotation and the anonymizing exporter
+//!   (prefix-preserving scrambling of the low bits, per the paper's IRB
+//!   protocol).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod flow;
+pub mod router;
+pub mod table;
+
+pub use export::{AnonymizingExporter, DailyLog};
+pub use flow::{Direction, FlowKey, FlowRecord, IcmpMeta, Proto, Scope};
+pub use router::RouterMonitor;
+pub use table::FlowTable;
+
+/// Timestamps are microseconds since the simulation epoch (matching
+/// [`netsim::Time`]'s unit so connection racing and flow logs share a
+/// clock).
+pub type Timestamp = u64;
+
+/// Microseconds in one day.
+pub const DAY: Timestamp = 86_400_000_000;
+
+/// Day index (0-based) of a timestamp.
+pub fn day_of(ts: Timestamp) -> u64 {
+    ts / DAY
+}

@@ -1,0 +1,113 @@
+//! Property tests for the flow monitor: byte conservation, export
+//! invariance, scoping.
+
+use flowmon::{
+    AnonymizingExporter, Direction, FlowKey, FlowRecord, FlowTable, RouterMonitor, Scope,
+};
+use iputil::anon::{Anonymizer, AnonymizerConfig};
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+fn arb_packets() -> impl Strategy<Value = Vec<(u16, bool, u32)>> {
+    // (flow port, direction, bytes)
+    proptest::collection::vec((1024u16..1034, any::<bool>(), 1u32..100_000), 1..200)
+}
+
+fn key(port: u16) -> FlowKey {
+    FlowKey::tcp(
+        "192.168.1.2".parse().unwrap(),
+        port,
+        "203.0.113.9".parse().unwrap(),
+        443,
+    )
+}
+
+proptest! {
+    /// Total bytes in == total bytes out: the flow table conserves bytes
+    /// through NEW/packet/DESTROY regardless of interleaving.
+    #[test]
+    fn byte_conservation(packets in arb_packets()) {
+        let mut table = FlowTable::new();
+        let mut expected: u64 = 0;
+        for (i, (port, dir, bytes)) in packets.iter().enumerate() {
+            table.on_new(key(*port), i as u64, Scope::External); // idempotent
+            let dir = if *dir { Direction::Original } else { Direction::Reply };
+            table.on_packet(&key(*port), i as u64, dir, *bytes as u64);
+            expected += *bytes as u64;
+        }
+        for port in 1024u16..1034 {
+            table.on_destroy(&key(port), 10_000);
+        }
+        let total: u64 = table.drain().iter().map(FlowRecord::total_bytes).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Anonymized export preserves counts, bytes, timestamps and scope; it
+    /// changes only addresses, prefix-preservingly.
+    #[test]
+    fn export_invariants(flows in proptest::collection::vec((1u16..9999, 1u64..1_000_000, 1u64..500_000), 1..60)) {
+        let records: Vec<FlowRecord> = flows
+            .iter()
+            .map(|(port, end, bytes)| FlowRecord {
+                key: key(*port),
+                start: end.saturating_sub(100),
+                end: *end,
+                bytes_orig: *bytes,
+                bytes_reply: bytes * 3,
+                packets_orig: 2,
+                packets_reply: 4,
+                scope: Scope::External,
+            })
+            .collect();
+        let exporter = AnonymizingExporter::new(Anonymizer::new(
+            *b"prop-test-key-00",
+            AnonymizerConfig::paper(),
+        ));
+        let logs = exporter.export(&records);
+        let exported: Vec<FlowRecord> = logs.into_iter().flat_map(|l| l.records).collect();
+        prop_assert_eq!(exported.len(), records.len());
+        let sum = |rs: &[FlowRecord]| rs.iter().map(FlowRecord::total_bytes).sum::<u64>();
+        prop_assert_eq!(sum(&exported), sum(&records));
+        // Daily logs are ordered and each record is in its own day.
+        for r in &exported {
+            // Paper config: /24 and /64 kept — same src for all (same host).
+            if let IpAddr::V4(a) = r.key.src {
+                prop_assert_eq!(a.octets()[..3].to_vec(), vec![192, 168, 1]);
+            }
+        }
+    }
+
+    /// Router scoping: a flow is Internal iff both endpoints are in the LAN.
+    #[test]
+    fn scoping_is_conjunction(a_lan in any::<bool>(), b_lan in any::<bool>(), host in 1u8..250) {
+        let router = RouterMonitor::new(
+            vec!["192.168.1.0/24".parse().unwrap()],
+            vec!["2001:db8:1::/64".parse().unwrap()],
+        );
+        let lan: IpAddr = format!("192.168.1.{host}").parse().unwrap();
+        let wan: IpAddr = format!("203.0.113.{host}").parse().unwrap();
+        let src = if a_lan { lan } else { wan };
+        let dst = if b_lan { lan } else { wan };
+        let expected = if a_lan && b_lan { Scope::Internal } else { Scope::External };
+        prop_assert_eq!(router.scope_of(src, dst), expected);
+    }
+
+    /// Idle eviction emits exactly the idle flows, and drained records end
+    /// at their last activity.
+    #[test]
+    fn eviction_partitions_flows(idle_ports in proptest::collection::btree_set(1024u16..1040, 1..8)) {
+        let mut table = FlowTable::new();
+        for port in 1024u16..1040 {
+            table.on_new(key(port), 0, Scope::External);
+            if !idle_ports.contains(&port) {
+                table.on_packet(&key(port), 5_000, Direction::Original, 10);
+            }
+        }
+        let evicted = table.evict_idle(1_000);
+        prop_assert_eq!(evicted, idle_ports.len());
+        prop_assert_eq!(table.active_count(), 16 - idle_ports.len());
+        for r in table.drain() {
+            prop_assert_eq!(r.end, 0, "idle flows end at last activity");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic address-space allocators.
+//!
+//! The world generator carves the synthetic Internet out of fixed pools:
+//! every AS gets prefixes, every cloud region gets subnets, every residence
+//! gets a LAN and (for dual-stack ISPs) a delegated IPv6 prefix. These
+//! allocators hand out subnets and hosts sequentially, so a given seed always
+//! produces the same addressing plan — a requirement for reproducible
+//! experiments.
+
+use crate::prefix::{Prefix4, Prefix6};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Sequentially allocates equal-sized IPv4 subnets from a parent prefix.
+#[derive(Debug, Clone)]
+pub struct SubnetAllocator4 {
+    parent: Prefix4,
+    subnet_len: u8,
+    next: u64,
+}
+
+impl SubnetAllocator4 {
+    /// Allocate `subnet_len`-long subnets out of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `subnet_len` is shorter than the parent's length.
+    pub fn new(parent: Prefix4, subnet_len: u8) -> SubnetAllocator4 {
+        assert!(
+            subnet_len >= parent.len() && subnet_len <= 32,
+            "subnet length {subnet_len} outside [{}, 32]",
+            parent.len()
+        );
+        SubnetAllocator4 {
+            parent,
+            subnet_len,
+            next: 0,
+        }
+    }
+
+    /// Number of subnets already handed out.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Total capacity of the pool.
+    pub fn capacity(&self) -> u64 {
+        1u64 << (self.subnet_len - self.parent.len())
+    }
+
+    /// Allocate the next subnet, or `None` when the pool is exhausted.
+    pub fn next_subnet(&mut self) -> Option<Prefix4> {
+        let p = self.parent.subnet(self.subnet_len, self.next)?;
+        self.next += 1;
+        Some(p)
+    }
+}
+
+/// Sequentially allocates equal-sized IPv6 subnets from a parent prefix.
+#[derive(Debug, Clone)]
+pub struct SubnetAllocator6 {
+    parent: Prefix6,
+    subnet_len: u8,
+    next: u128,
+}
+
+impl SubnetAllocator6 {
+    /// Allocate `subnet_len`-long subnets out of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `subnet_len` is shorter than the parent's length.
+    pub fn new(parent: Prefix6, subnet_len: u8) -> SubnetAllocator6 {
+        assert!(
+            subnet_len >= parent.len() && subnet_len <= 128,
+            "subnet length {subnet_len} outside [{}, 128]",
+            parent.len()
+        );
+        SubnetAllocator6 {
+            parent,
+            subnet_len,
+            next: 0,
+        }
+    }
+
+    /// Number of subnets already handed out.
+    pub fn allocated(&self) -> u128 {
+        self.next
+    }
+
+    /// Allocate the next subnet, or `None` when the pool is exhausted.
+    pub fn next_subnet(&mut self) -> Option<Prefix6> {
+        let p = self.parent.subnet(self.subnet_len, self.next)?;
+        self.next += 1;
+        Some(p)
+    }
+}
+
+/// Sequentially allocates host addresses inside one IPv4 prefix, skipping the
+/// network address (index 0) like a sane DHCP server would.
+#[derive(Debug, Clone)]
+pub struct HostAllocator4 {
+    prefix: Prefix4,
+    next: u64,
+}
+
+impl HostAllocator4 {
+    /// Allocate hosts inside `prefix`, starting at `.1`.
+    pub fn new(prefix: Prefix4) -> HostAllocator4 {
+        HostAllocator4 { prefix, next: 1 }
+    }
+
+    /// The prefix being allocated from.
+    pub fn prefix(&self) -> Prefix4 {
+        self.prefix
+    }
+
+    /// Allocate the next host address, or `None` when exhausted.
+    pub fn next_host(&mut self) -> Option<Ipv4Addr> {
+        let h = self.prefix.host(self.next)?;
+        self.next += 1;
+        Some(h)
+    }
+}
+
+/// Sequentially allocates host addresses inside one IPv6 prefix, starting at
+/// `::1`.
+#[derive(Debug, Clone)]
+pub struct HostAllocator6 {
+    prefix: Prefix6,
+    next: u128,
+}
+
+impl HostAllocator6 {
+    /// Allocate hosts inside `prefix`, starting at `::1`.
+    pub fn new(prefix: Prefix6) -> HostAllocator6 {
+        HostAllocator6 { prefix, next: 1 }
+    }
+
+    /// The prefix being allocated from.
+    pub fn prefix(&self) -> Prefix6 {
+        self.prefix
+    }
+
+    /// Allocate the next host address, or `None` when exhausted.
+    pub fn next_host(&mut self) -> Option<Ipv6Addr> {
+        let h = self.prefix.host(self.next)?;
+        self.next += 1;
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subnet_allocation_v4() {
+        let mut a = SubnetAllocator4::new("10.0.0.0/8".parse().unwrap(), 16);
+        assert_eq!(a.capacity(), 256);
+        assert_eq!(a.next_subnet().unwrap().to_string(), "10.0.0.0/16");
+        assert_eq!(a.next_subnet().unwrap().to_string(), "10.1.0.0/16");
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn subnet_exhaustion_v4() {
+        let mut a = SubnetAllocator4::new("192.0.2.0/24".parse().unwrap(), 26);
+        let all: Vec<_> = std::iter::from_fn(|| a.next_subnet()).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3].to_string(), "192.0.2.192/26");
+        assert!(a.next_subnet().is_none());
+    }
+
+    #[test]
+    fn subnet_allocation_v6() {
+        let mut a = SubnetAllocator6::new("2001:db8::/32".parse().unwrap(), 48);
+        assert_eq!(a.next_subnet().unwrap().to_string(), "2001:db8::/48");
+        assert_eq!(a.next_subnet().unwrap().to_string(), "2001:db8:1::/48");
+    }
+
+    #[test]
+    fn host_allocation_v4_skips_network_address() {
+        let mut h = HostAllocator4::new("198.51.100.0/30".parse().unwrap());
+        assert_eq!(h.next_host().unwrap(), Ipv4Addr::new(198, 51, 100, 1));
+        assert_eq!(h.next_host().unwrap(), Ipv4Addr::new(198, 51, 100, 2));
+        assert_eq!(h.next_host().unwrap(), Ipv4Addr::new(198, 51, 100, 3));
+        assert!(h.next_host().is_none());
+    }
+
+    #[test]
+    fn host_allocation_v6() {
+        let mut h = HostAllocator6::new("2001:db8:1::/64".parse().unwrap());
+        assert_eq!(
+            h.next_host().unwrap(),
+            "2001:db8:1::1".parse::<Ipv6Addr>().unwrap()
+        );
+        assert_eq!(
+            h.next_host().unwrap(),
+            "2001:db8:1::2".parse::<Ipv6Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "subnet length")]
+    fn rejects_widening() {
+        SubnetAllocator4::new("10.0.0.0/16".parse().unwrap(), 8);
+    }
+}

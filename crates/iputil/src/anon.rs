@@ -1,0 +1,245 @@
+//! Prefix-preserving address anonymization (CryptoPAN-style).
+//!
+//! The paper's appendix A describes the privacy pipeline used on residence
+//! routers: before flow logs are uploaded, the router scrambles the lower 8
+//! bits of IPv4 addresses and the lower /64 of IPv6 addresses with CryptoPAN
+//! (Xu et al., ICNP 2002). CryptoPAN's defining property is *prefix
+//! preservation*: if two addresses share a `k`-bit prefix, their anonymized
+//! forms share exactly a `k`-bit prefix too, so AS- and prefix-level analysis
+//! keeps working on anonymized data.
+//!
+//! The classic construction anonymizes bit `i` as
+//! `a_i XOR f(a_1 .. a_{i-1})` where `f` is a keyed PRF producing one bit
+//! per prefix. We instantiate `f` with [`SipHasher24`] instead of the
+//! original's AES/Rijndael — the security argument (PRF indistinguishability)
+//! carries over and it keeps the crate dependency-free.
+//!
+//! [`AnonymizerConfig`] selects how many leading bits are left intact, which
+//! expresses both the paper's configuration (`paper()`: keep 24 bits of v4 /
+//! 64 bits of v6) and full-address anonymization (`full()`).
+
+use crate::hash::SipHasher24;
+use crate::{u128_to_v6, u32_to_v4, v4_to_u32, v6_to_u128};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// How much of each address is anonymized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnonymizerConfig {
+    /// Number of leading IPv4 bits passed through unchanged (0..=32).
+    pub keep_v4_bits: u8,
+    /// Number of leading IPv6 bits passed through unchanged (0..=128).
+    pub keep_v6_bits: u8,
+}
+
+impl AnonymizerConfig {
+    /// The paper's configuration: scramble the low 8 bits of IPv4 (keep /24)
+    /// and the low 64 bits of IPv6 (keep /64).
+    pub fn paper() -> AnonymizerConfig {
+        AnonymizerConfig {
+            keep_v4_bits: 24,
+            keep_v6_bits: 64,
+        }
+    }
+
+    /// Anonymize entire addresses (classic CryptoPAN).
+    pub fn full() -> AnonymizerConfig {
+        AnonymizerConfig {
+            keep_v4_bits: 0,
+            keep_v6_bits: 0,
+        }
+    }
+}
+
+impl Default for AnonymizerConfig {
+    fn default() -> Self {
+        AnonymizerConfig::paper()
+    }
+}
+
+/// Keyed, prefix-preserving address anonymizer.
+///
+/// ```
+/// use iputil::anon::{Anonymizer, AnonymizerConfig};
+/// use std::net::Ipv4Addr;
+///
+/// let anon = Anonymizer::new(*b"an example key!!", AnonymizerConfig::full());
+/// let a = anon.anon_v4(Ipv4Addr::new(10, 1, 2, 3));
+/// let b = anon.anon_v4(Ipv4Addr::new(10, 1, 2, 200));
+/// // Shared 24-bit prefix is preserved in the output:
+/// assert_eq!(u32::from(a) >> 8, u32::from(b) >> 8);
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anonymizer {
+    prf: SipHasher24,
+    config: AnonymizerConfig,
+}
+
+impl Anonymizer {
+    /// Create an anonymizer from a 16-byte key and a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configured keep-bits exceed the family widths.
+    pub fn new(key: [u8; 16], config: AnonymizerConfig) -> Anonymizer {
+        assert!(config.keep_v4_bits <= 32, "keep_v4_bits > 32");
+        assert!(config.keep_v6_bits <= 128, "keep_v6_bits > 128");
+        Anonymizer {
+            prf: SipHasher24::from_key(key),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> AnonymizerConfig {
+        self.config
+    }
+
+    /// Anonymize an IPv4 address.
+    pub fn anon_v4(&self, addr: Ipv4Addr) -> Ipv4Addr {
+        let bits = v4_to_u32(addr);
+        let mut out = bits;
+        for i in self.config.keep_v4_bits..32 {
+            // PRF over (family tag, bit position, the i leading ORIGINAL bits).
+            let prefix = if i == 0 { 0 } else { bits >> (32 - i as u32) };
+            let f = self.prf.hash(&prf_input(4, i, prefix as u128)) & 1;
+            out ^= (f as u32) << (31 - i as u32);
+        }
+        u32_to_v4(out)
+    }
+
+    /// Anonymize an IPv6 address.
+    pub fn anon_v6(&self, addr: Ipv6Addr) -> Ipv6Addr {
+        let bits = v6_to_u128(addr);
+        let mut out = bits;
+        for i in self.config.keep_v6_bits..128 {
+            let prefix = if i == 0 { 0 } else { bits >> (128 - i as u32) };
+            let f = self.prf.hash(&prf_input(6, i, prefix)) & 1;
+            out ^= (f as u128) << (127 - i as u32);
+        }
+        u128_to_v6(out)
+    }
+
+    /// Anonymize an address of either family.
+    pub fn anon(&self, addr: IpAddr) -> IpAddr {
+        match addr {
+            IpAddr::V4(a) => IpAddr::V4(self.anon_v4(a)),
+            IpAddr::V6(a) => IpAddr::V6(self.anon_v6(a)),
+        }
+    }
+}
+
+/// Encode the PRF input: family tag, bit index, and the prefix bits observed
+/// so far. The prefix is length-prefixed by `i` so distinct (length, value)
+/// pairs never collide.
+fn prf_input(family: u8, i: u8, prefix: u128) -> [u8; 18] {
+    let mut buf = [0u8; 18];
+    buf[0] = family;
+    buf[1] = i;
+    buf[2..18].copy_from_slice(&prefix.to_le_bytes());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon_full() -> Anonymizer {
+        Anonymizer::new(*b"0123456789abcdef", AnonymizerConfig::full())
+    }
+
+    fn shared_prefix_len_v4(a: Ipv4Addr, b: Ipv4Addr) -> u32 {
+        (v4_to_u32(a) ^ v4_to_u32(b)).leading_zeros()
+    }
+
+    fn shared_prefix_len_v6(a: Ipv6Addr, b: Ipv6Addr) -> u32 {
+        (v6_to_u128(a) ^ v6_to_u128(b)).leading_zeros()
+    }
+
+    #[test]
+    fn deterministic() {
+        let anon = anon_full();
+        let a = Ipv4Addr::new(198, 51, 100, 7);
+        assert_eq!(anon.anon_v4(a), anon.anon_v4(a));
+    }
+
+    #[test]
+    fn key_dependence() {
+        let a1 = Anonymizer::new(*b"0123456789abcdef", AnonymizerConfig::full());
+        let a2 = Anonymizer::new(*b"0123456789abcdeg", AnonymizerConfig::full());
+        let addr = Ipv4Addr::new(198, 51, 100, 7);
+        assert_ne!(a1.anon_v4(addr), a2.anon_v4(addr));
+    }
+
+    #[test]
+    fn preserves_shared_prefix_exactly_v4() {
+        let anon = anon_full();
+        let a = Ipv4Addr::new(10, 20, 30, 40);
+        let b = Ipv4Addr::new(10, 20, 30, 41); // shares 31 bits
+        let c = Ipv4Addr::new(10, 20, 31, 40); // shares 22 bits
+        let (a2, b2, c2) = (anon.anon_v4(a), anon.anon_v4(b), anon.anon_v4(c));
+        assert_eq!(
+            shared_prefix_len_v4(a, b),
+            shared_prefix_len_v4(a2, b2),
+            "first differing bit must stay at the same position"
+        );
+        assert_eq!(shared_prefix_len_v4(a, c), shared_prefix_len_v4(a2, c2));
+    }
+
+    #[test]
+    fn preserves_shared_prefix_exactly_v6() {
+        let anon = anon_full();
+        let a: Ipv6Addr = "2001:db8:1:2::100".parse().unwrap();
+        let b: Ipv6Addr = "2001:db8:1:2::200".parse().unwrap();
+        let (a2, b2) = (anon.anon_v6(a), anon.anon_v6(b));
+        assert_eq!(shared_prefix_len_v6(a, b), shared_prefix_len_v6(a2, b2));
+    }
+
+    #[test]
+    fn paper_config_keeps_leading_bits() {
+        let anon = Anonymizer::new(*b"0123456789abcdef", AnonymizerConfig::paper());
+        let a = Ipv4Addr::new(203, 0, 113, 99);
+        let out = anon.anon_v4(a);
+        assert_eq!(out.octets()[..3], a.octets()[..3], "first 24 bits intact");
+
+        let v6: Ipv6Addr = "2001:db8:aa:bb:1:2:3:4".parse().unwrap();
+        let out6 = anon.anon_v6(v6);
+        assert_eq!(
+            v6_to_u128(out6) >> 64,
+            v6_to_u128(v6) >> 64,
+            "upper /64 intact"
+        );
+        assert_ne!(out6, v6, "lower half must actually change for this key");
+    }
+
+    #[test]
+    fn full_anon_is_injective_on_a_24() {
+        // Prefix preservation implies injectivity; verify directly on a /24.
+        let anon = anon_full();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            let a = Ipv4Addr::from(0xc0000200 | i); // 192.0.2.0/24
+            assert!(seen.insert(anon.anon_v4(a)), "collision at {a}");
+        }
+    }
+
+    #[test]
+    fn mixed_family_dispatch() {
+        let anon = anon_full();
+        let v4: IpAddr = "192.0.2.1".parse().unwrap();
+        let v6: IpAddr = "2001:db8::1".parse().unwrap();
+        assert!(matches!(anon.anon(v4), IpAddr::V4(_)));
+        assert!(matches!(anon.anon(v6), IpAddr::V6(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_v4_bits")]
+    fn rejects_bad_config() {
+        Anonymizer::new(
+            [0; 16],
+            AnonymizerConfig {
+                keep_v4_bits: 33,
+                keep_v6_bits: 0,
+            },
+        );
+    }
+}

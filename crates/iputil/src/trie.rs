@@ -1,0 +1,476 @@
+//! Arena-backed binary tries with longest-prefix-match lookup.
+//!
+//! [`LpmTrie`] is generic over the key width through the [`Bits`] trait
+//! (implemented for `u32` and `u128`), so the same code path serves IPv4 and
+//! IPv6 routing tables. Nodes live in a flat `Vec` arena; child pointers are
+//! `u32` indices, which keeps the structure compact and cache-friendly —
+//! important because the cloud-attribution pipeline performs one lookup per
+//! observed FQDN (hundreds of thousands per crawl epoch).
+
+use crate::prefix::{Prefix4, Prefix6};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Key types usable in an [`LpmTrie`]: fixed-width big-endian bit strings.
+pub trait Bits: Copy + Eq + std::fmt::Debug {
+    /// Width of the key in bits (32 for IPv4, 128 for IPv6).
+    const WIDTH: u8;
+
+    /// The all-zero key.
+    fn zero() -> Self;
+
+    /// The `i`-th bit counted from the most-significant end (0-based).
+    fn bit(self, i: u8) -> bool;
+
+    /// Return the key with bit `i` (from the most-significant end) set.
+    fn with_bit(self, i: u8) -> Self;
+
+    /// Zero out everything past the first `len` bits.
+    fn truncate(self, len: u8) -> Self;
+}
+
+impl Bits for u32 {
+    const WIDTH: u8 = 32;
+
+    fn zero() -> u32 {
+        0
+    }
+
+    fn bit(self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        self >> (31 - i) & 1 == 1
+    }
+
+    fn with_bit(self, i: u8) -> u32 {
+        self | 1u32 << (31 - i)
+    }
+
+    fn truncate(self, len: u8) -> u32 {
+        self & crate::prefix::mask32(len)
+    }
+}
+
+impl Bits for u128 {
+    const WIDTH: u8 = 128;
+
+    fn zero() -> u128 {
+        0
+    }
+
+    fn bit(self, i: u8) -> bool {
+        debug_assert!(i < 128);
+        self >> (127 - i) & 1 == 1
+    }
+
+    fn with_bit(self, i: u8) -> u128 {
+        self | 1u128 << (127 - i)
+    }
+
+    fn truncate(self, len: u8) -> u128 {
+        self & crate::prefix::mask128(len)
+    }
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [u32; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Node<V> {
+        Node {
+            children: [NO_CHILD, NO_CHILD],
+            value: None,
+        }
+    }
+}
+
+/// A binary trie mapping prefixes (key bits + length) to values, supporting
+/// exact-match and longest-prefix-match queries.
+///
+/// ```
+/// use iputil::trie::LpmTrie;
+/// let mut t: LpmTrie<u32, &str> = LpmTrie::new();
+/// t.insert(0x0a000000, 8, "10/8");          // 10.0.0.0/8
+/// t.insert(0x0a140000, 16, "10.20/16");     // 10.20.0.0/16
+/// assert_eq!(t.longest_match(0x0a140101), Some((16, &"10.20/16")));
+/// assert_eq!(t.longest_match(0x0a010101), Some((8, &"10/8")));
+/// assert_eq!(t.longest_match(0x0b000000), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpmTrie<K: Bits, V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K: Bits, V> Default for LpmTrie<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Bits, V> LpmTrie<K, V> {
+    /// Create an empty trie.
+    pub fn new() -> LpmTrie<K, V> {
+        LpmTrie {
+            nodes: vec![Node::new()],
+            len: 0,
+            _key: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a prefix (key truncated to `plen` bits) with a value.
+    /// Returns the previous value if the exact prefix was already present.
+    ///
+    /// # Panics
+    /// Panics if `plen > K::WIDTH`.
+    pub fn insert(&mut self, key: K, plen: u8, value: V) -> Option<V> {
+        assert!(plen <= K::WIDTH, "prefix length out of range");
+        let key = key.truncate(plen);
+        let mut node = 0usize;
+        for i in 0..plen {
+            let b = key.bit(i) as usize;
+            let child = self.nodes[node].children[b];
+            node = if child == NO_CHILD {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[b] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        let prev = self.nodes[node].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Exact-match lookup of a stored prefix.
+    pub fn get(&self, key: K, plen: u8) -> Option<&V> {
+        let node = self.walk_exact(key, plen)?;
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Mutable exact-match lookup.
+    pub fn get_mut(&mut self, key: K, plen: u8) -> Option<&mut V> {
+        let node = self.walk_exact(key, plen)?;
+        self.nodes[node].value.as_mut()
+    }
+
+    /// Remove an exact prefix, returning its value. Interior nodes are left
+    /// in place (the trie is built once and queried many times in this
+    /// workload, so we do not bother compacting).
+    pub fn remove(&mut self, key: K, plen: u8) -> Option<V> {
+        let node = self.walk_exact(key, plen)?;
+        let v = self.nodes[node].value.take();
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix containing
+    /// `addr`, returned as `(prefix_len, &value)`.
+    pub fn longest_match(&self, addr: K) -> Option<(u8, &V)> {
+        let mut best: Option<(u8, &V)> = None;
+        let mut node = 0usize;
+        if let Some(v) = self.nodes[node].value.as_ref() {
+            best = Some((0, v));
+        }
+        for i in 0..K::WIDTH {
+            let b = addr.bit(i) as usize;
+            let child = self.nodes[node].children[b];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                best = Some((i + 1, v));
+            }
+        }
+        best
+    }
+
+    /// Visit every stored `(key, plen, &value)` in depth-first (lexicographic)
+    /// order.
+    pub fn for_each<F: FnMut(K, u8, &V)>(&self, mut f: F) {
+        // Iterative DFS carrying the reconstructed key bits.
+        let mut stack: Vec<(usize, K, u8)> = vec![(0, K::zero(), 0)];
+        while let Some((node, key, depth)) = stack.pop() {
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                f(key, depth, v);
+            }
+            // Push right child first so the left (0-bit) child is visited first.
+            for b in [1usize, 0] {
+                let child = self.nodes[node].children[b];
+                if child != NO_CHILD {
+                    let k = if b == 1 { key.with_bit(depth) } else { key };
+                    stack.push((child as usize, k, depth + 1));
+                }
+            }
+        }
+    }
+
+    /// Collect all stored prefixes as `(key, plen)` pairs.
+    pub fn keys(&self) -> Vec<(K, u8)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|k, l, _| out.push((k, l)));
+        out
+    }
+
+    fn walk_exact(&self, key: K, plen: u8) -> Option<usize> {
+        if plen > K::WIDTH {
+            return None;
+        }
+        let key = key.truncate(plen);
+        let mut node = 0usize;
+        for i in 0..plen {
+            let b = key.bit(i) as usize;
+            let child = self.nodes[node].children[b];
+            if child == NO_CHILD {
+                return None;
+            }
+            node = child as usize;
+        }
+        Some(node)
+    }
+}
+
+/// Longest-prefix-match table for IPv4 built on [`LpmTrie`].
+#[derive(Debug, Clone)]
+pub struct Lpm4<V> {
+    trie: LpmTrie<u32, V>,
+}
+
+impl<V> Default for Lpm4<V> {
+    fn default() -> Self {
+        Lpm4::new()
+    }
+}
+
+impl<V> Lpm4<V> {
+    /// Create an empty table.
+    pub fn new() -> Lpm4<V> {
+        Lpm4 {
+            trie: LpmTrie::new(),
+        }
+    }
+
+    /// Insert a prefix, returning any previous value for the exact prefix.
+    pub fn insert(&mut self, prefix: Prefix4, value: V) -> Option<V> {
+        self.trie.insert(prefix.bits(), prefix.len(), value)
+    }
+
+    /// Most specific covering prefix for `addr`.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(Prefix4, &V)> {
+        self.trie
+            .longest_match(crate::v4_to_u32(addr))
+            .map(|(len, v)| (Prefix4::new(addr, len), v))
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix4) -> Option<&V> {
+        self.trie.get(prefix.bits(), prefix.len())
+    }
+
+    /// Remove an exact prefix.
+    pub fn remove(&mut self, prefix: Prefix4) -> Option<V> {
+        self.trie.remove(prefix.bits(), prefix.len())
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+/// Longest-prefix-match table for IPv6 built on [`LpmTrie`].
+#[derive(Debug, Clone)]
+pub struct Lpm6<V> {
+    trie: LpmTrie<u128, V>,
+}
+
+impl<V> Default for Lpm6<V> {
+    fn default() -> Self {
+        Lpm6::new()
+    }
+}
+
+impl<V> Lpm6<V> {
+    /// Create an empty table.
+    pub fn new() -> Lpm6<V> {
+        Lpm6 {
+            trie: LpmTrie::new(),
+        }
+    }
+
+    /// Insert a prefix, returning any previous value for the exact prefix.
+    pub fn insert(&mut self, prefix: Prefix6, value: V) -> Option<V> {
+        self.trie.insert(prefix.bits(), prefix.len(), value)
+    }
+
+    /// Most specific covering prefix for `addr`.
+    pub fn longest_match(&self, addr: Ipv6Addr) -> Option<(Prefix6, &V)> {
+        self.trie
+            .longest_match(crate::v6_to_u128(addr))
+            .map(|(len, v)| (Prefix6::new(addr, len), v))
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix6) -> Option<&V> {
+        self.trie.get(prefix.bits(), prefix.len())
+    }
+
+    /// Remove an exact prefix.
+    pub fn remove(&mut self, prefix: Prefix6) -> Option<V> {
+        self.trie.remove(prefix.bits(), prefix.len())
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpm_basic() {
+        let mut t: LpmTrie<u32, &str> = LpmTrie::new();
+        assert!(t.is_empty());
+        t.insert(0x0a00_0000, 8, "ten");
+        t.insert(0x0a14_0000, 16, "ten-twenty");
+        t.insert(0, 0, "default");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.longest_match(0x0a14_0505), Some((16, &"ten-twenty")));
+        assert_eq!(t.longest_match(0x0a01_0101), Some((8, &"ten")));
+        assert_eq!(t.longest_match(0xc0a8_0101), Some((0, &"default")));
+    }
+
+    #[test]
+    fn lpm_no_default_misses() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        t.insert(0xc000_0200, 24, 1);
+        assert_eq!(t.longest_match(0xc000_0300), None);
+        assert_eq!(t.longest_match(0xc000_02ff), Some((24, &1)));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        assert_eq!(t.insert(0x0a00_0000, 8, 1), None);
+        assert_eq!(t.insert(0x0a00_0000, 8, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0x0a00_0000, 8), Some(&2));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        t.insert(0x0a00_0000, 8, 1);
+        t.insert(0x0a14_0000, 16, 2);
+        assert_eq!(t.remove(0x0a14_0000, 16), Some(2));
+        assert_eq!(t.remove(0x0a14_0000, 16), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.longest_match(0x0a14_0101), Some((8, &1)));
+    }
+
+    #[test]
+    fn key_is_truncated_on_insert() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        t.insert(0x0a01_0203, 8, 9); // host bits ignored
+        assert_eq!(t.get(0x0a00_0000, 8), Some(&9));
+    }
+
+    #[test]
+    fn lpm4_wrapper() {
+        let mut t: Lpm4<&str> = Lpm4::new();
+        t.insert("10.0.0.0/8".parse().unwrap(), "big");
+        t.insert("10.9.0.0/16".parse().unwrap(), "small");
+        let (p, v) = t.longest_match("10.9.4.4".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "10.9.0.0/16");
+        assert_eq!(*v, "small");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove("10.9.0.0/16".parse().unwrap()), Some("small"));
+        let (p, _) = t.longest_match("10.9.4.4".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn lpm6_wrapper() {
+        let mut t: Lpm6<u32> = Lpm6::new();
+        t.insert("2001:db8::/32".parse().unwrap(), 1);
+        t.insert("2001:db8:ff::/48".parse().unwrap(), 2);
+        let (p, v) = t
+            .longest_match("2001:db8:ff::1".parse().unwrap())
+            .unwrap();
+        assert_eq!(p.len(), 48);
+        assert_eq!(*v, 2);
+        assert!(t.longest_match("2002::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn full_length_host_routes() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        t.insert(0xc0a8_0101, 32, 7);
+        assert_eq!(t.longest_match(0xc0a8_0101), Some((32, &7)));
+        assert_eq!(t.longest_match(0xc0a8_0102), None);
+        let mut t6: LpmTrie<u128, u8> = LpmTrie::new();
+        let a = crate::v6_to_u128("2001:db8::1".parse().unwrap());
+        t6.insert(a, 128, 9);
+        assert_eq!(t6.longest_match(a), Some((128, &9)));
+    }
+
+    #[test]
+    fn for_each_visits_everything_in_order() {
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        t.insert(0x0a00_0000, 8, 1);
+        t.insert(0x0a14_0000, 16, 2);
+        t.insert(0x0b00_0000, 8, 3);
+        t.insert(0, 0, 0);
+        let keys = t.keys();
+        assert_eq!(
+            keys,
+            vec![(0, 0), (0x0a00_0000, 8), (0x0a14_0000, 16), (0x0b00_0000, 8)]
+        );
+        let mut total = 0u32;
+        t.for_each(|_, _, v| total += *v as u32);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn bit_indexing() {
+        assert!(0x8000_0000u32.bit(0));
+        assert!(!0x8000_0000u32.bit(1));
+        assert!(1u32.bit(31));
+        assert!((1u128 << 127).bit(0));
+        assert!(1u128.bit(127));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for iputil: LPM-vs-linear-scan equivalence,
+//! anonymizer prefix preservation, prefix algebra invariants.
+
+use iputil::anon::{Anonymizer, AnonymizerConfig};
+use iputil::prefix::{Prefix4, Prefix6};
+use iputil::trie::{Lpm4, LpmTrie};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_prefix4() -> impl Strategy<Value = Prefix4> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix4::new(Ipv4Addr::from(bits), len))
+}
+
+fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix6::new(Ipv6Addr::from(bits), len))
+}
+
+proptest! {
+    /// The trie's longest match must agree with a brute-force linear scan.
+    #[test]
+    fn lpm_matches_linear_scan(
+        prefixes in proptest::collection::vec(arb_prefix4(), 1..40),
+        addrs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie: Lpm4<usize> = Lpm4::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for addr_bits in addrs {
+            let addr = Ipv4Addr::from(addr_bits);
+            let expect = prefixes
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.contains(addr))
+                .max_by_key(|(i, p)| (p.len(), *i)); // later insert wins ties (same prefix replaced)
+            let got = trie.longest_match(addr);
+            match (expect, got) {
+                (None, None) => {}
+                (Some((_, p)), Some((gp, _))) => {
+                    prop_assert_eq!(p.len(), gp.len(), "match length differs for {}", addr);
+                    // The matched prefix must actually contain the address.
+                    prop_assert!(gp.contains(addr));
+                }
+                (e, g) => prop_assert!(false, "mismatch for {}: {:?} vs {:?}", addr, e, g),
+            }
+        }
+    }
+
+    /// Inserting then removing every prefix leaves the trie empty for queries.
+    #[test]
+    fn trie_remove_all(prefixes in proptest::collection::vec(arb_prefix4(), 1..30)) {
+        let mut trie: Lpm4<u8> = Lpm4::new();
+        for p in &prefixes {
+            trie.insert(*p, 0);
+        }
+        for p in &prefixes {
+            trie.remove(*p);
+        }
+        prop_assert_eq!(trie.len(), 0);
+        for p in &prefixes {
+            prop_assert!(trie.longest_match(p.network()).is_none());
+        }
+    }
+
+    /// Anonymization preserves the length of the longest shared prefix of any
+    /// two IPv4 addresses, bit for bit.
+    #[test]
+    fn anon_preserves_prefix_v4(a in any::<u32>(), b in any::<u32>(), key in any::<[u8; 16]>()) {
+        let anon = Anonymizer::new(key, AnonymizerConfig::full());
+        let (a, b) = (Ipv4Addr::from(a), Ipv4Addr::from(b));
+        let (a2, b2) = (anon.anon_v4(a), anon.anon_v4(b));
+        let before = (u32::from(a) ^ u32::from(b)).leading_zeros();
+        let after = (u32::from(a2) ^ u32::from(b2)).leading_zeros();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Same property for IPv6 with the paper configuration: the kept /64 is
+    /// identical and the scrambled half still preserves shared prefixes.
+    #[test]
+    fn anon_preserves_prefix_v6_paper(a in any::<u128>(), b in any::<u128>(), key in any::<[u8; 16]>()) {
+        let anon = Anonymizer::new(key, AnonymizerConfig::paper());
+        let (a, b) = (Ipv6Addr::from(a), Ipv6Addr::from(b));
+        let (a2, b2) = (anon.anon_v6(a), anon.anon_v6(b));
+        prop_assert_eq!(u128::from(a2) >> 64, u128::from(a) >> 64);
+        prop_assert_eq!(u128::from(b2) >> 64, u128::from(b) >> 64);
+        let before = (u128::from(a) ^ u128::from(b)).leading_zeros();
+        let after = (u128::from(a2) ^ u128::from(b2)).leading_zeros();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Prefix textual round-trip.
+    #[test]
+    fn prefix4_display_parse_roundtrip(p in arb_prefix4()) {
+        let s = p.to_string();
+        let q: Prefix4 = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Prefix textual round-trip (IPv6).
+    #[test]
+    fn prefix6_display_parse_roundtrip(p in arb_prefix6()) {
+        let s = p.to_string();
+        let q: Prefix6 = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// `covers` is consistent with `contains` on the subnet's network address
+    /// and is a partial order (reflexive, antisymmetric on distinct lengths).
+    #[test]
+    fn covers_consistency(a in arb_prefix4(), b in arb_prefix4()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) {
+            prop_assert!(a.contains(b.network()));
+            prop_assert!(a.len() <= b.len());
+        }
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Subnetting then asking for the host keeps addresses inside the parent.
+    #[test]
+    fn subnets_stay_inside_parent(
+        bits in any::<u32>(),
+        plen in 0u8..=24,
+        extra in 0u8..=8,
+        idx in any::<u64>(),
+        host in any::<u64>(),
+    ) {
+        let parent = Prefix4::new(Ipv4Addr::from(bits), plen);
+        let sublen = plen + extra;
+        let idx = idx % (1u64 << extra);
+        let sub = parent.subnet(sublen, idx).unwrap();
+        prop_assert!(parent.covers(sub));
+        let host = host % sub.size();
+        let h = sub.host(host).unwrap();
+        prop_assert!(sub.contains(h));
+        prop_assert!(parent.contains(h));
+    }
+
+    /// The generic trie agrees with the wrapper on u128 keys.
+    #[test]
+    fn trie_u128_exact(prefixes in proptest::collection::vec(arb_prefix6(), 1..20)) {
+        let mut t: LpmTrie<u128, usize> = LpmTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            t.insert(p.bits(), p.len(), i);
+        }
+        for p in &prefixes {
+            prop_assert!(t.get(p.bits(), p.len()).is_some());
+        }
+    }
+}

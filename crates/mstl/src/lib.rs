@@ -1,0 +1,301 @@
+//! # mstl — seasonal-trend decomposition by LOESS
+//!
+//! A from-scratch implementation of the decomposition stack used in §3.3 of
+//! the paper (following Baltra et al.):
+//!
+//! * [`loess`] — locally weighted regression (Cleveland 1979): tricube
+//!   neighbourhood weights, optional robustness weights, polynomial degree
+//!   0–2, evaluation at arbitrary positions (needed for the ±1-period
+//!   extension of cycle-subseries).
+//! * [`stl`] — STL (Cleveland, Cleveland, McRae & Terpenning 1990): the
+//!   inner loop of cycle-subseries smoothing, low-pass filtering and trend
+//!   smoothing, plus the outer robustness-weight loop with bisquare weights.
+//! * [`decompose`] ([`Mstl`]) — MSTL (Bandara, Hyndman & Bergmeir 2021):
+//!   iterative application of STL once per seasonal period, refining each
+//!   seasonal component while the others are held out.
+//!
+//! The paper decomposes the *hourly IPv6 byte fraction* with daily (24) and
+//! weekly (168) periods (Fig 2, 13) and daily series with a weekly period
+//! (Fig 14, 15). The decomposition is exactly additive:
+//! `observed = trend + Σ seasonal_i + remainder` holds bit-for-bit because
+//! the remainder is computed by subtraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loess;
+pub mod stl;
+
+pub use loess::{loess_smooth, LoessConfig};
+pub use stl::{SeasonalSpan, Stl, StlConfig, StlResult};
+
+/// Result of an MSTL decomposition.
+#[derive(Debug, Clone)]
+pub struct Mstl {
+    /// The input series.
+    pub observed: Vec<f64>,
+    /// Long-term trend component.
+    pub trend: Vec<f64>,
+    /// One seasonal component per requested period, in the order given
+    /// (periods are processed ascending internally but reported in input
+    /// order).
+    pub seasonals: Vec<(usize, Vec<f64>)>,
+    /// Remainder: `observed - trend - Σ seasonals`.
+    pub remainder: Vec<f64>,
+}
+
+impl Mstl {
+    /// Reconstruct the series from the components (should equal `observed`
+    /// up to floating-point associativity).
+    pub fn reconstructed(&self) -> Vec<f64> {
+        let mut out = self.trend.clone();
+        for (_, s) in &self.seasonals {
+            for (o, v) in out.iter_mut().zip(s) {
+                *o += v;
+            }
+        }
+        for (o, r) in out.iter_mut().zip(&self.remainder) {
+            *o += r;
+        }
+        out
+    }
+
+    /// The seasonal component for a given period, if present.
+    pub fn seasonal(&self, period: usize) -> Option<&[f64]> {
+        self.seasonals
+            .iter()
+            .find(|(p, _)| *p == period)
+            .map(|(_, s)| s.as_slice())
+    }
+}
+
+/// Configuration for [`mstl_decompose`].
+#[derive(Debug, Clone)]
+pub struct MstlConfig {
+    /// Seasonal periods (e.g. `[24, 168]` for hourly data with daily and
+    /// weekly cycles). Must each be ≥ 2 and < `n / 2`.
+    pub periods: Vec<usize>,
+    /// Number of refinement iterations over the seasonal set (MSTL default 2).
+    pub iterations: usize,
+    /// Seasonal LOESS span per period; `None` picks `7 + 4 * i` for the
+    /// `i`-th (ascending) period, the MSTL paper default.
+    pub seasonal_spans: Option<Vec<SeasonalSpan>>,
+    /// Robustness iterations inside each STL call (0 = non-robust).
+    pub robust_iterations: usize,
+}
+
+impl MstlConfig {
+    /// Sensible defaults for the given periods.
+    pub fn new(periods: Vec<usize>) -> MstlConfig {
+        MstlConfig {
+            periods,
+            iterations: 2,
+            seasonal_spans: None,
+            robust_iterations: 1,
+        }
+    }
+}
+
+/// Run an MSTL decomposition.
+///
+/// ```
+/// use mstl::{mstl_decompose, MstlConfig};
+/// // Two days of hourly data with a clear daily cycle plus trend.
+/// let y: Vec<f64> = (0..96)
+///     .map(|t| 0.01 * t as f64 + (t as f64 * std::f64::consts::TAU / 24.0).sin())
+///     .collect();
+/// let d = mstl_decompose(&y, &MstlConfig::new(vec![24])).unwrap();
+/// assert_eq!(d.trend.len(), 96);
+/// let recon = d.reconstructed();
+/// for (a, b) in recon.iter().zip(&y) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+///
+/// Returns an error string when the series is too short for the requested
+/// periods or parameters are degenerate.
+pub fn mstl_decompose(series: &[f64], config: &MstlConfig) -> Result<Mstl, String> {
+    let n = series.len();
+    if series.iter().any(|x| x.is_nan()) {
+        return Err("series contains NaN".into());
+    }
+    if config.periods.is_empty() {
+        return Err("at least one seasonal period required".into());
+    }
+    let mut order: Vec<usize> = (0..config.periods.len()).collect();
+    order.sort_by_key(|&i| config.periods[i]);
+    for &p in &config.periods {
+        if p < 2 {
+            return Err(format!("period {p} too small (need >= 2)"));
+        }
+        if n < 2 * p {
+            return Err(format!("series length {n} < 2 * period {p}"));
+        }
+    }
+
+    // Per-period seasonal spans (MSTL default: 7 + 4*i over ascending periods).
+    let spans: Vec<SeasonalSpan> = match &config.seasonal_spans {
+        Some(s) => {
+            if s.len() != config.periods.len() {
+                return Err("seasonal_spans length must match periods".into());
+            }
+            s.clone()
+        }
+        None => (0..config.periods.len())
+            .map(|i| SeasonalSpan::Window(7 + 4 * (i + 1)))
+            .collect(),
+    };
+
+    let iterations = config.iterations.max(1);
+    let mut seasonals: Vec<Vec<f64>> = vec![vec![0.0; n]; config.periods.len()];
+    let mut deseason: Vec<f64> = series.to_vec();
+    let mut last_trend: Vec<f64> = vec![0.0; n];
+
+    for _iter in 0..iterations {
+        for &pi in &order {
+            let period = config.periods[pi];
+            // Add this period's current seasonal back in before re-estimating it.
+            for (d, s) in deseason.iter_mut().zip(&seasonals[pi]) {
+                *d += s;
+            }
+            let stl_cfg = StlConfig {
+                period,
+                seasonal_span: spans[pi],
+                trend_span: None,
+                lowpass_span: None,
+                inner_iterations: 2,
+                robust_iterations: config.robust_iterations,
+            };
+            let fit = Stl::new(stl_cfg).decompose(&deseason)?;
+            seasonals[pi] = fit.seasonal;
+            last_trend = fit.trend;
+            for (d, s) in deseason.iter_mut().zip(&seasonals[pi]) {
+                *d -= s;
+            }
+        }
+    }
+
+    let mut remainder = series.to_vec();
+    for (r, t) in remainder.iter_mut().zip(&last_trend) {
+        *r -= t;
+    }
+    for s in &seasonals {
+        for (r, v) in remainder.iter_mut().zip(s) {
+            *r -= v;
+        }
+    }
+
+    Ok(Mstl {
+        observed: series.to_vec(),
+        trend: last_trend,
+        seasonals: config
+            .periods
+            .iter()
+            .cloned()
+            .zip(seasonals)
+            .collect(),
+        remainder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn synthetic(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        // trend + daily (24) + weekly (168) seasonal, deterministic "noise".
+        let trend: Vec<f64> = (0..n).map(|t| 0.5 + 0.001 * t as f64).collect();
+        let daily: Vec<f64> = (0..n).map(|t| 0.3 * (t as f64 * TAU / 24.0).sin()).collect();
+        let weekly: Vec<f64> = (0..n)
+            .map(|t| 0.15 * (t as f64 * TAU / 168.0).cos())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|t| trend[t] + daily[t] + weekly[t] + 0.01 * ((t * 7919 % 100) as f64 / 100.0 - 0.5))
+            .collect();
+        (y, trend, daily, weekly)
+    }
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma) * (x - ma);
+            db += (y - mb) * (y - mb);
+        }
+        num / (da * db).sqrt()
+    }
+
+    #[test]
+    fn recovers_two_seasonal_components() {
+        let n = 24 * 7 * 6; // six weeks hourly
+        let (y, trend, daily, weekly) = synthetic(n);
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![24, 168])).unwrap();
+        assert!(corr(d.seasonal(24).unwrap(), &daily) > 0.95);
+        assert!(corr(d.seasonal(168).unwrap(), &weekly) > 0.9);
+        assert!(corr(&d.trend, &trend) > 0.95);
+    }
+
+    #[test]
+    fn additivity_is_exact() {
+        let n = 24 * 7 * 4;
+        let (y, ..) = synthetic(n);
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![24, 168])).unwrap();
+        for (a, b) in d.reconstructed().iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seasonal_component_roughly_periodic() {
+        let n = 24 * 7 * 4;
+        let (y, ..) = synthetic(n);
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![24])).unwrap();
+        let s = d.seasonal(24).unwrap();
+        // Compare one period against the next; the seasonal evolves slowly so
+        // adjacent periods should be close.
+        let mut max_delta = 0.0f64;
+        for t in 0..n - 24 {
+            max_delta = max_delta.max((s[t] - s[t + 24]).abs());
+        }
+        assert!(max_delta < 0.2, "seasonal drifts too fast: {max_delta}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(mstl_decompose(&[1.0; 10], &MstlConfig::new(vec![])).is_err());
+        assert!(mstl_decompose(&[1.0; 10], &MstlConfig::new(vec![24])).is_err());
+        assert!(mstl_decompose(&[1.0; 10], &MstlConfig::new(vec![1])).is_err());
+        let mut y = vec![1.0; 100];
+        y[3] = f64::NAN;
+        assert!(mstl_decompose(&y, &MstlConfig::new(vec![7])).is_err());
+    }
+
+    #[test]
+    fn single_period_matches_direct_stl_shape() {
+        let n = 24 * 10;
+        let (y, ..) = synthetic(n);
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![24])).unwrap();
+        assert_eq!(d.seasonals.len(), 1);
+        assert_eq!(d.trend.len(), n);
+        assert_eq!(d.remainder.len(), n);
+        // Remainder should be small relative to the signal.
+        let rms: f64 =
+            (d.remainder.iter().map(|r| r * r).sum::<f64>() / n as f64).sqrt();
+        assert!(rms < 0.12, "remainder RMS too large: {rms}");
+    }
+
+    #[test]
+    fn periods_reported_in_input_order() {
+        let n = 24 * 7 * 4;
+        let (y, ..) = synthetic(n);
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![168, 24])).unwrap();
+        assert_eq!(d.seasonals[0].0, 168);
+        assert_eq!(d.seasonals[1].0, 24);
+    }
+}

@@ -1,0 +1,325 @@
+//! LOESS: locally weighted polynomial regression (Cleveland 1979).
+//!
+//! The STL building block. Data points sit at integer positions
+//! `0..n-1`; smoothing evaluates a weighted least-squares polynomial fit in a
+//! window of the `span` nearest points, weighted by the tricube kernel and
+//! optional per-point robustness weights. Evaluation positions may lie
+//! outside `[0, n-1]` (STL extends cycle-subseries one period to each side),
+//! in which case the fit extrapolates from the nearest window.
+
+/// Configuration for a LOESS smoothing pass.
+#[derive(Debug, Clone, Copy)]
+pub struct LoessConfig {
+    /// Number of neighbourhood points used per fit. Values larger than the
+    /// series length inflate the kernel bandwidth per the STL paper
+    /// (`λ_q(x) = λ_n(x) · q/n`).
+    pub span: usize,
+    /// Polynomial degree: 0 (local mean), 1 (local linear) or 2.
+    pub degree: usize,
+}
+
+impl LoessConfig {
+    /// Create a config, validating the degree.
+    pub fn new(span: usize, degree: usize) -> LoessConfig {
+        assert!(degree <= 2, "LOESS degree must be 0, 1 or 2");
+        assert!(span >= 2, "LOESS span must be at least 2");
+        LoessConfig { span, degree }
+    }
+}
+
+/// Smooth a series at every integer position, equivalent to
+/// `loess_at(.., 0..n)`.
+pub fn loess_smooth(y: &[f64], config: LoessConfig, robustness: Option<&[f64]>) -> Vec<f64> {
+    let positions: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+    loess_at(y, &positions, config, robustness)
+}
+
+/// Evaluate the LOESS fit of `y` (at integer data positions) at arbitrary
+/// positions `xs`.
+///
+/// `robustness`, when given, multiplies the tricube weights point-wise (the
+/// STL outer loop feeds bisquare weights through here).
+///
+/// # Panics
+/// Panics on empty input or mismatched robustness length.
+pub fn loess_at(
+    y: &[f64],
+    xs: &[f64],
+    config: LoessConfig,
+    robustness: Option<&[f64]>,
+) -> Vec<f64> {
+    let n = y.len();
+    assert!(n > 0, "empty series");
+    if let Some(r) = robustness {
+        assert_eq!(r.len(), n, "robustness weights length mismatch");
+    }
+    let q = config.span.max(2);
+    let window = q.min(n);
+
+    xs.iter()
+        .map(|&x| {
+            // Find the window of `window` nearest integer positions to x.
+            let center = x.round().clamp(0.0, (n - 1) as f64) as usize;
+            let (mut lo, mut hi) = (center, center); // inclusive bounds
+            while hi - lo + 1 < window {
+                let extend_left = if lo == 0 {
+                    false
+                } else if hi == n - 1 {
+                    true
+                } else {
+                    // Extend towards the side whose next point is closer to x.
+                    (x - (lo as f64 - 1.0)).abs() <= ((hi as f64 + 1.0) - x).abs()
+                };
+                if extend_left {
+                    lo -= 1;
+                } else {
+                    hi += 1;
+                }
+            }
+            // Kernel bandwidth: distance to the farthest in-window point,
+            // inflated when span exceeds the series length.
+            let mut d_max = (x - lo as f64).abs().max((hi as f64 - x).abs());
+            if q > n {
+                d_max *= q as f64 / n as f64;
+            }
+            if d_max <= 0.0 {
+                d_max = 1.0; // single-point window degenerate case
+            }
+
+            fit_at(y, lo, hi, x, d_max, config.degree, robustness)
+        })
+        .collect()
+}
+
+/// Weighted least-squares polynomial fit over `y[lo..=hi]`, evaluated at `x`.
+fn fit_at(
+    y: &[f64],
+    lo: usize,
+    hi: usize,
+    x: f64,
+    d_max: f64,
+    degree: usize,
+    robustness: Option<&[f64]>,
+) -> f64 {
+    // Accumulate weighted moments around x (centering improves conditioning).
+    let mut s: [f64; 5] = [0.0; 5]; // Σ w·dx^k for k=0..4
+    let mut t: [f64; 3] = [0.0; 3]; // Σ w·y·dx^k for k=0..2
+    for i in lo..=hi {
+        let dx = i as f64 - x;
+        let mut w = tricube((dx / d_max).abs());
+        if let Some(r) = robustness {
+            w *= r[i];
+        }
+        if w <= 0.0 {
+            continue;
+        }
+        let mut p = w;
+        for k in 0..5 {
+            s[k] += p;
+            if k < 3 {
+                t[k] += p * y[i];
+            }
+            p *= dx;
+        }
+    }
+    if s[0] <= 0.0 {
+        // All weights vanished (can happen under harsh robustness weights):
+        // fall back to the unweighted window mean.
+        let cnt = (hi - lo + 1) as f64;
+        return y[lo..=hi].iter().sum::<f64>() / cnt;
+    }
+
+    match degree {
+        0 => t[0] / s[0],
+        1 => {
+            // Solve [s0 s1; s1 s2] [a; b] = [t0; t1]; value at x is `a`.
+            let det = s[0] * s[2] - s[1] * s[1];
+            if det.abs() < 1e-12 * s[0].max(1.0) {
+                t[0] / s[0]
+            } else {
+                (t[0] * s[2] - t[1] * s[1]) / det
+            }
+        }
+        2 => {
+            // 3x3 normal equations; value at x is the constant coefficient.
+            let m = [
+                [s[0], s[1], s[2]],
+                [s[1], s[2], s[3]],
+                [s[2], s[3], s[4]],
+            ];
+            let rhs = [t[0], t[1], t[2]];
+            match solve3(m, rhs) {
+                Some(c) => c[0],
+                None => t[0] / s[0],
+            }
+        }
+        _ => unreachable!("degree validated at construction"),
+    }
+}
+
+/// Tricube kernel `(1 - u³)³` for `u ∈ [0, 1)`, else 0.
+fn tricube(u: f64) -> f64 {
+    if u >= 1.0 {
+        0.0
+    } else {
+        let c = 1.0 - u * u * u;
+        c * c * c
+    }
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // k walks two matrix rows in lockstep
+fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = m[row][col] / m[col][col];
+            for k in col..3 {
+                m[row][k] -= f * m[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in row + 1..3 {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Bisquare robustness weights from residuals, as in the STL outer loop:
+/// `w_i = (1 - (|r_i| / 6·median|r|)²)²`, clipped to 0 outside.
+pub fn bisquare_weights(residuals: &[f64]) -> Vec<f64> {
+    let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    let median = if abs.is_empty() {
+        0.0
+    } else {
+        abs[abs.len() / 2]
+    };
+    let h = 6.0 * median;
+    residuals
+        .iter()
+        .map(|r| {
+            if h <= 0.0 {
+                1.0
+            } else {
+                let u = (r.abs() / h).min(1.0);
+                let c = 1.0 - u * u;
+                c * c
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_fixed_point() {
+        let y = vec![3.5; 40];
+        for degree in 0..=2 {
+            let s = loess_smooth(&y, LoessConfig::new(7, degree), None);
+            for v in s {
+                assert!((v - 3.5).abs() < 1e-9, "degree {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_series_is_fixed_point_for_degree_1() {
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let s = loess_smooth(&y, LoessConfig::new(9, 1), None);
+        for (i, v) in s.iter().enumerate() {
+            assert!((v - y[i]).abs() < 1e-7, "at {i}: {v} vs {}", y[i]);
+        }
+    }
+
+    #[test]
+    fn quadratic_series_is_fixed_point_for_degree_2() {
+        let y: Vec<f64> = (0..50).map(|i| 0.5 * (i * i) as f64 - 3.0 * i as f64).collect();
+        let s = loess_smooth(&y, LoessConfig::new(11, 2), None);
+        for (i, v) in s.iter().enumerate() {
+            assert!((v - y[i]).abs() < 1e-6, "at {i}");
+        }
+    }
+
+    #[test]
+    fn smooths_noise() {
+        // Noisy constant: smoothed variance must shrink.
+        let y: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let s = loess_smooth(&y, LoessConfig::new(21, 1), None);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&s) < 0.1 * var(&y));
+    }
+
+    #[test]
+    fn extrapolation_beyond_ends() {
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let out = loess_at(&y, &[-2.0, 31.0], LoessConfig::new(9, 1), None);
+        assert!((out[0] - (-2.0)).abs() < 1e-6, "left extrapolation: {}", out[0]);
+        assert!((out[1] - 31.0).abs() < 1e-6, "right extrapolation: {}", out[1]);
+    }
+
+    #[test]
+    fn span_larger_than_series_uses_all_points() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let s = loess_smooth(&y, LoessConfig::new(100, 1), None);
+        for (i, v) in s.iter().enumerate() {
+            assert!((v - y[i]).abs() < 1e-7, "at {i}");
+        }
+    }
+
+    #[test]
+    fn robustness_downweights_outliers() {
+        let mut y: Vec<f64> = (0..60).map(|i| i as f64 * 0.1).collect();
+        y[30] = 100.0; // gross outlier
+        let plain = loess_smooth(&y, LoessConfig::new(15, 1), None);
+        // Two robustness rounds.
+        let resid: Vec<f64> = y.iter().zip(&plain).map(|(a, b)| a - b).collect();
+        let w = bisquare_weights(&resid);
+        let robust = loess_smooth(&y, LoessConfig::new(15, 1), Some(&w));
+        let err_plain = (plain[30] - 3.0).abs();
+        let err_robust = (robust[30] - 3.0).abs();
+        assert!(
+            err_robust < err_plain,
+            "robust {err_robust} vs plain {err_plain}"
+        );
+    }
+
+    #[test]
+    fn bisquare_weight_properties() {
+        let w = bisquare_weights(&[0.0, 1.0, -1.0, 10.0]);
+        assert_eq!(w[0], 1.0);
+        assert!(w[3] < w[1]);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Zero residuals => all weights 1.
+        assert!(bisquare_weights(&[0.0; 5]).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn rejects_cubic() {
+        let _ = LoessConfig::new(7, 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! STL: Seasonal-Trend decomposition using LOESS (Cleveland et al., 1990).
+//!
+//! The inner loop alternates between estimating the seasonal component (by
+//! smoothing each cycle-subseries with LOESS, then removing low-frequency
+//! leakage with a 3-stage moving-average low-pass filter) and estimating the
+//! trend (LOESS on the deseasonalized series). The optional outer loop
+//! computes bisquare robustness weights from the remainder so gross outliers
+//! (e.g. a residence's single 400 GB download day) do not distort the
+//! seasonal shape.
+
+use crate::loess::{bisquare_weights, loess_at, loess_smooth, LoessConfig};
+
+/// Seasonal smoothing span selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeasonalSpan {
+    /// Each cycle-subseries is replaced by its (weighted) mean — equivalent
+    /// to R's `s.window = "periodic"`; the seasonal pattern is constant.
+    Periodic,
+    /// LOESS window (in cycles) for cycle-subseries smoothing; should be odd
+    /// and ≥ 7 for the classic STL behaviour.
+    Window(usize),
+}
+
+/// STL configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StlConfig {
+    /// Seasonal period in samples (24 = daily cycle on hourly data).
+    pub period: usize,
+    /// Seasonal smoothing span.
+    pub seasonal_span: SeasonalSpan,
+    /// Trend LOESS span; `None` picks the STL default: the smallest odd
+    /// integer ≥ `1.5 p / (1 − 1.5/n_s)`.
+    pub trend_span: Option<usize>,
+    /// Low-pass LOESS span; `None` picks the smallest odd integer ≥ period.
+    pub lowpass_span: Option<usize>,
+    /// Inner-loop iterations (STL default 2 when not robust).
+    pub inner_iterations: usize,
+    /// Outer robustness iterations (0 disables robustness weighting).
+    pub robust_iterations: usize,
+}
+
+impl StlConfig {
+    /// A non-robust configuration with classic defaults for `period`.
+    pub fn for_period(period: usize) -> StlConfig {
+        StlConfig {
+            period,
+            seasonal_span: SeasonalSpan::Window(11),
+            trend_span: None,
+            lowpass_span: None,
+            inner_iterations: 2,
+            robust_iterations: 0,
+        }
+    }
+}
+
+/// Result of one STL decomposition: `observed = seasonal + trend + remainder`.
+#[derive(Debug, Clone)]
+pub struct StlResult {
+    /// Seasonal component (period-cyclic, slowly evolving).
+    pub seasonal: Vec<f64>,
+    /// Trend component.
+    pub trend: Vec<f64>,
+    /// Remainder (exactly `y - seasonal - trend`).
+    pub remainder: Vec<f64>,
+    /// Final robustness weights (all 1.0 when not robust).
+    pub weights: Vec<f64>,
+}
+
+/// STL decomposer.
+#[derive(Debug, Clone)]
+pub struct Stl {
+    config: StlConfig,
+}
+
+impl Stl {
+    /// Create a decomposer from a config.
+    pub fn new(config: StlConfig) -> Stl {
+        Stl { config }
+    }
+
+    /// Decompose `y`. Errors when the series is shorter than two periods.
+    pub fn decompose(&self, y: &[f64]) -> Result<StlResult, String> {
+        let n = y.len();
+        let p = self.config.period;
+        if p < 2 {
+            return Err(format!("period {p} too small"));
+        }
+        if n < 2 * p {
+            return Err(format!("series length {n} < 2 * period {p}"));
+        }
+
+        let seasonal_cfg = match self.config.seasonal_span {
+            SeasonalSpan::Periodic => None,
+            SeasonalSpan::Window(w) => Some(LoessConfig::new(w.max(3) | 1, 1)),
+        };
+        let ns = match self.config.seasonal_span {
+            SeasonalSpan::Periodic => 10 * n + 1, // effectively infinite
+            SeasonalSpan::Window(w) => w.max(3) | 1,
+        };
+        let nt = self.config.trend_span.unwrap_or_else(|| {
+            let raw = 1.5 * p as f64 / (1.0 - 1.5 / ns as f64);
+            (raw.ceil() as usize) | 1
+        });
+        let nl = self.config.lowpass_span.unwrap_or(p | 1);
+        let trend_cfg = LoessConfig::new(nt.max(3), 1);
+        let lowpass_cfg = LoessConfig::new(nl.max(3), 1);
+
+        let mut weights = vec![1.0f64; n];
+        let mut seasonal = vec![0.0f64; n];
+        let mut trend = vec![0.0f64; n];
+
+        let outer = self.config.robust_iterations + 1;
+        for outer_iter in 0..outer {
+            let rw = if outer_iter == 0 { None } else { Some(&weights) };
+            for _ in 0..self.config.inner_iterations.max(1) {
+                // 1. Detrend.
+                let detrended: Vec<f64> = y.iter().zip(&trend).map(|(a, b)| a - b).collect();
+                // 2. Cycle-subseries smoothing, extended one period both sides.
+                let c = cycle_subseries_smooth(&detrended, p, seasonal_cfg, rw.map(|w| &w[..]));
+                // 3. Low-pass: MA(p) ∘ MA(p) ∘ MA(3) ∘ LOESS(nl).
+                let l1 = moving_average(&c, p);
+                let l2 = moving_average(&l1, p);
+                let l3 = moving_average(&l2, 3);
+                debug_assert_eq!(l3.len(), n);
+                let low = loess_smooth(&l3, lowpass_cfg, None);
+                // 4. Seasonal = smoothed cycle-subseries minus low-pass leakage.
+                #[allow(clippy::needless_range_loop)] // t spans two offset arrays
+                for t in 0..n {
+                    seasonal[t] = c[p + t] - low[t];
+                }
+                // 5-6. Deseasonalize and re-estimate trend.
+                let deseason: Vec<f64> = y.iter().zip(&seasonal).map(|(a, b)| a - b).collect();
+                trend = loess_smooth(&deseason, trend_cfg, rw.map(|w| &w[..]));
+            }
+            if outer_iter + 1 < outer {
+                let resid: Vec<f64> = (0..n).map(|t| y[t] - seasonal[t] - trend[t]).collect();
+                weights = bisquare_weights(&resid);
+            }
+        }
+
+        let remainder: Vec<f64> = (0..n).map(|t| y[t] - seasonal[t] - trend[t]).collect();
+        Ok(StlResult {
+            seasonal,
+            trend,
+            remainder,
+            weights,
+        })
+    }
+}
+
+/// Smooth each cycle-subseries of `y` (period `p`) and return the
+/// concatenation re-extended by one full period on both ends
+/// (length `n + 2p`), as required by the STL low-pass stage.
+///
+/// `cfg = None` means periodic: each subseries becomes its weighted mean.
+fn cycle_subseries_smooth(
+    y: &[f64],
+    p: usize,
+    cfg: Option<LoessConfig>,
+    robustness: Option<&[f64]>,
+) -> Vec<f64> {
+    let n = y.len();
+    let mut out = vec![0.0f64; n + 2 * p];
+    for phase in 0..p {
+        // Gather the subseries for this phase.
+        let positions: Vec<usize> = (phase..n).step_by(p).collect();
+        let sub: Vec<f64> = positions.iter().map(|&t| y[t]).collect();
+        let sub_w: Option<Vec<f64>> =
+            robustness.map(|w| positions.iter().map(|&t| w[t]).collect());
+        let m = sub.len();
+
+        // Evaluate at -1, 0..m-1, m (one extra cycle each side).
+        let eval: Vec<f64> = std::iter::once(-1.0)
+            .chain((0..m).map(|i| i as f64))
+            .chain(std::iter::once(m as f64))
+            .collect();
+        let smoothed: Vec<f64> = match cfg {
+            Some(c) => loess_at(&sub, &eval, c, sub_w.as_deref()),
+            None => {
+                // Periodic: weighted mean everywhere.
+                let (mut num, mut den) = (0.0, 0.0);
+                for (i, &v) in sub.iter().enumerate() {
+                    let w = sub_w.as_ref().map_or(1.0, |ws| ws[i]);
+                    num += w * v;
+                    den += w;
+                }
+                let mean = if den > 0.0 {
+                    num / den
+                } else {
+                    sub.iter().sum::<f64>() / m as f64
+                };
+                vec![mean; m + 2]
+            }
+        };
+
+        // Scatter back: smoothed[0] is the pre-extension (position phase - p
+        // in the extended series, i.e. index phase in `out`), smoothed[1..=m]
+        // are the in-range cycles, smoothed[m+1] is the post-extension.
+        out[phase] = smoothed[0];
+        for (k, &t) in positions.iter().enumerate() {
+            out[p + t] = smoothed[k + 1];
+        }
+        let post_index = p + phase + m * p;
+        if post_index < out.len() {
+            out[post_index] = smoothed[m + 1];
+        }
+    }
+    out
+}
+
+/// Simple centered-by-construction moving average: output length is
+/// `input.len() - window + 1`.
+fn moving_average(y: &[f64], window: usize) -> Vec<f64> {
+    debug_assert!(window >= 1 && y.len() >= window);
+    let mut out = Vec::with_capacity(y.len() - window + 1);
+    let mut acc: f64 = y[..window].iter().sum();
+    out.push(acc / window as f64);
+    for t in window..y.len() {
+        acc += y[t] - y[t - window];
+        out.push(acc / window as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn moving_average_lengths_compose_to_n() {
+        let p = 24;
+        let n = 240;
+        let y = vec![1.0; n + 2 * p];
+        let l1 = moving_average(&y, p);
+        let l2 = moving_average(&l1, p);
+        let l3 = moving_average(&l2, 3);
+        assert_eq!(l3.len(), n);
+        assert!(l3.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn recovers_sine_seasonal() {
+        let n = 24 * 14;
+        let y: Vec<f64> = (0..n)
+            .map(|t| 2.0 + 0.5 * (t as f64 * TAU / 24.0).sin())
+            .collect();
+        let r = Stl::new(StlConfig::for_period(24)).decompose(&y).unwrap();
+        // Trend should be ~2, seasonal ~ the sine, remainder ~ 0.
+        for (t, &tr) in r.trend.iter().enumerate() {
+            assert!((tr - 2.0).abs() < 0.15, "trend at {t}: {tr}");
+        }
+        let rms =
+            (r.remainder.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
+        assert!(rms < 0.05, "remainder RMS {rms}");
+    }
+
+    #[test]
+    fn periodic_span_gives_constant_pattern() {
+        let n = 24 * 8;
+        let y: Vec<f64> = (0..n)
+            .map(|t| (t as f64 * TAU / 24.0).sin() + 0.001 * t as f64)
+            .collect();
+        let cfg = StlConfig {
+            seasonal_span: SeasonalSpan::Periodic,
+            ..StlConfig::for_period(24)
+        };
+        let r = Stl::new(cfg).decompose(&y).unwrap();
+        for t in 0..n - 24 {
+            assert!(
+                (r.seasonal[t] - r.seasonal[t + 24]).abs() < 1e-9,
+                "periodic seasonal must repeat exactly (t={t})"
+            );
+        }
+    }
+
+    #[test]
+    fn additivity_exact() {
+        let n = 24 * 6;
+        let y: Vec<f64> = (0..n).map(|t| (t % 24) as f64 + (t / 24) as f64).collect();
+        let r = Stl::new(StlConfig::for_period(24)).decompose(&y).unwrap();
+        for (t, &yt) in y.iter().enumerate() {
+            let recon = r.seasonal[t] + r.trend[t] + r.remainder[t];
+            assert!((recon - yt).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn robust_mode_downweights_spike() {
+        let n = 24 * 12;
+        let mut y: Vec<f64> = (0..n)
+            .map(|t| 1.0 + 0.3 * (t as f64 * TAU / 24.0).sin())
+            .collect();
+        y[100] += 25.0;
+        let robust_cfg = StlConfig {
+            robust_iterations: 2,
+            ..StlConfig::for_period(24)
+        };
+        let robust = Stl::new(robust_cfg).decompose(&y).unwrap();
+        assert!(
+            robust.weights[100] < 0.1,
+            "spike weight {}",
+            robust.weights[100]
+        );
+        // The spike should land mostly in the remainder, not the seasonal.
+        let phase = 100 % 24;
+        let mut seasonal_at_phase = Vec::new();
+        for c in 0..n / 24 {
+            seasonal_at_phase.push(robust.seasonal[c * 24 + phase]);
+        }
+        let spread = seasonal_at_phase
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - seasonal_at_phase
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+        assert!(spread < 2.0, "seasonal absorbed the spike: spread {spread}");
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        assert!(Stl::new(StlConfig::for_period(24))
+            .decompose(&[0.0; 40])
+            .is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the decomposition stack.
+
+use mstl::loess::{loess_smooth, LoessConfig};
+use mstl::{mstl_decompose, MstlConfig, SeasonalSpan, Stl, StlConfig};
+use proptest::prelude::*;
+
+fn series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// observed = trend + seasonal + remainder, exactly, for any input.
+    #[test]
+    fn stl_additivity(y in series(48, 160)) {
+        let r = Stl::new(StlConfig::for_period(12)).decompose(&y).unwrap();
+        for (t, &yt) in y.iter().enumerate() {
+            let recon = r.seasonal[t] + r.trend[t] + r.remainder[t];
+            prop_assert!((recon - yt).abs() < 1e-9);
+        }
+    }
+
+    /// MSTL additivity with two periods.
+    #[test]
+    fn mstl_additivity(y in series(96, 200)) {
+        let d = mstl_decompose(&y, &MstlConfig::new(vec![8, 24])).unwrap();
+        for (recon, orig) in d.reconstructed().iter().zip(&y) {
+            prop_assert!((recon - orig).abs() < 1e-9);
+        }
+    }
+
+    /// LOESS of a constant series is that constant, for any span/degree.
+    #[test]
+    fn loess_constant_fixed_point(c in -50.0f64..50.0, span in 3usize..40, degree in 0usize..=2) {
+        let y = vec![c; 50];
+        let s = loess_smooth(&y, LoessConfig::new(span.max(2), degree), None);
+        for v in s {
+            prop_assert!((v - c).abs() < 1e-7);
+        }
+    }
+
+    /// LOESS output is bounded by the data range (degree 0; kernel weights
+    /// are a convex combination).
+    #[test]
+    fn loess_degree0_bounded(y in series(10, 80), span in 3usize..30) {
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s = loess_smooth(&y, LoessConfig::new(span.max(2), 0), None);
+        for v in s {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// A periodic-span seasonal component repeats exactly with the period.
+    #[test]
+    fn periodic_seasonal_repeats(y in series(72, 150)) {
+        let cfg = StlConfig {
+            seasonal_span: SeasonalSpan::Periodic,
+            ..StlConfig::for_period(12)
+        };
+        let r = Stl::new(cfg).decompose(&y).unwrap();
+        for t in 0..y.len() - 12 {
+            prop_assert!((r.seasonal[t] - r.seasonal[t + 12]).abs() < 1e-9);
+        }
+    }
+
+    /// Robustness weights are in [0, 1].
+    #[test]
+    fn robust_weights_bounded(y in series(48, 120)) {
+        let cfg = StlConfig {
+            robust_iterations: 2,
+            ..StlConfig::for_period(12)
+        };
+        let r = Stl::new(cfg).decompose(&y).unwrap();
+        for w in &r.weights {
+            prop_assert!((0.0..=1.0).contains(w));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the discrete-event substrate.
+
+use netsim::{ConnectOutcome, EventQueue, Network, PathProfile, TcpConnector, MILLIS, SECONDS};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order.
+    #[test]
+    fn queue_orders_events(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last = 0;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Ties break by insertion order (determinism).
+    #[test]
+    fn queue_fifo_on_ties(n in 1usize..100) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(42, i);
+        }
+        for expect in 0..n {
+            let (_, got) = q.pop().unwrap();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// On a lossless reachable path, connect always succeeds exactly one RTT
+    /// after start; on an unreachable path it always fails, after a delay
+    /// that grows with the retry budget.
+    #[test]
+    fn connect_outcomes_are_lawful(
+        rtt_ms in 1u64..500,
+        retries in 0u32..6,
+        start in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let connector = TcpConnector { initial_rto: SECONDS, syn_retries: retries };
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        let net = Network::dual_stack_ms(rtt_ms);
+        match connector.connect(&net, &mut rng, "192.0.2.1".parse().unwrap(), start) {
+            ConnectOutcome::Connected { at, syn_count } => {
+                prop_assert_eq!(at, start + rtt_ms * MILLIS);
+                prop_assert_eq!(syn_count, 1);
+            }
+            ConnectOutcome::Failed { .. } => prop_assert!(false, "clean path must connect"),
+        }
+
+        let mut dead = Network::dual_stack_ms(rtt_ms);
+        dead.set_family_default(iputil::Family::V4, PathProfile::unreachable());
+        match connector.connect(&dead, &mut rng, "192.0.2.1".parse().unwrap(), start) {
+            ConnectOutcome::Failed { at, .. } => {
+                // Total wait: sum of RTOs 1+2+...+2^retries seconds.
+                let expected = start + ((1u64 << (retries + 1)) - 1) * SECONDS;
+                prop_assert_eq!(at, expected);
+            }
+            ConnectOutcome::Connected { .. } => {
+                prop_assert!(false, "unreachable path must not connect")
+            }
+        }
+    }
+
+    /// Path resolution: exact > prefix > family default, for arbitrary hosts
+    /// inside/outside the configured prefix.
+    #[test]
+    fn path_precedence(host in 0u8..255, in_prefix in any::<bool>()) {
+        let mut net = Network::dual_stack_ms(30);
+        net.set_prefix4("198.51.100.0/24".parse().unwrap(), PathProfile::healthy_ms(80));
+        let addr: std::net::IpAddr = if in_prefix {
+            format!("198.51.100.{host}").parse().unwrap()
+        } else {
+            format!("203.0.113.{host}").parse().unwrap()
+        };
+        let got = net.path_to(addr).rtt / MILLIS;
+        prop_assert_eq!(got, if in_prefix { 80 } else { 30 });
+        // Exact override beats the prefix.
+        net.set_path(addr, PathProfile::healthy_ms(5));
+        prop_assert_eq!(net.path_to(addr).rtt / MILLIS, 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tukey boxplot statistics.
+//!
+//! Figures 4 and 17 of the paper draw box-and-whisker plots: boxes span the
+//! interquartile range, whiskers extend to the most extreme observation
+//! within 1.5×IQR of the box, and everything beyond is an outlier dot.
+
+use crate::desc::quantile_sorted;
+
+/// The numbers a Tukey boxplot is drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotStats {
+    /// Number of observations.
+    pub n: usize,
+    /// First quartile (25th percentile, type-7).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile, type-7).
+    pub q3: f64,
+    /// Lower whisker: smallest observation `>= q1 - 1.5*IQR`.
+    pub whisker_low: f64,
+    /// Upper whisker: largest observation `<= q3 + 1.5*IQR`.
+    pub whisker_high: f64,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotStats {
+    /// Compute boxplot statistics; `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<BoxplotStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = *sorted
+            .iter()
+            .find(|&&x| x >= lo_fence)
+            .expect("q1 is within fences");
+        let whisker_high = *sorted
+            .iter()
+            .rev()
+            .find(|&&x| x <= hi_fence)
+            .expect("q3 is within fences");
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxplotStats {
+            n: sorted.len(),
+            q1,
+            median,
+            q3,
+            whisker_low,
+            whisker_high,
+            outliers,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Render a one-line ASCII boxplot over `[lo, hi]` with `width` cells —
+    /// used by the experiment binaries to print Fig 4/17 style panels.
+    pub fn ascii(&self, lo: f64, hi: f64, width: usize) -> String {
+        assert!(hi > lo && width >= 10);
+        let scale = |x: f64| -> usize {
+            let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            ((t * (width - 1) as f64).round()) as usize
+        };
+        let mut row = vec![' '; width];
+        let (w0, q1, md, q3, w1) = (
+            scale(self.whisker_low),
+            scale(self.q1),
+            scale(self.median),
+            scale(self.q3),
+            scale(self.whisker_high),
+        );
+        for cell in row.iter_mut().take(q1).skip(w0) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(w1 + 1).skip(q3) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(q3 + 1).skip(q1) {
+            *cell = '=';
+        }
+        row[md] = '|';
+        for &o in &self.outliers {
+            let i = scale(o);
+            if row[i] == ' ' {
+                row[i] = 'o';
+            }
+        }
+        row.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers() {
+        let b = BoxplotStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 5.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let b = BoxplotStats::of(&[1.0, 2.0, 2.5, 3.0, 3.5, 4.0, 100.0]).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_high <= 4.0 + 1.5 * b.iqr());
+    }
+
+    #[test]
+    fn singleton_degenerates_gracefully() {
+        let b = BoxplotStats::of(&[7.0]).unwrap();
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.whisker_low, 7.0);
+        assert_eq!(b.whisker_high, 7.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxplotStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn ascii_renders_within_width() {
+        let b = BoxplotStats::of(&[0.1, 0.2, 0.3, 0.4, 0.9]).unwrap();
+        let s = b.ascii(0.0, 1.0, 40);
+        assert_eq!(s.chars().count(), 40);
+        assert!(s.contains('|'));
+        assert!(s.contains('='));
+    }
+}

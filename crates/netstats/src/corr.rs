@@ -1,0 +1,114 @@
+//! Pearson and Spearman correlation.
+//!
+//! §5 of the paper observes that *"ease of enabling IPv6 in the cloud is
+//! correlated with tenant IPv6 adoption rates"*. The ablation experiments
+//! quantify that with Spearman's rank correlation between a provider's
+//! policy ease score and its measured tenant adoption.
+
+/// Pearson product-moment correlation. `None` if fewer than two pairs or a
+/// zero-variance input.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        assert!(!x.is_nan() && !y.is_nan(), "NaN in correlation input");
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation with midrank tie handling.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let rx = midranks(xs);
+    let ry = midranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Assign 1-based midranks to a sample (ties share the average rank).
+pub fn midranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inverse() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [9.0, 5.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_spearman_perfect() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        let p = pearson(&xs, &ys).unwrap();
+        let s = spearman(&xs, &ys).unwrap();
+        assert!(p < 1.0);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_none() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn midranks_with_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // IQ vs hours of TV (Wikipedia's worked Spearman example, rho ≈ -0.1757).
+        let iq = [106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0];
+        let tv = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let s = spearman(&iq, &tv).unwrap();
+        assert!((s - (-29.0 / 165.0)).abs() < 1e-9, "rho = {s}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Descriptive statistics and empirical CDFs.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n-1 denominator). Returns `None` when fewer
+/// than two observations are available.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Type-7 (linear interpolation) quantile of *unsorted* data, the default of
+/// R and NumPy. `q` must be in `[0, 1]`. Returns `None` for empty input.
+///
+/// ```
+/// use netstats::desc::quantile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Type-7 quantile of data already sorted ascending.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `n < 2`).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (type-7).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (type-7).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Some(Summary {
+            n: sorted.len(),
+            mean: mean(&sorted).expect("non-empty"),
+            std: sample_std(&sorted).unwrap_or(0.0),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// An empirical cumulative distribution function.
+///
+/// Construction sorts the sample once; evaluation is `O(log n)`. The
+/// `points` iterator yields the staircase in plot-ready form, which is how
+/// the experiment binaries emit every CDF figure.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (NaN values are rejected with a panic — they
+    /// indicate a bug upstream, not a property of the data).
+    pub fn new(mut xs: Vec<f64>) -> Ecdf {
+        assert!(
+            xs.iter().all(|x| !x.is_nan()),
+            "NaN fed to Ecdf — upstream bug"
+        );
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+        Ecdf { sorted: xs }
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample was empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of observations `<= x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function), type-7 interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(quantile_sorted(&self.sorted, q))
+        }
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Plot-ready `(x, F(x))` staircase points, one per observation.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+
+    /// Downsample the staircase to at most `k` evenly spaced points
+    /// (always including the last), for compact textual figures.
+    pub fn sampled_points(&self, k: usize) -> Vec<(f64, f64)> {
+        let pts: Vec<(f64, f64)> = self.points().collect();
+        if pts.len() <= k || k == 0 {
+            return pts;
+        }
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let idx = i * (pts.len() - 1) / (k - 1);
+            out.push(pts[idx]);
+        }
+        out.dedup_by(|a, b| a == b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(sample_std(&[1.0]), None);
+        let s = sample_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantiles_match_r_type7() {
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(quantile(&xs, 0.5), Some(35.0));
+        // R: quantile(c(15,20,35,40,50), .25, type=7) == 20
+        assert_eq!(quantile(&xs, 0.25), Some(20.0));
+        // R: quantile(..., .4, type=7) == 29
+        assert!((quantile(&xs, 0.4).unwrap() - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_singleton_and_bounds() {
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_bad_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert!(Summary::of(&[]).is_none());
+        let single = Summary::of(&[9.0]).unwrap();
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn ecdf_step_function() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.n(), 4);
+        assert_eq!(e.fraction_at(0.5), 0.0);
+        assert_eq!(e.fraction_at(1.0), 0.25);
+        assert_eq!(e.fraction_at(2.0), 0.75);
+        assert_eq!(e.fraction_at(2.5), 0.75);
+        assert_eq!(e.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_and_points() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        let pts: Vec<_> = e.points().collect();
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn ecdf_sampling() {
+        let e = Ecdf::new((0..100).map(|i| i as f64).collect());
+        let pts = e.sampled_points(5);
+        assert!(pts.len() <= 5);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ecdf_rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

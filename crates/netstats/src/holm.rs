@@ -1,0 +1,123 @@
+//! Holm-Bonferroni step-down correction for multiple comparisons.
+//!
+//! Fig 12 of the paper tests 67 cloud pairs simultaneously and controls the
+//! family-wise error rate at α = 0.05 with Holm's sequentially rejective
+//! procedure (Holm, 1979).
+
+/// Outcome of the Holm-Bonferroni procedure for one hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HolmOutcome {
+    /// The raw p-value as supplied.
+    pub p_raw: f64,
+    /// The Holm-adjusted p-value (monotone, capped at 1).
+    pub p_adjusted: f64,
+    /// Whether the hypothesis is rejected at the supplied α.
+    pub reject: bool,
+}
+
+/// Apply Holm-Bonferroni to a family of raw p-values at significance `alpha`.
+/// Results are returned in the *input order*.
+///
+/// ```
+/// use netstats::holm::holm_bonferroni;
+/// let out = holm_bonferroni(&[0.01, 0.04, 0.03, 0.005], 0.05);
+/// assert!(out[3].reject); // smallest p, compared against alpha/4
+/// assert!(!out[1].reject); // 0.04 fails after the step-down
+/// ```
+///
+/// # Panics
+/// Panics on NaN p-values or values outside `[0, 1]`.
+pub fn holm_bonferroni(p_values: &[f64], alpha: f64) -> Vec<HolmOutcome> {
+    for &p in p_values {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p-value {p} outside [0,1] (or NaN)"
+        );
+    }
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| p_values[i].partial_cmp(&p_values[j]).expect("checked"));
+
+    let mut out = vec![
+        HolmOutcome {
+            p_raw: 0.0,
+            p_adjusted: 0.0,
+            reject: false,
+        };
+        m
+    ];
+    let mut running_max = 0.0f64;
+    let mut blocked = false;
+    for (rank, &i) in order.iter().enumerate() {
+        let adj = ((m - rank) as f64 * p_values[i]).min(1.0);
+        running_max = running_max.max(adj);
+        // Step-down: once one hypothesis fails, all later (larger-p) ones fail.
+        let reject_here = !blocked && p_values[i] <= alpha / (m - rank) as f64;
+        if !reject_here {
+            blocked = true;
+        }
+        out[i] = HolmOutcome {
+            p_raw: p_values[i],
+            p_adjusted: running_max,
+            reject: reject_here,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic example: p = [0.01, 0.04, 0.03, 0.005], m=4, alpha=0.05.
+        // Sorted: 0.005 (<= .05/4 = .0125 ok), 0.01 (<= .05/3 = .0167 ok),
+        //         0.03 (<= .05/2 = .025 FAIL), 0.04 blocked.
+        let out = holm_bonferroni(&[0.01, 0.04, 0.03, 0.005], 0.05);
+        assert!(out[0].reject);
+        assert!(!out[1].reject);
+        assert!(!out[2].reject);
+        assert!(out[3].reject);
+    }
+
+    #[test]
+    fn adjusted_p_values_monotone() {
+        let ps = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06];
+        let out = holm_bonferroni(&ps, 0.05);
+        // Adjusted values in sorted-p order must be non-decreasing.
+        let mut sorted: Vec<_> = out.iter().map(|o| (o.p_raw, o.p_adjusted)).collect();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in sorted.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // reject iff adjusted <= alpha for Holm (equivalent formulations).
+        for o in &out {
+            assert_eq!(o.reject, o.p_adjusted <= 0.05, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn empty_family() {
+        assert!(holm_bonferroni(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn single_hypothesis_is_plain_test() {
+        let out = holm_bonferroni(&[0.04], 0.05);
+        assert!(out[0].reject);
+        assert_eq!(out[0].p_adjusted, 0.04);
+    }
+
+    #[test]
+    fn all_significant() {
+        let out = holm_bonferroni(&[1e-5, 1e-6, 1e-7], 0.05);
+        assert!(out.iter().all(|o| o.reject));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_p() {
+        let _ = holm_bonferroni(&[1.2], 0.05);
+    }
+}

@@ -1,0 +1,35 @@
+//! # netstats — statistics for measurement studies
+//!
+//! The statistical toolkit behind the `ipv6view` analyses:
+//!
+//! * [`desc`] — descriptive statistics: mean/standard deviation, type-7
+//!   quantiles, five-number summaries, and empirical CDFs ([`desc::Ecdf`])
+//!   used by every CDF figure in the paper (Fig 1, 3, 7, 8, 10, 16).
+//! * [`boxplot`] — Tukey boxplot statistics (IQR box, 1.5×IQR whiskers,
+//!   outliers) for the per-AS and per-domain figures (Fig 4, 17).
+//! * [`wilcoxon`] — the two-sided Wilcoxon signed-rank test with midrank tie
+//!   handling, exact small-sample distribution, normal approximation with
+//!   tie correction, and the signed effect size `r = z/√n` used by the cloud
+//!   pairwise comparison heatmap (Fig 12).
+//! * [`holm`] — Holm-Bonferroni step-down correction for families of
+//!   hypotheses (Fig 12 applies it at α = 0.05).
+//! * [`corr`] — Pearson and Spearman correlation (§5's "ease of enabling
+//!   IPv6 is correlated with tenant adoption" claim).
+//!
+//! All functions are pure and deterministic; `NaN` inputs are rejected
+//! explicitly rather than silently propagated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod corr;
+pub mod desc;
+pub mod holm;
+pub mod wilcoxon;
+
+pub use boxplot::BoxplotStats;
+pub use corr::{pearson, spearman};
+pub use desc::{mean, quantile, sample_std, Ecdf, Summary};
+pub use holm::{holm_bonferroni, HolmOutcome};
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,326 @@
+//! Two-sided Wilcoxon signed-rank test.
+//!
+//! §5.2 of the paper compares IPv6 readiness of cloud pairs over their shared
+//! multi-cloud tenants with a two-sided Wilcoxon signed-rank test, reporting
+//! the signed effect size `r ∈ [-1, 1]` and applying Holm-Bonferroni across
+//! the 67 comparable pairs. Cloud-tenant data is full of ties (per-tenant
+//! IPv6-full fractions are frequently exactly 0 or 1), so midrank tie
+//! handling and the tie-corrected variance matter here, not just textbook
+//! formulas.
+//!
+//! Zero differences are dropped (Wilcoxon's original treatment), matching
+//! the paper's requirement that pairs have "at least two shared tenants
+//! where the two clouds differ".
+
+/// Result of a two-sided Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// Number of non-zero differences actually tested.
+    pub n: usize,
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Standardized test statistic (continuity-corrected in the normal
+    /// approximation; derived from the exact p-value in the exact branch).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Signed effect size `r = z/√n`, clamped to `[-1, 1]`. Positive means
+    /// the first sample tends to exceed the second.
+    pub effect_size: f64,
+    /// Whether the exact permutation distribution was used (small n, no
+    /// ties) rather than the normal approximation.
+    pub exact: bool,
+}
+
+/// Largest `n` for which the exact null distribution is enumerated.
+const EXACT_N_MAX: usize = 25;
+
+/// Run the two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Returns `None` when fewer than two non-zero differences remain — the
+/// same "not comparable" criterion the paper uses (hatched cells in Fig 12).
+///
+/// ```
+/// use netstats::wilcoxon::wilcoxon_signed_rank;
+/// let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+/// let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+/// let r = wilcoxon_signed_rank(&a, &b).unwrap();
+/// assert_eq!(r.n, 9); // one zero difference dropped
+/// assert!(r.p_value > 0.05); // no significant difference in this classic sample
+/// ```
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            assert!(!x.is_nan() && !y.is_nan(), "NaN in Wilcoxon input");
+            x - y
+        })
+        .filter(|d| *d != 0.0)
+        .collect();
+    wilcoxon_on_diffs(&diffs)
+}
+
+/// Run the test directly on a sequence of (already non-zero filtered or not)
+/// differences. Zeros are dropped here too.
+pub fn wilcoxon_on_diffs(diffs: &[f64]) -> Option<WilcoxonResult> {
+    let diffs: Vec<f64> = diffs.iter().copied().filter(|d| *d != 0.0).collect();
+    let n = diffs.len();
+    if n < 2 {
+        return None;
+    }
+
+    // Midranks over |d|.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        diffs[i]
+            .abs()
+            .partial_cmp(&diffs[j].abs())
+            .expect("no NaN here")
+    });
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_groups: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[idx[j + 1]].abs() == diffs[idx[i]].abs() {
+            j += 1;
+        }
+        let midrank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        tie_groups.push(j - i + 1);
+        i = j + 1;
+    }
+
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+
+    let has_ties = tie_groups.iter().any(|&t| t > 1);
+    let (p_value, z, exact) = if n <= EXACT_N_MAX && !has_ties {
+        let p = exact_two_sided_p(n, w_plus.min(w_minus));
+        // Back out a z-score from the exact p so effect sizes stay
+        // comparable across the exact and approximate branches.
+        let z_mag = inverse_normal_upper(p / 2.0);
+        let sign = if w_plus >= w_minus { 1.0 } else { -1.0 };
+        (p, sign * z_mag, true)
+    } else {
+        let mean = total / 2.0;
+        let nf = n as f64;
+        let tie_term: f64 = tie_groups
+            .iter()
+            .map(|&t| {
+                let t = t as f64;
+                t * t * t - t
+            })
+            .sum::<f64>()
+            / 48.0;
+        let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term;
+        if var <= 0.0 {
+            // All differences identical in magnitude and sign-balanced in a
+            // degenerate way; report no evidence.
+            return Some(WilcoxonResult {
+                n,
+                w_plus,
+                w_minus,
+                z: 0.0,
+                p_value: 1.0,
+                effect_size: 0.0,
+                exact: false,
+            });
+        }
+        let sd = var.sqrt();
+        // Continuity correction towards the mean.
+        let delta = w_plus - mean;
+        let cc = if delta > 0.0 {
+            -0.5
+        } else if delta < 0.0 {
+            0.5
+        } else {
+            0.0
+        };
+        let z = (delta + cc) / sd;
+        let p = (2.0 * normal_sf(z.abs())).min(1.0);
+        (p, z, false)
+    };
+
+    let effect_size = (z / (n as f64).sqrt()).clamp(-1.0, 1.0);
+    Some(WilcoxonResult {
+        n,
+        w_plus,
+        w_minus,
+        z,
+        p_value,
+        effect_size,
+        exact,
+    })
+}
+
+/// Exact two-sided p-value: `P(min(W+, W-) <= w_obs)` under the null, via
+/// the standard subset-sum count over ranks `1..=n`.
+fn exact_two_sided_p(n: usize, w_small: f64) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[w] = number of subsets of {1..n} with rank sum w.
+    let mut counts = vec![0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for r in 1..=n {
+        for w in (r..=max_sum).rev() {
+            counts[w] += counts[w - r];
+        }
+    }
+    let total: f64 = 2f64.powi(n as i32);
+    let w_obs = w_small.floor() as usize; // no ties => integer ranks
+    let tail: f64 = counts[..=w_obs.min(max_sum)].iter().sum();
+    // Two-sided: double the smaller tail (distribution is symmetric).
+    (2.0 * tail / total).min(1.0)
+}
+
+/// Standard normal survival function `P(Z > z)` via `erfc`.
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes rational approximation,
+/// |error| < 1.2e-7 — plenty for p-values used at α = 0.05).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Inverse of the standard normal upper tail: find `z` with `P(Z > z) = p`.
+/// Bisection on the monotone survival function; `p` clamped away from 0/1.
+fn inverse_normal_upper(p: f64) -> f64 {
+    let p = p.clamp(1e-300, 1.0 - 1e-12);
+    if p >= 0.5 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_sf(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_textbook_sample() {
+        let a = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let b = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.n, 9);
+        assert!((r.w_plus - 27.0).abs() < 1e-9);
+        assert!((r.w_minus - 18.0).abs() < 1e-9);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!(r.effect_size > 0.0);
+    }
+
+    #[test]
+    fn all_positive_differences_are_significant() {
+        let a: Vec<f64> = (1..=12).map(|i| 2.0 * i as f64).collect();
+        let b: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.exact);
+        // Exact two-sided p = 2 / 2^12.
+        assert!((r.p_value - 2.0 / 4096.0).abs() < 1e-12, "p={}", r.p_value);
+        assert!(r.effect_size > 0.8);
+    }
+
+    #[test]
+    fn sign_flip_negates_effect() {
+        let a = [5.0, 7.0, 9.0, 11.0, 6.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r1 = wilcoxon_signed_rank(&a, &b).unwrap();
+        let r2 = wilcoxon_signed_rank(&b, &a).unwrap();
+        assert!((r1.effect_size + r2.effect_size).abs() < 1e-9);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        assert_eq!(r1.w_plus, r2.w_minus);
+    }
+
+    #[test]
+    fn zeros_are_dropped_and_small_n_is_none() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!(wilcoxon_signed_rank(&a, &b).is_none());
+        let c = [1.0, 2.0, 4.0];
+        assert!(wilcoxon_signed_rank(&a, &c).is_none(), "only one non-zero");
+    }
+
+    #[test]
+    fn heavy_ties_use_normal_approximation() {
+        // Cloud-style data: fractions that are mostly 0 or 1.
+        let a: Vec<f64> = (0..40).map(|i| if i % 3 == 0 { 0.0 } else { 1.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|_| 0.0).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(!r.exact);
+        assert!(r.p_value < 0.001);
+        assert!(r.effect_size > 0.5);
+    }
+
+    #[test]
+    fn symmetric_sample_has_no_effect() {
+        let a = [1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0];
+        let r = wilcoxon_on_diffs(&a).unwrap();
+        assert!((r.w_plus - r.w_minus).abs() < 1e-9);
+        assert!(r.p_value > 0.9);
+        assert_eq!(r.effect_size, 0.0);
+    }
+
+    #[test]
+    fn normal_sf_sanity() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.959964) - 0.025).abs() < 1e-5);
+        assert!((normal_sf(-1.959964) - 0.975).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_normal_roundtrip() {
+        for p in [0.4, 0.1, 0.025, 0.001, 1e-6] {
+            let z = inverse_normal_upper(p);
+            assert!((normal_sf(z) - p).abs() / p < 1e-3, "p={p} z={z}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for netstats.
+
+use netstats::corr::{midranks, spearman};
+use netstats::desc::{quantile, Ecdf};
+use netstats::holm::holm_bonferroni;
+use netstats::wilcoxon::wilcoxon_on_diffs;
+use netstats::BoxplotStats;
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in finite_vec(60), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// The ECDF is a valid distribution function: monotone, 0 below min,
+    /// 1 at and above max, and quantile() inverts it approximately.
+    #[test]
+    fn ecdf_is_distribution(xs in finite_vec(60)) {
+        let e = Ecdf::new(xs.clone());
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.fraction_at(min - 1.0), 0.0);
+        prop_assert_eq!(e.fraction_at(max), 1.0);
+        let mut prev = 0.0;
+        for (_, f) in e.points() {
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    /// Boxplot invariants: quartiles ordered, whiskers within the fences and
+    /// the data range, outliers strictly outside the whiskers. (Note the
+    /// lower whisker may legitimately exceed Q1 when no observation falls
+    /// between the fence and Q1 — Tukey's rule, same as matplotlib.)
+    #[test]
+    fn boxplot_invariants(xs in finite_vec(60)) {
+        let b = BoxplotStats::of(&xs).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.whisker_low >= min - 1e-9);
+        prop_assert!(b.whisker_high <= max + 1e-9);
+        prop_assert!(b.whisker_low >= b.q1 - 1.5 * b.iqr() - 1e-9);
+        prop_assert!(b.whisker_high <= b.q3 + 1.5 * b.iqr() + 1e-9);
+        for &o in &b.outliers {
+            prop_assert!(o < b.whisker_low || o > b.whisker_high);
+        }
+        prop_assert_eq!(b.n, xs.len());
+    }
+
+    /// Wilcoxon: flipping the sign of every difference negates the effect and
+    /// keeps the p-value identical.
+    #[test]
+    fn wilcoxon_sign_symmetry(diffs in proptest::collection::vec(-100f64..100.0, 2..40)) {
+        let flipped: Vec<f64> = diffs.iter().map(|d| -d).collect();
+        match (wilcoxon_on_diffs(&diffs), wilcoxon_on_diffs(&flipped)) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+                prop_assert!((a.effect_size + b.effect_size).abs() < 1e-9);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one side degenerate, the other not"),
+        }
+    }
+
+    /// Wilcoxon p-values live in (0, 1] and effect sizes in [-1, 1].
+    #[test]
+    fn wilcoxon_ranges(diffs in proptest::collection::vec(-100f64..100.0, 2..60)) {
+        if let Some(r) = wilcoxon_on_diffs(&diffs) {
+            prop_assert!(r.p_value > 0.0 && r.p_value <= 1.0, "p={}", r.p_value);
+            prop_assert!((-1.0..=1.0).contains(&r.effect_size));
+            let total = r.n as f64 * (r.n as f64 + 1.0) / 2.0;
+            prop_assert!((r.w_plus + r.w_minus - total).abs() < 1e-6);
+        }
+    }
+
+    /// Holm: rejections form a prefix of the sorted-p order, and every
+    /// rejected p is also rejected by plain Bonferroni at the same alpha
+    /// only if Bonferroni rejects fewer or equal hypotheses.
+    #[test]
+    fn holm_dominates_bonferroni(ps in proptest::collection::vec(0.0f64..=1.0, 1..30)) {
+        let alpha = 0.05;
+        let holm = holm_bonferroni(&ps, alpha);
+        let m = ps.len() as f64;
+        for (i, o) in holm.iter().enumerate() {
+            // Bonferroni rejection implies Holm rejection.
+            if ps[i] <= alpha / m {
+                prop_assert!(o.reject, "Bonferroni rejected but Holm did not");
+            }
+            prop_assert!((0.0..=1.0).contains(&o.p_adjusted));
+        }
+    }
+
+    /// Midranks are a permutation-with-ties of 1..=n (they sum to n(n+1)/2).
+    #[test]
+    fn midrank_sum(xs in finite_vec(50)) {
+        let r = midranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Spearman is invariant under strictly monotone transforms of either
+    /// variable.
+    #[test]
+    fn spearman_monotone_invariance(pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xt: Vec<f64> = xs.iter().map(|x| x.exp().min(1e300)).collect();
+        match (spearman(&xs, &ys), spearman(&xt, &ys)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+            (None, None) => {}
+            _ => prop_assert!(false, "transform changed degeneracy"),
+        }
+    }
+}

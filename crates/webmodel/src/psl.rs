@@ -1,0 +1,253 @@
+//! Public Suffix List matching and eTLD+1 extraction.
+//!
+//! Implements the [publicsuffix.org](https://publicsuffix.org) algorithm:
+//! exact rules, wildcard rules (`*.ck`), and exception rules (`!www.ck`).
+//! The longest matching rule wins; exception rules beat everything; names
+//! with no matching rule fall back to the implicit `*` rule (the TLD is the
+//! public suffix).
+//!
+//! The embedded rule set covers the common ICANN suffixes appearing in the
+//! paper's domain tables (appendix D includes `net.il`, `com.au`, `com.br`,
+//! `co.uk`-style names) plus the reserved `test`/`example` TLDs used by the
+//! synthetic world.
+
+use dnssim::Name;
+use std::collections::HashSet;
+
+/// Built-in ICANN-style suffix rules (subset sufficient for the suite).
+const BUILTIN_RULES: &[&str] = &[
+    // Generic TLDs.
+    "com", "net", "org", "io", "info", "biz", "dev", "app", "edu", "gov", "mil", "int",
+    "cloud", "online", "site", "store", "tech", "xyz", "top", "club", "tv", "me", "cc",
+    "us", "eu",
+    // Reserved for testing/documentation (RFC 2606) — the synthetic world
+    // lives here.
+    "test", "example", "invalid", "localhost",
+    // Country codes with common second-level registrations.
+    "uk", "co.uk", "org.uk", "ac.uk", "gov.uk",
+    "au", "com.au", "net.au", "org.au",
+    "br", "com.br", "net.br",
+    "jp", "co.jp", "ne.jp", "or.jp",
+    "cn", "com.cn", "net.cn",
+    "in", "co.in", "net.in",
+    "il", "co.il", "net.il",
+    "nz", "co.nz", "net.nz",
+    "za", "co.za",
+    "kr", "co.kr",
+    "tw", "com.tw",
+    "hk", "com.hk",
+    "sg", "com.sg",
+    "th", "co.th",
+    "my", "com.my",
+    "mx", "com.mx",
+    "ar", "com.ar",
+    "vn", "com.vn",
+    "id", "co.id",
+    "ph", "com.ph",
+    "tr", "com.tr",
+    "ru", "de", "fr", "nl", "es", "it", "pl", "se", "no", "fi", "dk", "gr", "pt", "hu",
+    "be", "at", "ch", "cz", "ro", "sk", "ca", "ie", "lu",
+    // Wildcard + exception examples from the PSL spec (kept for fidelity and
+    // exercised by tests).
+    "*.ck", "!www.ck",
+];
+
+/// A compiled Public Suffix List.
+#[derive(Debug, Clone)]
+pub struct Psl {
+    exact: HashSet<String>,
+    wildcard: HashSet<String>, // stored without the "*." prefix
+    exception: HashSet<String>, // stored without the "!" prefix
+}
+
+impl Psl {
+    /// Compile a rule list (PSL syntax: one rule per string).
+    pub fn new<'a, I: IntoIterator<Item = &'a str>>(rules: I) -> Psl {
+        let mut psl = Psl {
+            exact: HashSet::new(),
+            wildcard: HashSet::new(),
+            exception: HashSet::new(),
+        };
+        for rule in rules {
+            let rule = rule.trim().to_ascii_lowercase();
+            if rule.is_empty() {
+                continue;
+            }
+            if let Some(rest) = rule.strip_prefix('!') {
+                psl.exception.insert(rest.to_string());
+            } else if let Some(rest) = rule.strip_prefix("*.") {
+                psl.wildcard.insert(rest.to_string());
+            } else {
+                psl.exact.insert(rule);
+            }
+        }
+        psl
+    }
+
+    /// The built-in rule set.
+    pub fn builtin() -> Psl {
+        Psl::new(BUILTIN_RULES.iter().copied())
+    }
+
+    /// Length (in labels) of the public suffix of `name`.
+    fn suffix_label_count(&self, name: &Name) -> usize {
+        let labels: Vec<&str> = name.labels().collect();
+        let n = labels.len();
+        let mut best = 1; // implicit "*" rule: the TLD is a public suffix
+        for start in 0..n {
+            let candidate = labels[start..].join(".");
+            // Exception rule: the public suffix is the candidate *minus* its
+            // leftmost label.
+            if self.exception.contains(&candidate) {
+                return n - start - 1;
+            }
+            if self.exact.contains(&candidate) {
+                best = best.max(n - start);
+            }
+            // Wildcard rule "*.X" matches "<label>.X".
+            if start + 1 < n {
+                let tail = labels[start + 1..].join(".");
+                if self.wildcard.contains(&tail) {
+                    best = best.max(n - start);
+                }
+            }
+        }
+        best
+    }
+
+    /// The public suffix of `name` (e.g. `co.uk` for `www.example.co.uk`).
+    pub fn public_suffix(&self, name: &Name) -> Name {
+        let count = self.suffix_label_count(name);
+        name.suffix(count)
+    }
+
+    /// The registrable domain (eTLD+1): the public suffix plus one label.
+    /// `None` when the name *is* a public suffix (or shorter).
+    pub fn etld_plus_one(&self, name: &Name) -> Option<Name> {
+        let count = self.suffix_label_count(name);
+        if name.label_count() <= count {
+            return None;
+        }
+        Some(name.suffix(count + 1))
+    }
+
+    /// Are two names part of the same registrable domain? Names that lack a
+    /// registrable domain (bare suffixes) never match anything.
+    pub fn same_site(&self, a: &Name, b: &Name) -> bool {
+        match (self.etld_plus_one(a), self.etld_plus_one(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+impl Default for Psl {
+    fn default() -> Self {
+        Psl::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> Psl {
+        Psl::builtin()
+    }
+
+    #[test]
+    fn simple_tld() {
+        let p = psl();
+        assert_eq!(p.public_suffix(&"www.example.com".into()).as_str(), "com");
+        assert_eq!(
+            p.etld_plus_one(&"www.example.com".into()).unwrap().as_str(),
+            "example.com"
+        );
+        assert_eq!(
+            p.etld_plus_one(&"a.b.c.example.com".into()).unwrap().as_str(),
+            "example.com"
+        );
+    }
+
+    #[test]
+    fn second_level_suffixes() {
+        let p = psl();
+        assert_eq!(
+            p.public_suffix(&"www.example.co.uk".into()).as_str(),
+            "co.uk"
+        );
+        assert_eq!(
+            p.etld_plus_one(&"www.example.co.uk".into()).unwrap().as_str(),
+            "example.co.uk"
+        );
+        // The paper's appendix D has netvision.net.il.
+        assert_eq!(
+            p.etld_plus_one(&"dialup.netvision.net.il".into())
+                .unwrap()
+                .as_str(),
+            "netvision.net.il"
+        );
+    }
+
+    #[test]
+    fn bare_suffix_has_no_etld_plus_one() {
+        let p = psl();
+        assert_eq!(p.etld_plus_one(&"com".into()), None);
+        assert_eq!(p.etld_plus_one(&"co.uk".into()), None);
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_star_rule() {
+        let p = psl();
+        assert_eq!(
+            p.public_suffix(&"foo.bar.unknowntld".into()).as_str(),
+            "unknowntld"
+        );
+        assert_eq!(
+            p.etld_plus_one(&"foo.bar.unknowntld".into()).unwrap().as_str(),
+            "bar.unknowntld"
+        );
+    }
+
+    #[test]
+    fn wildcard_and_exception_rules() {
+        let p = psl();
+        // *.ck: every <label>.ck is a public suffix...
+        assert_eq!(
+            p.etld_plus_one(&"shop.site.whatever.ck".into()).unwrap().as_str(),
+            "site.whatever.ck"
+        );
+        // ...except www.ck (exception rule), which is registrable itself.
+        assert_eq!(
+            p.etld_plus_one(&"www.ck".into()).unwrap().as_str(),
+            "www.ck"
+        );
+        assert_eq!(
+            p.etld_plus_one(&"foo.www.ck".into()).unwrap().as_str(),
+            "www.ck"
+        );
+    }
+
+    #[test]
+    fn same_site_relation() {
+        let p = psl();
+        assert!(p.same_site(&"a.example.com".into(), &"b.example.com".into()));
+        assert!(p.same_site(&"example.com".into(), &"cdn.example.com".into()));
+        assert!(!p.same_site(&"a.example.com".into(), &"a.example.org".into()));
+        assert!(!p.same_site(&"a.foo.co.uk".into(), &"a.bar.co.uk".into()));
+        assert!(!p.same_site(&"com".into(), &"com".into()));
+    }
+
+    #[test]
+    fn custom_rules() {
+        let p = Psl::new(["platform.test", "*.hosted.test"]);
+        assert_eq!(
+            p.etld_plus_one(&"tenant1.platform.test".into()).unwrap().as_str(),
+            "tenant1.platform.test"
+        );
+        assert_eq!(
+            p.etld_plus_one(&"x.y.eu.hosted.test".into()).unwrap().as_str(),
+            "y.eu.hosted.test"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Resource types and third-party domain categories.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of an embedded resource, matching the axes of the paper's
+/// Fig 18 heatmap (browser request types as recorded by OpenWPM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// Images (`<img>`, CSS backgrounds) — the most common IPv4-only type.
+    Image,
+    /// XHR / fetch calls.
+    XmlHttpRequest,
+    /// Embedded frames.
+    SubFrame,
+    /// JavaScript.
+    Script,
+    /// Tracking beacons.
+    Beacon,
+    /// Audio/video.
+    Media,
+    /// Web fonts.
+    Font,
+    /// Stylesheets.
+    Stylesheet,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    /// All types in Fig 18 column order.
+    pub fn all() -> [ResourceType; 9] {
+        [
+            ResourceType::Image,
+            ResourceType::XmlHttpRequest,
+            ResourceType::SubFrame,
+            ResourceType::Script,
+            ResourceType::Beacon,
+            ResourceType::Media,
+            ResourceType::Font,
+            ResourceType::Stylesheet,
+            ResourceType::Other,
+        ]
+    }
+
+    /// OpenWPM-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceType::Image => "image",
+            ResourceType::XmlHttpRequest => "xmlhttprequest",
+            ResourceType::SubFrame => "sub_frame",
+            ResourceType::Script => "script",
+            ResourceType::Beacon => "beacon",
+            ResourceType::Media => "media",
+            ResourceType::Font => "font",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Other => "other",
+        }
+    }
+}
+
+/// VirusTotal-style category of a third-party domain (Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DomainCategory {
+    /// Advertising networks.
+    Ads,
+    /// "Information technology" (CDN-adjacent infrastructure, APIs).
+    InformationTechnology,
+    /// User tracking / data brokers.
+    Trackers,
+    /// Content delivery.
+    ContentDelivery,
+    /// Analytics platforms.
+    Analytics,
+    /// Social media widgets.
+    SocialMedia,
+    /// Web fonts and asset libraries.
+    Assets,
+    /// Anything else.
+    Other,
+}
+
+impl DomainCategory {
+    /// All categories, Fig 9 order first.
+    pub fn all() -> [DomainCategory; 8] {
+        [
+            DomainCategory::Ads,
+            DomainCategory::InformationTechnology,
+            DomainCategory::Trackers,
+            DomainCategory::ContentDelivery,
+            DomainCategory::Analytics,
+            DomainCategory::SocialMedia,
+            DomainCategory::Assets,
+            DomainCategory::Other,
+        ]
+    }
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DomainCategory::Ads => "ads",
+            DomainCategory::InformationTechnology => "information technology",
+            DomainCategory::Trackers => "trackers",
+            DomainCategory::ContentDelivery => "content delivery",
+            DomainCategory::Analytics => "analytics",
+            DomainCategory::SocialMedia => "social media",
+            DomainCategory::Assets => "assets",
+            DomainCategory::Other => "other",
+        }
+    }
+
+    /// Typical resource types served by domains of this category, with
+    /// relative weights — drives the Fig 18 heatmap shape (ad networks serve
+    /// images/sub_frames/scripts; analytics serve scripts/XHR/beacons; ...).
+    pub fn resource_profile(self) -> &'static [(ResourceType, f64)] {
+        use DomainCategory as C;
+        use ResourceType as R;
+        match self {
+            C::Ads => &[
+                (R::Image, 0.35),
+                (R::Script, 0.2),
+                (R::SubFrame, 0.2),
+                (R::XmlHttpRequest, 0.2),
+                (R::Media, 0.05),
+            ],
+            C::InformationTechnology => &[
+                (R::XmlHttpRequest, 0.4),
+                (R::Script, 0.3),
+                (R::Image, 0.2),
+                (R::Other, 0.1),
+            ],
+            C::Trackers => &[
+                (R::Image, 0.35),
+                (R::XmlHttpRequest, 0.3),
+                (R::Script, 0.2),
+                (R::Beacon, 0.15),
+            ],
+            C::ContentDelivery => &[
+                (R::Image, 0.4),
+                (R::Script, 0.25),
+                (R::Stylesheet, 0.15),
+                (R::Font, 0.1),
+                (R::Media, 0.1),
+            ],
+            C::Analytics => &[
+                (R::Script, 0.4),
+                (R::XmlHttpRequest, 0.3),
+                (R::Beacon, 0.2),
+                (R::Image, 0.1),
+            ],
+            C::SocialMedia => &[
+                (R::SubFrame, 0.4),
+                (R::Script, 0.3),
+                (R::Image, 0.3),
+            ],
+            C::Assets => &[
+                (R::Font, 0.4),
+                (R::Script, 0.3),
+                (R::Stylesheet, 0.3),
+            ],
+            C::Other => &[
+                (R::Image, 0.4),
+                (R::Script, 0.3),
+                (R::XmlHttpRequest, 0.3),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_openwpm_style() {
+        assert_eq!(ResourceType::SubFrame.label(), "sub_frame");
+        assert_eq!(ResourceType::XmlHttpRequest.label(), "xmlhttprequest");
+        assert_eq!(DomainCategory::ContentDelivery.label(), "content delivery");
+    }
+
+    #[test]
+    fn profiles_are_normalized_distributions() {
+        for cat in DomainCategory::all() {
+            let total: f64 = cat.resource_profile().iter().map(|(_, w)| w).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{cat:?} profile sums to {total}"
+            );
+            assert!(!cat.resource_profile().is_empty());
+        }
+    }
+
+    #[test]
+    fn enumerations_complete() {
+        assert_eq!(ResourceType::all().len(), 9);
+        assert_eq!(DomainCategory::all().len(), 8);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the web model: PSL laws and top-list sampling.
+
+use dnssim::Name;
+use proptest::prelude::*;
+use webmodel::psl::Psl;
+use webmodel::toplist::TopList;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}".prop_map(|s| s)
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    (
+        proptest::collection::vec(arb_label(), 1..5),
+        prop_oneof![
+            Just("com".to_string()),
+            Just("co.uk".to_string()),
+            Just("net.il".to_string()),
+            Just("unknowntld".to_string()),
+            Just("test".to_string()),
+        ],
+    )
+        .prop_map(|(labels, tld)| Name::new(&format!("{}.{tld}", labels.join("."))))
+}
+
+proptest! {
+    /// eTLD+1 laws: the registrable domain is a suffix of the name, is
+    /// itself its own eTLD+1 (idempotence), and shares the public suffix.
+    #[test]
+    fn etld1_laws(name in arb_name()) {
+        let psl = Psl::builtin();
+        if let Some(etld1) = psl.etld_plus_one(&name) {
+            prop_assert!(name.is_subdomain_of(&etld1), "{name} vs {etld1}");
+            prop_assert_eq!(psl.etld_plus_one(&etld1), Some(etld1.clone()));
+            prop_assert_eq!(
+                psl.public_suffix(&name),
+                psl.public_suffix(&etld1)
+            );
+            // Exactly one label more than the public suffix.
+            prop_assert_eq!(
+                etld1.label_count(),
+                psl.public_suffix(&name).label_count() + 1
+            );
+        } else {
+            // Only bare suffixes lack a registrable domain.
+            prop_assert_eq!(psl.public_suffix(&name).label_count(), name.label_count());
+        }
+    }
+
+    /// same_site is an equivalence on names sharing an eTLD+1.
+    #[test]
+    fn same_site_reflexive_symmetric(a in arb_name(), b in arb_name()) {
+        let psl = Psl::builtin();
+        if psl.etld_plus_one(&a).is_some() {
+            prop_assert!(psl.same_site(&a, &a));
+        }
+        prop_assert_eq!(psl.same_site(&a, &b), psl.same_site(&b, &a));
+    }
+
+    /// Zipf sampling stays in range and prefers the head.
+    #[test]
+    fn zipf_sampling_in_range(n in 10usize..500, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let list = TopList::new(
+            (0..n).map(|i| Name::new(&format!("s{i}.test"))).collect(),
+        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut head = 0usize;
+        for _ in 0..300 {
+            let r = list.sample_rank(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+            if r <= n / 2 {
+                head += 1;
+            }
+        }
+        // Top half should get well over half the draws for Zipf s=1.
+        prop_assert!(head > 150, "head draws {head}/300");
+    }
+}

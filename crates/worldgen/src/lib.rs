@@ -1,0 +1,40 @@
+//! # worldgen — the calibrated synthetic Internet
+//!
+//! Everything the measurement pipelines observe is generated here, from a
+//! single seed, calibrated against the paper's published aggregates:
+//!
+//! * **Routing & orgs** — ASes, announced prefixes and the AS→Org table for
+//!   the paper's client-service ASes (Fig 4), the Table 3 cloud orgs and a
+//!   tail of generic hosters ([`clouds`], [`clientsvc`]).
+//! * **The web** — a Tranco-like top list of websites with pages, embedded
+//!   first-/third-party resources and internal links; per-epoch DNS zones
+//!   (Oct 2024 / Apr 2025 / Jul 2025) with NXDOMAIN growth, apex `AAAA`
+//!   drift and third-party IPv6 enablement drift ([`web`]).
+//! * **Cloud tenancy** — every FQDN's `A`/`AAAA` records are placed in a
+//!   cloud org's address space, conditioned on readiness so Fig 11/Table 3
+//!   shares reproduce; a subset of FQDNs CNAME to Table 2 service endpoints
+//!   ([`clouds`]).
+//! * **Client services** — the Fig 4/Fig 17 catalog of services residences
+//!   talk to, with per-service IPv6 byte-share targets and endpoint
+//!   addresses + reverse DNS ([`clientsvc`]).
+//!
+//! The generation principle is *inverse generation where the paper pins the
+//! answer, emergence everywhere else*: e.g. a site's readiness class is
+//! drawn from the rank-calibrated distribution (Fig 6 is a target), but
+//! span distributions, what-if curves and cloud pairwise effects emerge
+//! from the generated bipartite graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod clientsvc;
+pub mod clouds;
+pub mod web;
+pub mod world;
+
+pub use calibration::Calibration;
+pub use clientsvc::{ClientService, ServiceKind, CLIENT_AS_CATALOG};
+pub use clouds::CloudRuntime;
+pub use web::{EpochState, HttpFailure, SiteClassTruth, ThirdParty};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,210 @@
+//! The assembled synthetic Internet.
+
+use crate::calibration::Calibration;
+use crate::clientsvc::{register_client_services, ClientServiceRuntime};
+use crate::clouds::CloudRuntime;
+use crate::web::{generate_web, WebWorld};
+use bgpsim::{Registry, Rib};
+use dnssim::ZoneDb;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use webmodel::namegen::NameGenerator;
+use webmodel::psl::Psl;
+use webmodel::toplist::TopList;
+
+/// Configuration for world generation.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every derived structure is a pure function of it.
+    pub seed: u64,
+    /// Number of top-list sites (the paper crawls 100k).
+    pub num_sites: usize,
+    /// Number of measurement epochs (the paper has 3).
+    pub num_epochs: usize,
+    /// Calibration targets.
+    pub calibration: Calibration,
+}
+
+impl WorldConfig {
+    /// A small world for tests and examples (2k sites, 3 epochs).
+    pub fn small() -> WorldConfig {
+        WorldConfig {
+            seed: 0x1f6_ad0b,
+            num_sites: 2_000,
+            num_epochs: 3,
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// A mid-size world for the default experiment runs (20k sites).
+    pub fn default_scale() -> WorldConfig {
+        WorldConfig {
+            num_sites: 20_000,
+            ..WorldConfig::small()
+        }
+    }
+
+    /// The paper's full scale (100k sites). Slower; used by `repro --full`.
+    pub fn paper_scale() -> WorldConfig {
+        WorldConfig {
+            num_sites: 100_000,
+            ..WorldConfig::small()
+        }
+    }
+
+    /// Override the seed (for multi-seed robustness runs).
+    pub fn with_seed(mut self, seed: u64) -> WorldConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The synthetic Internet: routing, DNS, web, clouds and client services.
+#[derive(Debug)]
+pub struct World {
+    /// The generating configuration.
+    pub config: WorldConfig,
+    /// AS/organization registry (CAIDA AS2Org analogue).
+    pub registry: Registry,
+    /// Global routing table.
+    pub rib: Rib,
+    /// Public-suffix list used for eTLD+1 analysis.
+    pub psl: Psl,
+    /// The ranked top list (rank i ↔ `sites[i-1]`).
+    pub toplist: TopList,
+    /// Websites, third parties and per-epoch DNS.
+    pub web: WebWorld,
+    /// Cloud org runtime (address pools, Table 3 calibration).
+    pub clouds: CloudRuntime,
+    /// Client-side service endpoints (Fig 4/Fig 17 catalog).
+    pub client_services: Vec<ClientServiceRuntime>,
+    /// The client-side DNS view (service endpoints + reverse DNS).
+    pub client_zone: ZoneDb,
+}
+
+impl World {
+    /// Generate a world from a configuration. Deterministic in
+    /// `config.seed` (and the other config fields).
+    pub fn generate(config: &WorldConfig) -> World {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut registry = Registry::new();
+        let mut rib = Rib::new();
+        let mut namegen = NameGenerator::new();
+        let psl = Psl::builtin();
+
+        // Address plan:
+        //   clouds:          24.0.0.0/6   and 2600::/13
+        //   client services: 100.64.0.0/10 and 2a00::/16
+        let mut clouds = CloudRuntime::build(
+            &mut registry,
+            &mut rib,
+            "24.0.0.0/6".parse().expect("static prefix"),
+            "2600::/13".parse().expect("static prefix"),
+            config.calibration.top_cloud_share,
+            config.calibration.service_cname_rate,
+        );
+
+        let mut client_zone = ZoneDb::new();
+        let client_services = register_client_services(
+            &mut registry,
+            &mut rib,
+            &mut client_zone,
+            "100.64.0.0/10".parse().expect("static prefix"),
+            "2a00::/16".parse().expect("static prefix"),
+        );
+
+        let web = generate_web(
+            &mut rng,
+            &config.calibration,
+            config.num_sites,
+            config.num_epochs,
+            &mut namegen,
+            &mut clouds,
+        );
+
+        let toplist = TopList::new(web.sites.iter().map(|s| s.domain.clone()).collect());
+
+        World {
+            config: config.clone(),
+            registry,
+            rib,
+            psl,
+            toplist,
+            web,
+            clouds,
+            client_services,
+            client_zone,
+        }
+    }
+
+    /// Convenience: the DNS zone of one epoch.
+    pub fn zone(&self, epoch: usize) -> &ZoneDb {
+        &self.web.epochs[epoch].zone
+    }
+
+    /// Convenience: the latest (most recent snapshot) epoch index.
+    pub fn latest_epoch(&self) -> usize {
+        self.web.epochs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::GenClass;
+
+    #[test]
+    fn generates_a_consistent_small_world() {
+        let world = World::generate(&WorldConfig::small());
+        assert_eq!(world.web.sites.len(), 2_000);
+        assert_eq!(world.web.epochs.len(), 3);
+        assert_eq!(world.toplist.len(), 2_000);
+        // Rank mapping is consistent.
+        let site5 = &world.web.sites[4];
+        assert_eq!(world.toplist.rank_of(&site5.domain), Some(5));
+        // Client services registered and routable.
+        assert!(!world.client_services.is_empty());
+        let svc = &world.client_services[0];
+        assert!(world.rib.origin_of(svc.v4[0]).is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = World::generate(&WorldConfig::small());
+        let b = World::generate(&WorldConfig::small());
+        assert_eq!(a.web.sites.len(), b.web.sites.len());
+        for (x, y) in a.web.sites.iter().zip(&b.web.sites).take(200) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.pages.len(), y.pages.len());
+        }
+        for (x, y) in a.web.truth.iter().zip(&b.web.truth).take(500) {
+            assert_eq!(x.by_epoch, y.by_epoch);
+        }
+        let c = World::generate(&WorldConfig::small().with_seed(999));
+        assert_ne!(
+            a.web.sites[0].domain, c.web.sites[0].domain,
+            "different seed, different world"
+        );
+    }
+
+    #[test]
+    fn world_has_all_truth_classes() {
+        let world = World::generate(&WorldConfig::small());
+        let e = world.latest_epoch();
+        for class in [
+            GenClass::NxDomain,
+            GenClass::V4Only,
+            GenClass::Partial,
+            GenClass::Full,
+        ] {
+            assert!(
+                world
+                    .web
+                    .truth
+                    .iter()
+                    .any(|t| t.by_epoch[e] == class),
+                "{class:?} missing from generated world"
+            );
+        }
+    }
+}

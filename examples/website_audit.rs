@@ -1,0 +1,73 @@
+//! Website audit: the server-side pipeline for a single site — what an
+//! operator would run to answer "is my site *actually* IPv6-ready, and if
+//! not, which dependencies are holding it back?"
+//!
+//! ```sh
+//! cargo run --release --example website_audit
+//! ```
+
+use ipv6view::core::classify::{classify_site, SiteClass};
+use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
+use ipv6view::worldgen::{World, WorldConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let world = World::generate(&WorldConfig::small());
+    let report = crawl_epoch(&world, world.latest_epoch(), &CrawlConfig::default());
+
+    // Find an IPv6-partial site to audit (the paper's most interesting
+    // class: started IPv6, dragged back by dependencies).
+    let crawl = report
+        .sites
+        .iter()
+        .find(|s| classify_site(s) == SiteClass::Partial)
+        .expect("a partial site exists");
+    let ok = crawl.outcome.as_ref().expect("partial implies loaded");
+
+    println!("audit: {} (rank {})", crawl.domain, crawl.rank);
+    println!("  main page: {}", ok.final_fqdn);
+    println!(
+        "  main page AAAA: {}   browser used: {}",
+        ok.main_has_aaaa, ok.main_used
+    );
+    println!("  classification: {:?}\n", classify_site(crawl));
+
+    // Per-dependency breakdown, grouped by eTLD+1.
+    let mut by_domain: BTreeMap<String, (usize, usize, bool)> = BTreeMap::new();
+    for r in &ok.resources {
+        if !r.has_a && !r.has_aaaa {
+            continue; // failed to load: excluded, like the paper
+        }
+        let etld1 = world
+            .psl
+            .etld_plus_one(&r.fqdn)
+            .unwrap_or_else(|| r.fqdn.clone());
+        let e = by_domain
+            .entry(etld1.to_string())
+            .or_insert((0, 0, r.first_party));
+        e.0 += 1;
+        if !r.has_aaaa {
+            e.1 += 1;
+        }
+    }
+    println!("{:<34} {:>5} {:>8}  party", "dependency (eTLD+1)", "res", "v4-only");
+    for (domain, (total, v4only, first_party)) in &by_domain {
+        let marker = if *v4only > 0 { "<-- blocks IPv6-full" } else { "" };
+        println!(
+            "{domain:<34} {total:>5} {v4only:>8}  {:<6} {marker}",
+            if *first_party { "first" } else { "third" },
+        );
+    }
+
+    let blockers: Vec<&String> = by_domain
+        .iter()
+        .filter(|(_, (_, v4, _))| *v4 > 0)
+        .map(|(d, _)| d)
+        .collect();
+    println!(
+        "\nverdict: {} of {} dependencies block IPv6-full status.",
+        blockers.len(),
+        by_domain.len()
+    );
+    println!("fix list: {}", blockers.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", "));
+}

@@ -1,0 +1,31 @@
+//! # ipv6view
+//!
+//! Facade crate for the non-binary IPv6 adoption measurement suite, a full
+//! reproduction of *"Towards a Non-Binary View of IPv6 Adoption"* (IMC 2025).
+//!
+//! This crate re-exports every workspace member so downstream users can depend
+//! on a single crate:
+//!
+//! ```
+//! use ipv6view::worldgen::{World, WorldConfig};
+//! let world = World::generate(&WorldConfig::small());
+//! assert!(!world.web.sites.is_empty());
+//! ```
+//!
+//! See the workspace `README.md` for an architecture overview, `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the experiment index.
+
+pub use bgpsim;
+pub use cloudmodel;
+pub use crawlsim;
+pub use dnssim;
+pub use flowmon;
+pub use happyeyeballs;
+pub use ipv6view_core as core;
+pub use iputil;
+pub use mstl;
+pub use netsim;
+pub use netstats;
+pub use trafficgen;
+pub use webmodel;
+pub use worldgen;

@@ -1,0 +1,94 @@
+//! Integration: the cloud pipeline — crawl → BGP/AS2Org attribution →
+//! per-org readiness → multi-cloud tenants → Wilcoxon matrix → service
+//! identification — spanning crawlsim, bgpsim, cloudmodel, netstats and
+//! ipv6view-core.
+
+use cloudmodel::catalog::ServiceCatalog;
+use ipv6view::core::cloud::{
+    default_groups, hosted_fqdns, multicloud_tenant_count, org_readiness,
+    pairwise_comparison, service_adoption,
+};
+use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
+use ipv6view::worldgen::{World, WorldConfig};
+
+#[test]
+fn cloud_pipeline_matches_paper_shape() {
+    let world = World::generate(&WorldConfig::small());
+    let report = crawl_epoch(&world, world.latest_epoch(), &CrawlConfig::default());
+    let fqdns = hosted_fqdns(&report, &world.rib, &world.registry);
+    assert!(fqdns.len() > 3_000, "{} fqdns", fqdns.len());
+
+    // Per-org classification is internally consistent and Table-3-shaped.
+    let orgs = org_readiness(&fqdns);
+    for o in &orgs {
+        assert_eq!(o.total, o.v4_only + o.v6_full + o.v6_only);
+    }
+    let get = |name: &str| orgs.iter().find(|o| o.org == name);
+    let cf = get("Cloudflare, Inc.").expect("cloudflare present");
+    let digo = get("DigitalOcean, LLC").expect("digitalocean present");
+    assert!(cf.pct(cf.v6_full) > 60.0);
+    assert!(digo.pct(digo.v6_full) < 30.0);
+    assert!(cf.pct(cf.v6_full) > digo.pct(digo.v6_full) + 30.0);
+
+    // Multi-cloud tenants exist and the pairwise matrix is computable.
+    let groups = default_groups();
+    let tenants = multicloud_tenant_count(&fqdns, &world.psl, &groups);
+    assert!(tenants > 30, "{tenants} tenants");
+    let matrix = pairwise_comparison(&fqdns, &world.psl, &groups, 2);
+    assert!(!matrix.cells.is_empty());
+    // Effects are bounded and p-values valid.
+    for c in &matrix.cells {
+        assert!((-1.0..=1.0).contains(&c.effect));
+        assert!(c.p_raw > 0.0 && c.p_raw <= 1.0);
+    }
+
+    // Service identification works through the CNAME chains the crawler saw.
+    let services = service_adoption(&fqdns, &ServiceCatalog::paper());
+    assert!(services.len() >= 8);
+    let cloudfront = services
+        .iter()
+        .find(|s| s.service == "Amazon CloudFront CDN")
+        .expect("cloudfront identified");
+    assert!(cloudfront.total > 20);
+}
+
+#[test]
+fn attribution_is_stable_across_crawl_configs() {
+    // The hosting attribution depends on DNS + BGP, not on crawler knobs:
+    // link clicking changes *coverage* (fewer FQDNs) but never flips an
+    // individual FQDN's org or readiness.
+    let world = World::generate(&WorldConfig::small());
+    let e = world.latest_epoch();
+    let full = hosted_fqdns(
+        &crawl_epoch(&world, e, &CrawlConfig::default()),
+        &world.rib,
+        &world.registry,
+    );
+    let main_only = hosted_fqdns(
+        &crawl_epoch(
+            &world,
+            e,
+            &CrawlConfig {
+                click_links: false,
+                ..CrawlConfig::default()
+            },
+        ),
+        &world.rib,
+        &world.registry,
+    );
+    assert!(main_only.len() < full.len());
+    let full_map: std::collections::HashMap<_, _> = full
+        .iter()
+        .map(|f| (f.fqdn.clone(), (f.v4_org.clone(), f.v6_org.clone(), f.has_aaaa)))
+        .collect();
+    let mut checked = 0;
+    for f in &main_only {
+        if let Some((v4, v6, aaaa)) = full_map.get(&f.fqdn) {
+            assert_eq!(&f.v4_org, v4, "{}", f.fqdn);
+            assert_eq!(&f.v6_org, v6, "{}", f.fqdn);
+            assert_eq!(&f.has_aaaa, aaaa, "{}", f.fqdn);
+            checked += 1;
+        }
+    }
+    assert!(checked > 1_000);
+}
