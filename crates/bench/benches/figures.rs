@@ -4,8 +4,8 @@
 //! `repro` binary (which prints the actual rows), this is the reproducibility
 //! harness: `repro` gives the numbers, these benches give the cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crawlsim::{crawl_epoch, CrawlConfig, CrawlReport};
+use criterion::{criterion_group, criterion_main, Criterion};
 use ipv6view_bench::bench_world;
 use ipv6view_core::classify::ClassCounts;
 use ipv6view_core::client::{analyze_residence, as_fractions};
@@ -56,7 +56,9 @@ fn bench_fig10_whatif(c: &mut Criterion) {
     let world = bench_world();
     let report = crawl(&world);
     let inf = InfluenceReport::compute(&report, &world.psl);
-    c.bench_function("fig10_whatif_curve", |b| b.iter(|| WhatIfCurve::compute(&inf)));
+    c.bench_function("fig10_whatif_curve", |b| {
+        b.iter(|| WhatIfCurve::compute(&inf))
+    });
 }
 
 fn bench_fig18_heatmap(c: &mut Criterion) {

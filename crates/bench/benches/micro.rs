@@ -8,7 +8,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn bench_lpm(c: &mut Criterion) {
-    use iputil::trie::Lpm4;
+    use iputil::trie::{Lpm4, Lpm6};
     let mut rng = SmallRng::seed_from_u64(1);
     let mut table: Lpm4<u32> = Lpm4::new();
     for i in 0..50_000u32 {
@@ -19,13 +19,79 @@ fn bench_lpm(c: &mut Criterion) {
             i,
         );
     }
-    let addrs: Vec<std::net::Ipv4Addr> =
-        (0..1_000).map(|_| std::net::Ipv4Addr::from(rng.gen::<u32>())).collect();
+    let addrs: Vec<std::net::Ipv4Addr> = (0..1_000)
+        .map(|_| std::net::Ipv4Addr::from(rng.gen::<u32>()))
+        .collect();
     c.bench_function("lpm4_longest_match_50k_prefixes", |b| {
         b.iter(|| {
             let mut hits = 0;
             for &a in &addrs {
                 if table.longest_match(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // IPv6: the attribution hot path. Prefix lengths follow the routed-table
+    // shape (/32-ish allocations down to /48 customer cut-outs), addresses
+    // are half table-covered, half random misses — like FQDN attribution
+    // where some addresses fall outside the simulated RIB.
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut table6: Lpm6<u32> = Lpm6::new();
+    let mut covered: Vec<u128> = Vec::new();
+    for i in 0..50_000u32 {
+        let bits: u128 = (rng.gen::<u32>() as u128) << 96 | (rng.gen::<u32>() as u128) << 64;
+        let len = rng.gen_range(20..=48);
+        covered.push(bits);
+        table6.insert(
+            iputil::prefix::Prefix6::new(std::net::Ipv6Addr::from(bits), len),
+            i,
+        );
+    }
+    let addrs6: Vec<std::net::Ipv6Addr> = (0..1_000)
+        .map(|i| {
+            if i % 2 == 0 {
+                let base = covered[rng.gen_range(0..covered.len())];
+                std::net::Ipv6Addr::from(base | rng.gen::<u64>() as u128)
+            } else {
+                std::net::Ipv6Addr::from(
+                    (rng.gen::<u32>() as u128) << 96 | rng.gen::<u64>() as u128,
+                )
+            }
+        })
+        .collect();
+    c.bench_function("lpm6_longest_match_50k_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &addrs6 {
+                if table6.longest_match(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Batched attribution workload: heavy duplication (every CDN edge
+    // address is resolved by many FQDNs), answered through the memoized
+    // batch entry point.
+    let batch: Vec<std::net::Ipv6Addr> = (0..4_000).map(|_| addrs6[rng.gen_range(0..64)]).collect();
+    c.bench_function("lpm6_longest_match_many_4k_dup_addrs", |b| {
+        b.iter(|| {
+            table6
+                .longest_match_many(black_box(&batch))
+                .iter()
+                .filter(|r| r.is_some())
+                .count()
+        })
+    });
+    c.bench_function("lpm6_longest_match_loop_4k_dup_addrs", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &batch {
+                if table6.longest_match(black_box(a)).is_some() {
                     hits += 1;
                 }
             }
@@ -40,16 +106,24 @@ fn bench_anonymizer(c: &mut Criterion) {
     let full = Anonymizer::new(*b"benchmark-key-00", AnonymizerConfig::full());
     let v4: std::net::Ipv4Addr = "203.0.113.7".parse().unwrap();
     let v6: std::net::Ipv6Addr = "2001:db8::1234".parse().unwrap();
-    c.bench_function("anon_v4_paper_config", |b| b.iter(|| anon.anon_v4(black_box(v4))));
-    c.bench_function("anon_v6_paper_config", |b| b.iter(|| anon.anon_v6(black_box(v6))));
-    c.bench_function("anon_v4_full_cryptopan", |b| b.iter(|| full.anon_v4(black_box(v4))));
+    c.bench_function("anon_v4_paper_config", |b| {
+        b.iter(|| anon.anon_v4(black_box(v4)))
+    });
+    c.bench_function("anon_v6_paper_config", |b| {
+        b.iter(|| anon.anon_v6(black_box(v6)))
+    });
+    c.bench_function("anon_v4_full_cryptopan", |b| {
+        b.iter(|| full.anon_v4(black_box(v4)))
+    });
 }
 
 fn bench_siphash(c: &mut Criterion) {
     use iputil::hash::SipHasher24;
     let h = SipHasher24::new(1, 2);
     let data = [0u8; 64];
-    c.bench_function("siphash24_64_bytes", |b| b.iter(|| h.hash(black_box(&data))));
+    c.bench_function("siphash24_64_bytes", |b| {
+        b.iter(|| h.hash(black_box(&data)))
+    });
 }
 
 fn bench_mstl(c: &mut Criterion) {

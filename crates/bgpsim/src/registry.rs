@@ -31,16 +31,7 @@ impl From<&str> for OrgId {
 
 /// Functional category of an AS, matching the paper's Fig 4 grouping.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum AsCategory {
     /// Hosting and cloud providers (Fastly, Cloudflare, Akamai, AWS, ...).
@@ -185,7 +176,12 @@ mod tests {
     fn register_and_lookup() {
         let mut r = Registry::new();
         r.add_org("org-cf".into(), "Cloudflare, Inc.");
-        r.add_as(AsId(13335), "CLOUDFLARENET", "org-cf".into(), AsCategory::Hosting);
+        r.add_as(
+            AsId(13335),
+            "CLOUDFLARENET",
+            "org-cf".into(),
+            AsCategory::Hosting,
+        );
         let info = r.as_info(AsId(13335)).unwrap();
         assert_eq!(info.name, "CLOUDFLARENET");
         assert_eq!(r.org_of(AsId(13335)).unwrap().name, "Cloudflare, Inc.");
@@ -196,7 +192,12 @@ mod tests {
     fn same_org_many_ases() {
         let mut r = Registry::new();
         r.add_org("org-cf".into(), "Cloudflare, Inc.");
-        r.add_as(AsId(13335), "CLOUDFLARENET", "org-cf".into(), AsCategory::Hosting);
+        r.add_as(
+            AsId(13335),
+            "CLOUDFLARENET",
+            "org-cf".into(),
+            AsCategory::Hosting,
+        );
         r.add_as(
             AsId(209242),
             "CLOUDFLARESPECTRUM",
@@ -215,8 +216,18 @@ mod tests {
         let mut r = Registry::new();
         r.add_org("org-akam-intl".into(), "Akamai International B.V.");
         r.add_org("org-akam-us".into(), "Akamai Technologies, Inc.");
-        r.add_as(AsId(20940), "AKAMAI-ASN1", "org-akam-intl".into(), AsCategory::Hosting);
-        r.add_as(AsId(16625), "AKAMAI-AS", "org-akam-us".into(), AsCategory::Hosting);
+        r.add_as(
+            AsId(20940),
+            "AKAMAI-ASN1",
+            "org-akam-intl".into(),
+            AsCategory::Hosting,
+        );
+        r.add_as(
+            AsId(16625),
+            "AKAMAI-AS",
+            "org-akam-us".into(),
+            AsCategory::Hosting,
+        );
         assert_ne!(
             r.org_of(AsId(20940)).unwrap().id,
             r.org_of(AsId(16625)).unwrap().id

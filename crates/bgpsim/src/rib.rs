@@ -62,6 +62,41 @@ impl Rib {
         }
     }
 
+    /// Batched [`Rib::origin_of`] preserving input order.
+    ///
+    /// Splits the batch by family and answers each through the LPM engine's
+    /// memoized batch path, so duplicate addresses (shared CDN edges) are
+    /// resolved once — the cloud-attribution pipeline routes entire crawl
+    /// epochs through this.
+    pub fn origins_of(&self, addrs: &[IpAddr]) -> Vec<Option<AsId>> {
+        let mut v4_addrs = Vec::new();
+        let mut v6_addrs = Vec::new();
+        for addr in addrs {
+            match addr {
+                IpAddr::V4(a) => v4_addrs.push(*a),
+                IpAddr::V6(a) => v6_addrs.push(*a),
+            }
+        }
+        let v4_results = self.v4.longest_match_many(&v4_addrs);
+        let v6_results = self.v6.longest_match_many(&v6_addrs);
+        let (mut i4, mut i6) = (0usize, 0usize);
+        addrs
+            .iter()
+            .map(|addr| match addr {
+                IpAddr::V4(_) => {
+                    let r = v4_results[i4].map(|(_, asn)| *asn);
+                    i4 += 1;
+                    r
+                }
+                IpAddr::V6(_) => {
+                    let r = v6_results[i6].map(|(_, asn)| *asn);
+                    i6 += 1;
+                    r
+                }
+            })
+            .collect()
+    }
+
     /// The matched prefix and origin for an address, if covered.
     pub fn match_of(&self, addr: IpAddr) -> Option<(Prefix, AsId)> {
         match addr {
@@ -105,8 +140,14 @@ mod tests {
         let mut rib = Rib::new();
         rib.announce("203.0.113.0/24".parse().unwrap(), AsId(10));
         rib.announce("2001:db8::/32".parse().unwrap(), AsId(20));
-        assert_eq!(rib.origin_of("203.0.113.1".parse().unwrap()), Some(AsId(10)));
-        assert_eq!(rib.origin_of("2001:db8::1".parse().unwrap()), Some(AsId(20)));
+        assert_eq!(
+            rib.origin_of("203.0.113.1".parse().unwrap()),
+            Some(AsId(10))
+        );
+        assert_eq!(
+            rib.origin_of("2001:db8::1".parse().unwrap()),
+            Some(AsId(20))
+        );
         assert_eq!(rib.len(), 2);
     }
 

@@ -88,46 +88,367 @@ impl CloudService {
 /// The Table 3 organization catalog (top 15 clouds by hosted domains).
 pub fn paper_orgs() -> Vec<CloudOrg> {
     vec![
-        CloudOrg { key: "cloudflare-inc", display: "Cloudflare, Inc.", group: "cloudflare", infra_domain: "cloudflare.com", paper_domains: 59_106, paper_pct_v4_only: 14.8, paper_pct_v6_full: 85.2, paper_pct_v6_only: 0.0, v4_partner_group: None },
-        CloudOrg { key: "amazon", display: "Amazon.com, Inc.", group: "amazon", infra_domain: "amazonaws.com", paper_domains: 57_856, paper_pct_v4_only: 74.1, paper_pct_v6_full: 24.6, paper_pct_v6_only: 1.2, v4_partner_group: None },
-        CloudOrg { key: "google", display: "Google LLC", group: "google", infra_domain: "1e100.net", paper_domains: 40_735, paper_pct_v4_only: 32.3, paper_pct_v6_full: 67.7, paper_pct_v6_only: 0.0, v4_partner_group: None },
-        CloudOrg { key: "akamai-intl", display: "Akamai International B.V.", group: "akamai", infra_domain: "akamaiedge.net", paper_domains: 10_533, paper_pct_v4_only: 34.7, paper_pct_v6_full: 50.4, paper_pct_v6_only: 14.9, v4_partner_group: None },
-        CloudOrg { key: "fastly", display: "Fastly, Inc.", group: "fastly", infra_domain: "fastly.net", paper_domains: 7_739, paper_pct_v4_only: 65.5, paper_pct_v6_full: 34.3, paper_pct_v6_only: 0.2, v4_partner_group: None },
-        CloudOrg { key: "microsoft", display: "Microsoft Corporation", group: "microsoft", infra_domain: "azurewebsites.net", paper_domains: 5_480, paper_pct_v4_only: 60.2, paper_pct_v6_full: 39.7, paper_pct_v6_only: 0.1, v4_partner_group: None },
-        CloudOrg { key: "akamai-us", display: "Akamai Technologies, Inc.", group: "akamai", infra_domain: "akamaitechnologies.com", paper_domains: 5_416, paper_pct_v4_only: 96.2, paper_pct_v6_full: 3.4, paper_pct_v6_only: 0.4, v4_partner_group: None },
-        CloudOrg { key: "cloudflare-london", display: "Cloudflare London, LLC", group: "cloudflare", infra_domain: "cloudflare.net", paper_domains: 3_474, paper_pct_v4_only: 83.4, paper_pct_v6_full: 16.6, paper_pct_v6_only: 0.0, v4_partner_group: None },
-        CloudOrg { key: "hetzner", display: "Hetzner Online GmbH", group: "hetzner", infra_domain: "your-server.de", paper_domains: 3_303, paper_pct_v4_only: 82.2, paper_pct_v6_full: 17.4, paper_pct_v6_only: 0.4, v4_partner_group: None },
-        CloudOrg { key: "ovh", display: "OVH SAS", group: "ovh", infra_domain: "ovh.net", paper_domains: 3_134, paper_pct_v4_only: 86.6, paper_pct_v6_full: 13.0, paper_pct_v6_only: 0.4, v4_partner_group: None },
-        CloudOrg { key: "alibaba", display: "Hangzhou Alibaba Advertising Co.,Ltd.", group: "alibaba", infra_domain: "alibabadns.com", paper_domains: 3_003, paper_pct_v4_only: 79.5, paper_pct_v6_full: 20.2, paper_pct_v6_only: 0.2, v4_partner_group: None },
-        CloudOrg { key: "datacamp", display: "Datacamp Limited", group: "datacamp", infra_domain: "cdn77.com", paper_domains: 2_885, paper_pct_v4_only: 60.4, paper_pct_v6_full: 39.6, paper_pct_v6_only: 0.0, v4_partner_group: None },
-        CloudOrg { key: "digitalocean", display: "DigitalOcean, LLC", group: "digitalocean", infra_domain: "digitalocean.com", paper_domains: 1_899, paper_pct_v4_only: 90.5, paper_pct_v6_full: 9.2, paper_pct_v6_only: 0.3, v4_partner_group: None },
-        CloudOrg { key: "incapsula", display: "Incapsula Inc", group: "incapsula", infra_domain: "incapdns.net", paper_domains: 1_363, paper_pct_v4_only: 96.3, paper_pct_v6_full: 3.5, paper_pct_v6_only: 0.1, v4_partner_group: None },
-        CloudOrg { key: "bunnyway", display: "BUNNYWAY, informacijske storitve d.o.o.", group: "bunnyway", infra_domain: "b-cdn.net", paper_domains: 1_316, paper_pct_v4_only: 0.5, paper_pct_v6_full: 0.0, paper_pct_v6_only: 99.5, v4_partner_group: Some("datacamp") },
+        CloudOrg {
+            key: "cloudflare-inc",
+            display: "Cloudflare, Inc.",
+            group: "cloudflare",
+            infra_domain: "cloudflare.com",
+            paper_domains: 59_106,
+            paper_pct_v4_only: 14.8,
+            paper_pct_v6_full: 85.2,
+            paper_pct_v6_only: 0.0,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "amazon",
+            display: "Amazon.com, Inc.",
+            group: "amazon",
+            infra_domain: "amazonaws.com",
+            paper_domains: 57_856,
+            paper_pct_v4_only: 74.1,
+            paper_pct_v6_full: 24.6,
+            paper_pct_v6_only: 1.2,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "google",
+            display: "Google LLC",
+            group: "google",
+            infra_domain: "1e100.net",
+            paper_domains: 40_735,
+            paper_pct_v4_only: 32.3,
+            paper_pct_v6_full: 67.7,
+            paper_pct_v6_only: 0.0,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "akamai-intl",
+            display: "Akamai International B.V.",
+            group: "akamai",
+            infra_domain: "akamaiedge.net",
+            paper_domains: 10_533,
+            paper_pct_v4_only: 34.7,
+            paper_pct_v6_full: 50.4,
+            paper_pct_v6_only: 14.9,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "fastly",
+            display: "Fastly, Inc.",
+            group: "fastly",
+            infra_domain: "fastly.net",
+            paper_domains: 7_739,
+            paper_pct_v4_only: 65.5,
+            paper_pct_v6_full: 34.3,
+            paper_pct_v6_only: 0.2,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "microsoft",
+            display: "Microsoft Corporation",
+            group: "microsoft",
+            infra_domain: "azurewebsites.net",
+            paper_domains: 5_480,
+            paper_pct_v4_only: 60.2,
+            paper_pct_v6_full: 39.7,
+            paper_pct_v6_only: 0.1,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "akamai-us",
+            display: "Akamai Technologies, Inc.",
+            group: "akamai",
+            infra_domain: "akamaitechnologies.com",
+            paper_domains: 5_416,
+            paper_pct_v4_only: 96.2,
+            paper_pct_v6_full: 3.4,
+            paper_pct_v6_only: 0.4,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "cloudflare-london",
+            display: "Cloudflare London, LLC",
+            group: "cloudflare",
+            infra_domain: "cloudflare.net",
+            paper_domains: 3_474,
+            paper_pct_v4_only: 83.4,
+            paper_pct_v6_full: 16.6,
+            paper_pct_v6_only: 0.0,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "hetzner",
+            display: "Hetzner Online GmbH",
+            group: "hetzner",
+            infra_domain: "your-server.de",
+            paper_domains: 3_303,
+            paper_pct_v4_only: 82.2,
+            paper_pct_v6_full: 17.4,
+            paper_pct_v6_only: 0.4,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "ovh",
+            display: "OVH SAS",
+            group: "ovh",
+            infra_domain: "ovh.net",
+            paper_domains: 3_134,
+            paper_pct_v4_only: 86.6,
+            paper_pct_v6_full: 13.0,
+            paper_pct_v6_only: 0.4,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "alibaba",
+            display: "Hangzhou Alibaba Advertising Co.,Ltd.",
+            group: "alibaba",
+            infra_domain: "alibabadns.com",
+            paper_domains: 3_003,
+            paper_pct_v4_only: 79.5,
+            paper_pct_v6_full: 20.2,
+            paper_pct_v6_only: 0.2,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "datacamp",
+            display: "Datacamp Limited",
+            group: "datacamp",
+            infra_domain: "cdn77.com",
+            paper_domains: 2_885,
+            paper_pct_v4_only: 60.4,
+            paper_pct_v6_full: 39.6,
+            paper_pct_v6_only: 0.0,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "digitalocean",
+            display: "DigitalOcean, LLC",
+            group: "digitalocean",
+            infra_domain: "digitalocean.com",
+            paper_domains: 1_899,
+            paper_pct_v4_only: 90.5,
+            paper_pct_v6_full: 9.2,
+            paper_pct_v6_only: 0.3,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "incapsula",
+            display: "Incapsula Inc",
+            group: "incapsula",
+            infra_domain: "incapdns.net",
+            paper_domains: 1_363,
+            paper_pct_v4_only: 96.3,
+            paper_pct_v6_full: 3.5,
+            paper_pct_v6_only: 0.1,
+            v4_partner_group: None,
+        },
+        CloudOrg {
+            key: "bunnyway",
+            display: "BUNNYWAY, informacijske storitve d.o.o.",
+            group: "bunnyway",
+            infra_domain: "b-cdn.net",
+            paper_domains: 1_316,
+            paper_pct_v4_only: 0.5,
+            paper_pct_v6_full: 0.0,
+            paper_pct_v6_only: 99.5,
+            v4_partner_group: Some("datacamp"),
+        },
     ]
 }
 
 /// The Table 2 service catalog.
 pub fn paper_services() -> Vec<CloudService> {
     vec![
-        CloudService { key: "cloudflare-cdn", provider_group: "cloudflare", provider_display: "Cloudflare", display: "Cloudflare CDN", policy: Ipv6Policy::DefaultOnOptOut, cname_suffix: "cdn.cloudflare.net", paper_ready: 3_086, paper_total: 4_402 },
-        CloudService { key: "bunny-cdn", provider_group: "bunnyway", provider_display: "Bunny.net", display: "bunny.net CDN", policy: Ipv6Policy::DefaultOn, cname_suffix: "b-cdn.net", paper_ready: 1_003, paper_total: 1_004 },
-        CloudService { key: "akamai-cdn", provider_group: "akamai", provider_display: "Akamai", display: "Akamai CDN", policy: Ipv6Policy::DefaultOnOptOut, cname_suffix: "edgekey.net", paper_ready: 3_620, paper_total: 7_419 },
-        CloudService { key: "akamai-netstorage", provider_group: "akamai", provider_display: "Akamai", display: "Akamai NetStorage", policy: Ipv6Policy::DefaultOnOptOut, cname_suffix: "akamaihd.net", paper_ready: 791, paper_total: 1_633 },
-        CloudService { key: "cdn77", provider_group: "datacamp", provider_display: "DataCamp", display: "CDN77", policy: Ipv6Policy::OptIn, cname_suffix: "rsc.cdn77.org", paper_ready: 673, paper_total: 759 },
-        CloudService { key: "bunny-cdn-datacamp", provider_group: "datacamp", provider_display: "DataCamp", display: "bunny.net CDN", policy: Ipv6Policy::DefaultOn, cname_suffix: "b-cdn77.net", paper_ready: 217, paper_total: 1_300 },
-        CloudService { key: "google-cloud-run", provider_group: "google", provider_display: "Google", display: "Google Cloud Run", policy: Ipv6Policy::OptIn, cname_suffix: "run.app", paper_ready: 334, paper_total: 334 },
-        CloudService { key: "google-app-engine", provider_group: "google", provider_display: "Google", display: "Google App Engine", policy: Ipv6Policy::DefaultOn, cname_suffix: "appspot.com", paper_ready: 150, paper_total: 150 },
-        CloudService { key: "cloudfront", provider_group: "amazon", provider_display: "Amazon", display: "Amazon CloudFront CDN", policy: Ipv6Policy::DefaultOnOptOut, cname_suffix: "cloudfront.net", paper_ready: 9_142, paper_total: 12_851 },
-        CloudService { key: "amazon-elb", provider_group: "amazon", provider_display: "Amazon", display: "Amazon Elastic Load Balancer", policy: Ipv6Policy::Partial, cname_suffix: "elb.amazonaws.com", paper_ready: 201, paper_total: 2_731 },
-        CloudService { key: "amazon-ga", provider_group: "amazon", provider_display: "Amazon", display: "Amazon Global Accelerator", policy: Ipv6Policy::OptIn, cname_suffix: "awsglobalaccelerator.com", paper_ready: 4, paper_total: 150 },
-        CloudService { key: "amazon-s3", provider_group: "amazon", provider_display: "Amazon", display: "Amazon S3", policy: Ipv6Policy::OptInCodeChange, cname_suffix: "s3.amazonaws.com", paper_ready: 7, paper_total: 1_862 },
-        CloudService { key: "amazon-apigw", provider_group: "amazon", provider_display: "Amazon", display: "Amazon API Gateway", policy: Ipv6Policy::OptIn, cname_suffix: "execute-api.amazonaws.com", paper_ready: 0, paper_total: 419 },
-        CloudService { key: "amazon-waf", provider_group: "amazon", provider_display: "Amazon", display: "Amazon Web App. Firewall", policy: Ipv6Policy::OptIn, cname_suffix: "waf.amazonaws.com", paper_ready: 0, paper_total: 134 },
-        CloudService { key: "azure-iot", provider_group: "microsoft", provider_display: "Microsoft", display: "Azure Stack/IoT Edge", policy: Ipv6Policy::OptIn, cname_suffix: "azure-devices.net", paper_ready: 1_134, paper_total: 1_134 },
-        CloudService { key: "azure-front-door", provider_group: "microsoft", provider_display: "Microsoft", display: "Azure Front Door CDN", policy: Ipv6Policy::AlwaysOn, cname_suffix: "azurefd.net", paper_ready: 913, paper_total: 913 },
-        CloudService { key: "azure-vms", provider_group: "microsoft", provider_display: "Microsoft", display: "Azure Cloud Services / VMs", policy: Ipv6Policy::OptIn, cname_suffix: "cloudapp.azure.com", paper_ready: 2, paper_total: 607 },
-        CloudService { key: "azure-websites", provider_group: "microsoft", provider_display: "Microsoft", display: "Azure Websites", policy: Ipv6Policy::Unknown, cname_suffix: "azurewebsites.net", paper_ready: 0, paper_total: 544 },
-        CloudService { key: "azure-blob", provider_group: "microsoft", provider_display: "Microsoft", display: "Azure Blob Storage", policy: Ipv6Policy::Unknown, cname_suffix: "blob.core.windows.net", paper_ready: 0, paper_total: 354 },
+        CloudService {
+            key: "cloudflare-cdn",
+            provider_group: "cloudflare",
+            provider_display: "Cloudflare",
+            display: "Cloudflare CDN",
+            policy: Ipv6Policy::DefaultOnOptOut,
+            cname_suffix: "cdn.cloudflare.net",
+            paper_ready: 3_086,
+            paper_total: 4_402,
+        },
+        CloudService {
+            key: "bunny-cdn",
+            provider_group: "bunnyway",
+            provider_display: "Bunny.net",
+            display: "bunny.net CDN",
+            policy: Ipv6Policy::DefaultOn,
+            cname_suffix: "b-cdn.net",
+            paper_ready: 1_003,
+            paper_total: 1_004,
+        },
+        CloudService {
+            key: "akamai-cdn",
+            provider_group: "akamai",
+            provider_display: "Akamai",
+            display: "Akamai CDN",
+            policy: Ipv6Policy::DefaultOnOptOut,
+            cname_suffix: "edgekey.net",
+            paper_ready: 3_620,
+            paper_total: 7_419,
+        },
+        CloudService {
+            key: "akamai-netstorage",
+            provider_group: "akamai",
+            provider_display: "Akamai",
+            display: "Akamai NetStorage",
+            policy: Ipv6Policy::DefaultOnOptOut,
+            cname_suffix: "akamaihd.net",
+            paper_ready: 791,
+            paper_total: 1_633,
+        },
+        CloudService {
+            key: "cdn77",
+            provider_group: "datacamp",
+            provider_display: "DataCamp",
+            display: "CDN77",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "rsc.cdn77.org",
+            paper_ready: 673,
+            paper_total: 759,
+        },
+        CloudService {
+            key: "bunny-cdn-datacamp",
+            provider_group: "datacamp",
+            provider_display: "DataCamp",
+            display: "bunny.net CDN",
+            policy: Ipv6Policy::DefaultOn,
+            cname_suffix: "b-cdn77.net",
+            paper_ready: 217,
+            paper_total: 1_300,
+        },
+        CloudService {
+            key: "google-cloud-run",
+            provider_group: "google",
+            provider_display: "Google",
+            display: "Google Cloud Run",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "run.app",
+            paper_ready: 334,
+            paper_total: 334,
+        },
+        CloudService {
+            key: "google-app-engine",
+            provider_group: "google",
+            provider_display: "Google",
+            display: "Google App Engine",
+            policy: Ipv6Policy::DefaultOn,
+            cname_suffix: "appspot.com",
+            paper_ready: 150,
+            paper_total: 150,
+        },
+        CloudService {
+            key: "cloudfront",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon CloudFront CDN",
+            policy: Ipv6Policy::DefaultOnOptOut,
+            cname_suffix: "cloudfront.net",
+            paper_ready: 9_142,
+            paper_total: 12_851,
+        },
+        CloudService {
+            key: "amazon-elb",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon Elastic Load Balancer",
+            policy: Ipv6Policy::Partial,
+            cname_suffix: "elb.amazonaws.com",
+            paper_ready: 201,
+            paper_total: 2_731,
+        },
+        CloudService {
+            key: "amazon-ga",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon Global Accelerator",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "awsglobalaccelerator.com",
+            paper_ready: 4,
+            paper_total: 150,
+        },
+        CloudService {
+            key: "amazon-s3",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon S3",
+            policy: Ipv6Policy::OptInCodeChange,
+            cname_suffix: "s3.amazonaws.com",
+            paper_ready: 7,
+            paper_total: 1_862,
+        },
+        CloudService {
+            key: "amazon-apigw",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon API Gateway",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "execute-api.amazonaws.com",
+            paper_ready: 0,
+            paper_total: 419,
+        },
+        CloudService {
+            key: "amazon-waf",
+            provider_group: "amazon",
+            provider_display: "Amazon",
+            display: "Amazon Web App. Firewall",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "waf.amazonaws.com",
+            paper_ready: 0,
+            paper_total: 134,
+        },
+        CloudService {
+            key: "azure-iot",
+            provider_group: "microsoft",
+            provider_display: "Microsoft",
+            display: "Azure Stack/IoT Edge",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "azure-devices.net",
+            paper_ready: 1_134,
+            paper_total: 1_134,
+        },
+        CloudService {
+            key: "azure-front-door",
+            provider_group: "microsoft",
+            provider_display: "Microsoft",
+            display: "Azure Front Door CDN",
+            policy: Ipv6Policy::AlwaysOn,
+            cname_suffix: "azurefd.net",
+            paper_ready: 913,
+            paper_total: 913,
+        },
+        CloudService {
+            key: "azure-vms",
+            provider_group: "microsoft",
+            provider_display: "Microsoft",
+            display: "Azure Cloud Services / VMs",
+            policy: Ipv6Policy::OptIn,
+            cname_suffix: "cloudapp.azure.com",
+            paper_ready: 2,
+            paper_total: 607,
+        },
+        CloudService {
+            key: "azure-websites",
+            provider_group: "microsoft",
+            provider_display: "Microsoft",
+            display: "Azure Websites",
+            policy: Ipv6Policy::Unknown,
+            cname_suffix: "azurewebsites.net",
+            paper_ready: 0,
+            paper_total: 544,
+        },
+        CloudService {
+            key: "azure-blob",
+            provider_group: "microsoft",
+            provider_display: "Microsoft",
+            display: "Azure Blob Storage",
+            policy: Ipv6Policy::Unknown,
+            cname_suffix: "blob.core.windows.net",
+            paper_ready: 0,
+            paper_total: 354,
+        },
     ]
 }
 
@@ -229,7 +550,10 @@ mod tests {
         let orgs = paper_orgs();
         let intl = orgs.iter().find(|o| o.key == "akamai-intl").unwrap();
         let us = orgs.iter().find(|o| o.key == "akamai-us").unwrap();
-        assert_eq!(intl.group, us.group, "both in the Fig 12 'Akamai (All)' group");
+        assert_eq!(
+            intl.group, us.group,
+            "both in the Fig 12 'Akamai (All)' group"
+        );
         assert!(intl.paper_pct_v6_full > 10.0 * us.paper_pct_v6_full);
     }
 
@@ -294,10 +618,7 @@ mod tests {
         assert_eq!(cat.identify(&chain_s3).unwrap().key, "amazon-s3");
 
         // The deepest chain entry wins.
-        let chain_both = vec![
-            Name::new("x.azurewebsites.net"),
-            Name::new("x.azurefd.net"),
-        ];
+        let chain_both = vec![Name::new("x.azurewebsites.net"), Name::new("x.azurefd.net")];
         assert_eq!(cat.identify(&chain_both).unwrap().key, "azure-front-door");
 
         assert!(cat.identify(&[Name::new("plain.example.org")]).is_none());

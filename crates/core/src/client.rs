@@ -313,17 +313,11 @@ pub fn domain_fractions(
     let mut out: Vec<(Name, Vec<f64>)> = per_domain
         .into_iter()
         .filter_map(|(domain, per_res)| {
-            let total: u64 = per_res
-                .values()
-                .map(|a| a.bytes_v4 + a.bytes_v6)
-                .sum();
+            let total: u64 = per_res.values().map(|a| a.bytes_v4 + a.bytes_v6).sum();
             if per_res.len() < min_residences || total < min_bytes {
                 return None;
             }
-            let fractions: Vec<f64> = per_res
-                .values()
-                .filter_map(|a| a.byte_fraction())
-                .collect();
+            let fractions: Vec<f64> = per_res.values().filter_map(|a| a.byte_fraction()).collect();
             Some((domain, fractions))
         })
         .collect();
@@ -354,7 +348,11 @@ mod tests {
         // vs 45.9% daily mean), so their bands are wide.
         for (a, d) in analyses.iter().zip(&ds) {
             let paper = d.profile.paper_ext_v6_bytes;
-            let tol = if a.key == 'E' || a.key == 'D' { 0.35 } else { 0.15 };
+            let tol = if a.key == 'E' || a.key == 'D' {
+                0.35
+            } else {
+                0.15
+            };
             assert!(
                 (a.external.v6_byte_fraction - paper).abs() < tol,
                 "residence {}: measured {:.3} vs paper {paper:.3}",
@@ -379,7 +377,11 @@ mod tests {
     fn daily_fractions_vary() {
         let (_, ds) = datasets();
         let a = analyze_residence(&ds[0]);
-        assert!(a.external.daily_byte_sd > 0.02, "sd {}", a.external.daily_byte_sd);
+        assert!(
+            a.external.daily_byte_sd > 0.02,
+            "sd {}",
+            a.external.daily_byte_sd
+        );
         let series: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_bytes).collect();
         assert!(series.len() > 40);
     }

@@ -106,8 +106,7 @@ impl InfluenceReport {
                     (domains.len() - 1) as u32
                 });
                 domains[idx as usize].1 &= third_party;
-                per_domain_contributions[idx as usize]
-                    .push(count as f64 / v4only_count as f64);
+                per_domain_contributions[idx as usize].push(count as f64 / v4only_count as f64);
                 edges.push((site_idx, idx));
             }
         }
@@ -318,11 +317,7 @@ mod tests {
             "heavy tail expected: max {max} vs p75 {p75}"
         );
         // Median contribution near the paper's 0.04–0.13 range.
-        let contribs: Vec<f64> = inf
-            .domains
-            .iter()
-            .map(|d| d.median_contribution)
-            .collect();
+        let contribs: Vec<f64> = inf.domains.iter().map(|d| d.median_contribution).collect();
         let c50 = netstats::quantile(&contribs, 0.5).unwrap();
         assert!((0.02..0.6).contains(&c50), "median contribution {c50}");
     }

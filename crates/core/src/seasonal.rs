@@ -101,7 +101,7 @@ mod tests {
     use super::*;
     use crate::client::{hourly_fraction_series, Metric};
     use flowmon::Scope;
-    use trafficgen::{synthesize_residence, paper_residences, TrafficConfig};
+    use trafficgen::{paper_residences, synthesize_residence, TrafficConfig};
     use worldgen::{World, WorldConfig};
 
     #[test]

@@ -208,7 +208,8 @@ fn crawl_site(
     config: &CrawlConfig,
 ) -> SiteCrawl {
     let site = &world.web.sites[index];
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ (site.rank as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut rng =
+        SmallRng::seed_from_u64(config.seed ^ (site.rank as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let resolver = Resolver::new(&state.zone);
 
     // --- Follow HTTP redirects from the listed domain. ---
@@ -398,7 +399,11 @@ fn resolution_failure(resolver: &Resolver<'_>, name: &Name) -> Option<PageFailur
 }
 
 /// Probe one family: presence, an address, and the CNAME chain.
-fn probe(resolver: &Resolver<'_>, name: &Name, family: Family) -> (bool, Option<IpAddr>, Vec<Name>) {
+fn probe(
+    resolver: &Resolver<'_>,
+    name: &Name,
+    family: Family,
+) -> (bool, Option<IpAddr>, Vec<Name>) {
     match resolver.resolve(name, family) {
         LookupOutcome::Answers(a) => {
             let addr = a.addresses.first().copied();

@@ -15,7 +15,10 @@ impl Name {
     /// Normalize and wrap a name. Empty input becomes the root name `""`.
     pub fn new(s: &str) -> Name {
         let trimmed = s.trim_end_matches('.');
-        if trimmed.chars().all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic()) {
+        if trimmed
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic())
+        {
             Name(Arc::from(trimmed))
         } else {
             Name(Arc::from(trimmed.to_ascii_lowercase().as_str()))
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn labels_and_parent() {
         let n = Name::new("a.b.example.com");
-        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(
+            n.labels().collect::<Vec<_>>(),
+            vec!["a", "b", "example", "com"]
+        );
         assert_eq!(n.label_count(), 4);
         assert_eq!(n.parent().unwrap().as_str(), "b.example.com");
         assert_eq!(Name::new("com").parent(), None);

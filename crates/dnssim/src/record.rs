@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn record_data_qtype() {
-        assert_eq!(RecordData::A("1.2.3.4".parse().unwrap()).qtype(), QueryType::A);
+        assert_eq!(
+            RecordData::A("1.2.3.4".parse().unwrap()).qtype(),
+            QueryType::A
+        );
         assert_eq!(
             RecordData::Aaaa("::1".parse().unwrap()).qtype(),
             QueryType::Aaaa

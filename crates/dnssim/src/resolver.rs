@@ -63,6 +63,41 @@ impl AddrAnswer {
     }
 }
 
+/// Outcome of a chainless address resolution ([`Resolver::resolve_addrs`]).
+///
+/// The lightweight sibling of [`LookupOutcome`]: same failure semantics, no
+/// CNAME-chain `Vec<Name>` allocation. Callers that never read the chain
+/// (the Happy Eyeballs race runs twice per page load and once per
+/// (day, service) pair in traffic synthesis) use this on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrsOutcome {
+    /// Got at least one address.
+    Answers(Vec<IpAddr>),
+    /// The final name does not exist at all.
+    NxDomain,
+    /// The name exists but has no records of the requested family.
+    NoData,
+    /// Server failure (injected, or a CNAME chain that never terminates).
+    ServFail,
+    /// Query timed out (injected).
+    Timeout,
+}
+
+impl AddrsOutcome {
+    /// The resolved addresses, if any.
+    pub fn addresses(&self) -> &[IpAddr] {
+        match self {
+            AddrsOutcome::Answers(addrs) => addrs,
+            _ => &[],
+        }
+    }
+
+    /// True when the lookup produced at least one address.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AddrsOutcome::Answers(_))
+    }
+}
+
 /// A stub resolver over a [`ZoneDb`].
 #[derive(Debug, Clone, Copy)]
 pub struct Resolver<'a> {
@@ -127,9 +162,56 @@ impl<'a> Resolver<'a> {
         LookupOutcome::ServFail // chain too deep
     }
 
+    /// Resolve `name` to addresses of `family` without materializing the
+    /// CNAME chain — the allocation-free fast path for callers that only
+    /// need addresses (Happy Eyeballs, traffic synthesis).
+    ///
+    /// Failure semantics are identical to [`Resolver::resolve`]: CNAME
+    /// loops surface as [`AddrsOutcome::ServFail`] via the depth limit
+    /// (a loop can never terminate within [`MAX_CNAME_DEPTH`]).
+    pub fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome {
+        let qtype = match family {
+            Family::V4 => QueryType::A,
+            Family::V6 => QueryType::Aaaa,
+        };
+        let mut current = name.clone();
+        for _ in 0..=MAX_CNAME_DEPTH {
+            if let Some(mode) = self.db.failure_for(&current) {
+                return match mode {
+                    FailureMode::ServFail => AddrsOutcome::ServFail,
+                    FailureMode::Timeout => AddrsOutcome::Timeout,
+                };
+            }
+            // CNAME takes precedence over other data at a name.
+            if let Some(target) = self.db.cname_target(&current) {
+                current = target;
+                continue;
+            }
+            let answers: Vec<IpAddr> = self
+                .db
+                .lookup(&current, qtype)
+                .into_iter()
+                .filter_map(|r| match r {
+                    RecordData::A(a) => Some(IpAddr::V4(a)),
+                    RecordData::Aaaa(a) => Some(IpAddr::V6(a)),
+                    _ => None,
+                })
+                .collect();
+            if !answers.is_empty() {
+                return AddrsOutcome::Answers(answers);
+            }
+            return if self.db.exists(&current) {
+                AddrsOutcome::NoData
+            } else {
+                AddrsOutcome::NxDomain
+            };
+        }
+        AddrsOutcome::ServFail // chain too deep or looping
+    }
+
     /// Does the name (following CNAMEs) have any address of this family?
     pub fn has_family(&self, name: &Name, family: Family) -> bool {
-        self.resolve(name, family).is_success()
+        self.resolve_addrs(name, family).is_success()
     }
 
     /// Follow the CNAME chain without resolving addresses; returns every
@@ -223,7 +305,10 @@ mod tests {
         db.add_cname("a.test".into(), "b.test".into());
         db.add_cname("b.test".into(), "a.test".into());
         let r = Resolver::new(&db);
-        assert_eq!(r.resolve(&"a.test".into(), Family::V4), LookupOutcome::ServFail);
+        assert_eq!(
+            r.resolve(&"a.test".into(), Family::V4),
+            LookupOutcome::ServFail
+        );
     }
 
     #[test]
@@ -236,7 +321,10 @@ mod tests {
             );
         }
         let r = Resolver::new(&db);
-        assert_eq!(r.resolve(&"n0.test".into(), Family::V4), LookupOutcome::ServFail);
+        assert_eq!(
+            r.resolve(&"n0.test".into(), Family::V4),
+            LookupOutcome::ServFail
+        );
     }
 
     #[test]
@@ -244,13 +332,19 @@ mod tests {
         let mut db = db();
         db.inject_failure("dual.test".into(), FailureMode::Timeout);
         let r = Resolver::new(&db);
-        assert_eq!(r.resolve(&"dual.test".into(), Family::V4), LookupOutcome::Timeout);
+        assert_eq!(
+            r.resolve(&"dual.test".into(), Family::V4),
+            LookupOutcome::Timeout
+        );
         // Failure on a CNAME target also propagates.
         let mut db2 = ZoneDb::new();
         db2.add_cname("x.test".into(), "y.test".into());
         db2.inject_failure("y.test".into(), FailureMode::ServFail);
         let r2 = Resolver::new(&db2);
-        assert_eq!(r2.resolve(&"x.test".into(), Family::V4), LookupOutcome::ServFail);
+        assert_eq!(
+            r2.resolve(&"x.test".into(), Family::V4),
+            LookupOutcome::ServFail
+        );
     }
 
     #[test]
@@ -265,6 +359,45 @@ mod tests {
         assert_eq!(chain.len(), 3);
         let no_chain = r.cname_chain(&"dual.test".into());
         assert_eq!(no_chain.len(), 1);
+    }
+
+    #[test]
+    fn resolve_addrs_agrees_with_resolve() {
+        let mut db = db();
+        db.add_cname("loop-a.test".into(), "loop-b.test".into());
+        db.add_cname("loop-b.test".into(), "loop-a.test".into());
+        db.inject_failure("broken.test".into(), FailureMode::ServFail);
+        db.inject_failure("slow.test".into(), FailureMode::Timeout);
+        let r = Resolver::new(&db);
+        let names = [
+            "dual.test",
+            "v4only.test",
+            "v6only.test",
+            "www.dual.test",
+            "cdn.site.test",
+            "missing.test",
+            "loop-a.test",
+            "broken.test",
+            "slow.test",
+        ];
+        for name in names {
+            for family in [Family::V4, Family::V6] {
+                let full = r.resolve(&name.into(), family);
+                let fast = r.resolve_addrs(&name.into(), family);
+                assert_eq!(full.addresses(), fast.addresses(), "{name} {family}");
+                assert_eq!(full.is_success(), fast.is_success(), "{name} {family}");
+                // Failure kinds line up variant-for-variant.
+                let same_kind = matches!(
+                    (&full, &fast),
+                    (LookupOutcome::Answers(_), AddrsOutcome::Answers(_))
+                        | (LookupOutcome::NxDomain, AddrsOutcome::NxDomain)
+                        | (LookupOutcome::NoData { .. }, AddrsOutcome::NoData)
+                        | (LookupOutcome::ServFail, AddrsOutcome::ServFail)
+                        | (LookupOutcome::Timeout, AddrsOutcome::Timeout)
+                );
+                assert!(same_kind, "{name} {family}: {full:?} vs {fast:?}");
+            }
+        }
     }
 
     #[test]

@@ -16,13 +16,24 @@ fn analyses(ctx: &mut Ctx) -> Vec<ResidenceAnalysis> {
 
 /// Table 1: per-residence traffic volume, flow counts and IPv6 fractions.
 pub fn table1(ctx: &mut Ctx) {
-    print!("{}", heading("Table 1 — per-residence IPv6 traffic (external & internal)"));
+    print!(
+        "{}",
+        heading("Table 1 — per-residence IPv6 traffic (external & internal)")
+    );
     let stats = analyses(ctx);
     // Paper volumes cover ~273 days; scale them to the simulated duration.
     let day_scale = ctx.days as f64 / 273.0;
     let mut t = TextTable::new(vec![
-        "Res", "Scope", "GB (meas)", "GB (paper)", "v6B meas", "v6B paper", "Flows M", "v6F meas",
-        "v6F paper", "daily μ(σ)",
+        "Res",
+        "Scope",
+        "GB (meas)",
+        "GB (paper)",
+        "v6B meas",
+        "v6B paper",
+        "Flows M",
+        "v6F meas",
+        "v6F paper",
+        "daily μ(σ)",
     ]);
     for (a, ds) in stats.iter().zip(ctx.traffic()) {
         let p = &ds.profile;
@@ -72,16 +83,28 @@ pub fn table1(ctx: &mut Ctx) {
 
 /// Fig 1: CDFs of daily IPv6 byte/flow fractions at residences A, B, C.
 pub fn fig1(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 1 — daily IPv6 fraction CDFs (residences A, B, C)"));
+    print!(
+        "{}",
+        heading("Fig 1 — daily IPv6 fraction CDFs (residences A, B, C)")
+    );
     let stats = analyses(ctx);
     for key in ['A', 'B', 'C'] {
         let a = stats.iter().find(|a| a.key == key).expect("residence");
         let ext_b: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_bytes).collect();
         let ext_f: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_flows).collect();
         let int_b: Vec<f64> = a.daily.iter().filter_map(|d| d.int_bytes).collect();
-        print!("{}", render_cdf(&format!("{key} external bytes"), &Ecdf::new(ext_b), 5));
-        print!("{}", render_cdf(&format!("{key} external flows"), &Ecdf::new(ext_f), 5));
-        print!("{}", render_cdf(&format!("{key} internal bytes"), &Ecdf::new(int_b), 5));
+        print!(
+            "{}",
+            render_cdf(&format!("{key} external bytes"), &Ecdf::new(ext_b), 5)
+        );
+        print!(
+            "{}",
+            render_cdf(&format!("{key} external flows"), &Ecdf::new(ext_f), 5)
+        );
+        print!(
+            "{}",
+            render_cdf(&format!("{key} internal bytes"), &Ecdf::new(int_b), 5)
+        );
     }
     println!(
         "(paper: byte-fraction CDFs rise near-linearly with heavy-hitter tails;\n\
@@ -99,13 +122,19 @@ pub fn fig1(ctx: &mut Ctx) {
 
 /// Fig 2: MSTL of the hourly IPv6 byte fraction at residence A (March 2025).
 pub fn fig2(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 2 — MSTL of hourly IPv6 byte fraction, residence A"));
+    print!(
+        "{}",
+        heading("Fig 2 — MSTL of hourly IPv6 byte fraction, residence A")
+    );
     mstl_hourly(ctx, 'A', Metric::Bytes);
 }
 
 /// Fig 13 (appendix): MSTL of the hourly IPv6 *flow* fraction, residence A.
 pub fn fig13(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 13 — MSTL of hourly IPv6 flow fraction, residence A"));
+    print!(
+        "{}",
+        heading("Fig 13 — MSTL of hourly IPv6 flow fraction, residence A")
+    );
     mstl_hourly(ctx, 'A', Metric::Flows);
 }
 
@@ -130,7 +159,11 @@ fn mstl_hourly(ctx: &mut Ctx, key: char, metric: Metric) {
                 println!("daily component peaks at hour {peak} (paper: evening rise to midnight)");
             }
             let trend_mean = fit.trend.iter().sum::<f64>() / fit.trend.len() as f64;
-            println!("trend mean {:.3} over {} hours", trend_mean, fit.trend.len());
+            println!(
+                "trend mean {:.3} over {} hours",
+                trend_mean,
+                fit.trend.len()
+            );
             let spark: String = fit
                 .seasonal(24)
                 .expect("daily seasonal")
@@ -150,13 +183,19 @@ fn mstl_hourly(ctx: &mut Ctx, key: char, metric: Metric) {
 
 /// Fig 14/15 (appendix): MSTL of daily byte fractions at residences B and C.
 pub fn fig14(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 14 — MSTL of daily IPv6 byte fraction, residence B"));
+    print!(
+        "{}",
+        heading("Fig 14 — MSTL of daily IPv6 byte fraction, residence B")
+    );
     mstl_daily(ctx, 'B');
 }
 
 /// Fig 15 (appendix).
 pub fn fig15(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 15 — MSTL of daily IPv6 byte fraction, residence C"));
+    print!(
+        "{}",
+        heading("Fig 15 — MSTL of daily IPv6 byte fraction, residence C")
+    );
     mstl_daily(ctx, 'C');
 }
 
@@ -187,11 +226,22 @@ fn mstl_daily(ctx: &mut Ctx, key: char) {
 
 /// Fig 3: CDF of per-AS IPv6 byte fractions for common ASes.
 pub fn fig3(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 3 — CDF of per-AS IPv6 byte fractions (ASes at ≥3 residences)"));
+    print!(
+        "{}",
+        heading("Fig 3 — CDF of per-AS IPv6 byte fractions (ASes at ≥3 residences)")
+    );
     ctx.traffic();
-    let fr = as_fractions(ctx.traffic_ref(), &ctx.world.rib, &ctx.world.registry, 0.0001);
+    let fr = as_fractions(
+        ctx.traffic_ref(),
+        &ctx.world.rib,
+        &ctx.world.registry,
+        0.0001,
+    );
     let common = common_ases(&fr, 3);
-    println!("{} ASes observed at 3+ residences (paper: 35)", common.len());
+    println!(
+        "{} ASes observed at 3+ residences (paper: 35)",
+        common.len()
+    );
     for key in ['A', 'B', 'C', 'D', 'E'] {
         let fractions: Vec<f64> = fr
             .iter()
@@ -204,17 +254,31 @@ pub fn fig3(ctx: &mut Ctx) {
         let zero_share =
             fractions.iter().filter(|&&f| f == 0.0).count() as f64 / fractions.len() as f64;
         let max = fractions.iter().cloned().fold(0.0f64, f64::max);
-        print!("{}", render_cdf(&format!("residence {key}"), &Ecdf::new(fractions), 5));
-        println!("    v4-only ASes: {:.0}%  max AS fraction: {max:.2}", zero_share * 100.0);
+        print!(
+            "{}",
+            render_cdf(&format!("residence {key}"), &Ecdf::new(fractions), 5)
+        );
+        println!(
+            "    v4-only ASes: {:.0}%  max AS fraction: {max:.2}",
+            zero_share * 100.0
+        );
     }
     println!("(paper: ≥25% of ASes are IPv4-only everywhere; residence C capped near 0.4)");
 }
 
 /// Fig 4: per-category AS boxplots.
 pub fn fig4(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 4 — IPv6 byte fraction by AS, grouped by category"));
+    print!(
+        "{}",
+        heading("Fig 4 — IPv6 byte fraction by AS, grouped by category")
+    );
     ctx.traffic();
-    let fr = as_fractions(ctx.traffic_ref(), &ctx.world.rib, &ctx.world.registry, 0.0001);
+    let fr = as_fractions(
+        ctx.traffic_ref(),
+        &ctx.world.rib,
+        &ctx.world.registry,
+        0.0001,
+    );
     let common = common_ases(&fr, 3);
     for cat in bgpsim::AsCategory::all() {
         let mut rows: Vec<(String, BoxplotStats)> = common
@@ -233,21 +297,28 @@ pub fn fig4(ctx: &mut Ctx) {
             print!("{}", render_box_row(&label, &b, 0.0, 1.0));
         }
     }
-    println!(
-        "(paper: ISP medians ≤ 0.2; Web/Social medians > 0.9 except ByteDance)"
-    );
+    println!("(paper: ISP medians ≤ 0.2; Web/Social medians > 0.9 except ByteDance)");
 }
 
 /// Fig 16 (appendix): daily fraction CDFs at residences D and E.
 pub fn fig16(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 16 — daily IPv6 fraction CDFs (residences D, E)"));
+    print!(
+        "{}",
+        heading("Fig 16 — daily IPv6 fraction CDFs (residences D, E)")
+    );
     let stats = analyses(ctx);
     for key in ['D', 'E'] {
         let a = stats.iter().find(|a| a.key == key).expect("residence");
         let ext_b: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_bytes).collect();
         let ext_f: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_flows).collect();
-        print!("{}", render_cdf(&format!("{key} external bytes"), &Ecdf::new(ext_b), 5));
-        print!("{}", render_cdf(&format!("{key} external flows"), &Ecdf::new(ext_f), 5));
+        print!(
+            "{}",
+            render_cdf(&format!("{key} external bytes"), &Ecdf::new(ext_b), 5)
+        );
+        print!(
+            "{}",
+            render_cdf(&format!("{key} external flows"), &Ecdf::new(ext_f), 5)
+        );
         println!(
             "residence {key}: overall {:.3} vs daily mean {:.3} (sd {:.3}) — \
              paper E: 0.066 overall vs 0.459 daily mean",
@@ -258,11 +329,22 @@ pub fn fig16(ctx: &mut Ctx) {
 
 /// Fig 17 (appendix): per-domain IPv6 fraction boxplots via reverse DNS.
 pub fn fig17(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 17 — per-domain (eTLD+1) IPv6 fractions via reverse DNS"));
+    print!(
+        "{}",
+        heading("Fig 17 — per-domain (eTLD+1) IPv6 fractions via reverse DNS")
+    );
     ctx.traffic();
-    let domains =
-        domain_fractions(ctx.traffic_ref(), &ctx.world.client_zone, &ctx.world.psl, 10_000, 3);
-    println!("{} domains at 3+ residences above the volume floor", domains.len());
+    let domains = domain_fractions(
+        ctx.traffic_ref(),
+        &ctx.world.client_zone,
+        &ctx.world.psl,
+        10_000,
+        3,
+    );
+    println!(
+        "{} domains at 3+ residences above the volume floor",
+        domains.len()
+    );
     let mut rows: Vec<(String, BoxplotStats)> = domains
         .iter()
         .filter_map(|(d, fracs)| BoxplotStats::of(fracs).map(|b| (d.to_string(), b)))

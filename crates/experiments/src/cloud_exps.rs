@@ -19,13 +19,24 @@ fn fqdns(ctx: &mut Ctx) -> Vec<HostedFqdn> {
 
 /// Fig 11: readiness breakdown of the top 15 clouds.
 pub fn fig11(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 11 — IPv6 readiness of the top 15 clouds"));
+    print!(
+        "{}",
+        heading("Fig 11 — IPv6 readiness of the top 15 clouds")
+    );
     let hosted = fqdns(ctx);
-    println!("{} unique FQDNs attributed (paper: 265,248 at 100k scale)", hosted.len());
+    println!(
+        "{} unique FQDNs attributed (paper: 265,248 at 100k scale)",
+        hosted.len()
+    );
     let orgs = org_readiness(&hosted);
     let catalog = paper_orgs();
     let mut t = TextTable::new(vec![
-        "Cloud", "domains", "v4-only %", "v6-full %", "v6-only %", "paper v6-full %",
+        "Cloud",
+        "domains",
+        "v4-only %",
+        "v6-full %",
+        "v6-only %",
+        "paper v6-full %",
     ]);
     for paper_org in &catalog {
         let Some(o) = orgs.iter().find(|o| o.org == paper_org.display) else {
@@ -42,20 +53,29 @@ pub fn fig11(ctx: &mut Ctx) {
     }
     print!("{}", t.render());
     for key in ["Cloudflare, Inc.", "Amazon.com, Inc.", "Google LLC"] {
-        let paper_org = catalog.iter().find(|o| o.display == key).expect("in catalog");
+        let paper_org = catalog
+            .iter()
+            .find(|o| o.display == key)
+            .expect("in catalog");
         if let Some(o) = orgs.iter().find(|o| o.org == key) {
-            print!("{}", compare(
-                &format!("{key} v6-full %"),
-                paper_org.paper_pct_v6_full,
-                o.pct(o.v6_full),
-            ));
+            print!(
+                "{}",
+                compare(
+                    &format!("{key} v6-full %"),
+                    paper_org.paper_pct_v6_full,
+                    o.pct(o.v6_full),
+                )
+            );
         }
     }
 }
 
 /// Table 3 (appendix F): full per-cloud breakdown including the overall row.
 pub fn table3(ctx: &mut Ctx) {
-    print!("{}", heading("Table 3 — per-cloud domain counts (appendix F)"));
+    print!(
+        "{}",
+        heading("Table 3 — per-cloud domain counts (appendix F)")
+    );
     let scale = ctx.site_scale();
     let hosted = fqdns(ctx);
     let orgs = org_readiness(&hosted);
@@ -68,7 +88,12 @@ pub fn table3(ctx: &mut Ctx) {
         v6o += o.v6_only;
     }
     let mut t = TextTable::new(vec![
-        "Cloud", "meas domains", "paper (scaled)", "v4only %", "v6full %", "v6only %",
+        "Cloud",
+        "meas domains",
+        "paper (scaled)",
+        "v4only %",
+        "v6full %",
+        "v6only %",
     ]);
     t.row(vec![
         "Overall".to_string(),
@@ -92,26 +117,47 @@ pub fn table3(ctx: &mut Ctx) {
         ]);
     }
     print!("{}", t.render());
-    print!("{}", compare("overall v6-full %", 41.9, 100.0 * full as f64 / tot as f64));
-    print!("{}", compare("overall v6-only %", 1.7, 100.0 * v6o as f64 / tot as f64));
+    print!(
+        "{}",
+        compare("overall v6-full %", 41.9, 100.0 * full as f64 / tot as f64)
+    );
+    print!(
+        "{}",
+        compare("overall v6-only %", 1.7, 100.0 * v6o as f64 / tot as f64)
+    );
 }
 
 /// Fig 12: pairwise Wilcoxon comparison of clouds over multi-cloud tenants.
 pub fn fig12(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 12 — pairwise cloud comparison (Wilcoxon, Holm-Bonferroni)"));
+    print!(
+        "{}",
+        heading("Fig 12 — pairwise cloud comparison (Wilcoxon, Holm-Bonferroni)")
+    );
     let scale = ctx.site_scale();
     let hosted = fqdns(ctx);
     let groups = default_groups();
     let tenants = multicloud_tenant_count(&hosted, &ctx.world.psl, &groups);
-    print!("{}", compare("multi-cloud tenants (scaled)", 21_314.0 * scale, tenants as f64));
+    print!(
+        "{}",
+        compare(
+            "multi-cloud tenants (scaled)",
+            21_314.0 * scale,
+            tenants as f64
+        )
+    );
     let m = pairwise_comparison(&hosted, &ctx.world.psl, &groups, 2);
     println!(
         "{} comparable pairs, {} with too few shared tenants (paper: 67 of 78)",
         m.cells.len(),
         m.insufficient_pairs
     );
-    println!("group ranking (most IPv6-leading first): {}", m.groups.join(" > "));
-    let mut t = TextTable::new(vec!["cloud A", "cloud B", "n", "effect r", "p (raw)", "signif"]);
+    println!(
+        "group ranking (most IPv6-leading first): {}",
+        m.groups.join(" > ")
+    );
+    let mut t = TextTable::new(vec![
+        "cloud A", "cloud B", "n", "effect r", "p (raw)", "signif",
+    ]);
     let mut cells = m.cells.clone();
     cells.sort_by(|a, b| b.effect.abs().partial_cmp(&a.effect.abs()).expect("finite"));
     for c in cells.iter().take(20) {
@@ -153,18 +199,31 @@ pub fn table2(ctx: &mut Ctx) {
     }
     print!("{}", t.render());
     if let Some(rho) = ease_adoption_correlation(&services) {
-        print!("{}", compare("ease↔adoption Spearman ρ (paper: positive)", 0.8, rho));
+        print!(
+            "{}",
+            compare("ease↔adoption Spearman ρ (paper: positive)", 0.8, rho)
+        );
     }
     for (service, paper_pct) in [("Amazon S3", 0.4), ("Amazon CloudFront CDN", 71.1)] {
         if let Some(s) = services.iter().find(|s| s.service == service) {
-            print!("{}", compare(&format!("{service} adoption %"), paper_pct, 100.0 * s.adoption()));
+            print!(
+                "{}",
+                compare(
+                    &format!("{service} adoption %"),
+                    paper_pct,
+                    100.0 * s.adoption()
+                )
+            );
         }
     }
 }
 
 /// Ablation: force default-on everywhere (§5.3's recommendation).
 pub fn ablation_policy(ctx: &mut Ctx) {
-    print!("{}", heading("Ablation — §5.3 recommendation: default-on for every service"));
+    print!(
+        "{}",
+        heading("Ablation — §5.3 recommendation: default-on for every service")
+    );
     // Re-measure Table 2 from the real crawl, then model the counterfactual:
     // every service's tenants adopt at the default-on empirical rate (the
     // rate measured for services that are default-on today).

@@ -103,7 +103,10 @@ impl Ctx {
     /// The nine-month traffic run at 1/1000 sampling (Table 1, Fig 1, ...).
     pub fn traffic(&mut self) -> &[ResidenceDataset] {
         if self.traffic.is_none() {
-            eprintln!("[repro] synthesizing {}-day traffic for 5 residences ...", self.days);
+            eprintln!(
+                "[repro] synthesizing {}-day traffic for 5 residences ...",
+                self.days
+            );
             let t0 = std::time::Instant::now();
             let cfg = TrafficConfig {
                 num_days: self.days,

@@ -5,11 +5,11 @@
 
 use crate::context::Ctx;
 use flowmon::AnonymizingExporter;
+use iputil::anon::{Anonymizer, AnonymizerConfig};
 use ipv6view_core::classify::{classify_site, ClassCounts};
 use ipv6view_core::client::analyze_residence;
 use ipv6view_core::cloud::{hosted_fqdns, org_readiness, service_adoption};
 use ipv6view_core::influence::InfluenceReport;
-use iputil::anon::{Anonymizer, AnonymizerConfig};
 use serde::Serialize;
 use std::path::Path;
 
@@ -127,8 +127,7 @@ mod tests {
         for entry in std::fs::read_dir(&dir).expect("dir exists") {
             let path = entry.expect("entry").path();
             let text = std::fs::read_to_string(&path).expect("readable");
-            let value: serde_json::Value =
-                serde_json::from_str(&text).expect("valid JSON");
+            let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
             if path.file_name().unwrap() == "sites.json" {
                 assert_eq!(value.as_array().unwrap().len(), 500);
             }

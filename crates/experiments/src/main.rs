@@ -117,10 +117,31 @@ fn run(ctx: &mut Ctx, experiment: &str) {
         }
         "all" => {
             for e in [
-                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                "fig9", "fig10", "fig11", "fig12", "table2", "table3", "fig13", "fig14",
-                "fig15", "fig16", "fig17", "fig18", "ablation-mainpage",
-                "ablation-firstparty", "ablation-he", "ablation-policy",
+                "table1",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "table2",
+                "table3",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "ablation-mainpage",
+                "ablation-firstparty",
+                "ablation-he",
+                "ablation-policy",
             ] {
                 run(ctx, e);
             }

@@ -21,7 +21,11 @@ pub fn fig5(ctx: &mut Ctx) {
         counts.push(ClassCounts::from_report(ctx.crawl(e)));
     }
     let mut t = TextTable::new(vec![
-        "Category", "Oct 2024", "Apr 2025", "Jul 2025", "paper Jul (scaled)",
+        "Category",
+        "Oct 2024",
+        "Apr 2025",
+        "Jul 2025",
+        "paper Jul (scaled)",
     ]);
     // Paper's Jul 2025 column, scaled to this crawl size.
     let paper = |v: f64| format!("{:.0}", v * scale);
@@ -35,16 +39,41 @@ pub fn fig5(ctx: &mut Ctx) {
         ]);
     };
     row(&mut t, "Total", &|c| c.total, 100_000.0);
-    row(&mut t, "Loading-Failure (NXDOMAIN)", &|c| c.nxdomain, 13_376.0);
-    row(&mut t, "Loading-Failure (Others)", &|c| c.other_failure, 4_802.0);
+    row(
+        &mut t,
+        "Loading-Failure (NXDOMAIN)",
+        &|c| c.nxdomain,
+        13_376.0,
+    );
+    row(
+        &mut t,
+        "Loading-Failure (Others)",
+        &|c| c.other_failure,
+        4_802.0,
+    );
     row(&mut t, "Connection Success", &|c| c.connected, 81_822.0);
-    row(&mut t, "Unknown Primary Domain", &|c| c.unknown_primary, 3.0);
-    row(&mut t, "IPv4-only (A-only domain)", &|c| c.v4_only, 47_158.0);
+    row(
+        &mut t,
+        "Unknown Primary Domain",
+        &|c| c.unknown_primary,
+        3.0,
+    );
+    row(
+        &mut t,
+        "IPv4-only (A-only domain)",
+        &|c| c.v4_only,
+        47_158.0,
+    );
     row(&mut t, "AAAA-enabled Domain", &|c| c.aaaa_enabled, 34_661.0);
     row(&mut t, "IPv6-partial", &|c| c.partial, 24_384.0);
     row(&mut t, "IPv6-full", &|c| c.full, 10_277.0);
     row(&mut t, "Browser Used IPv4", &|c| c.browser_used_v4, 1_189.0);
-    row(&mut t, "Browser Used IPv6 Only", &|c| c.browser_used_v6_only, 9_088.0);
+    row(
+        &mut t,
+        "Browser Used IPv6 Only",
+        &|c| c.browser_used_v6_only,
+        9_088.0,
+    );
     print!("{}", t.render());
 
     let last = &counts[epochs - 1];
@@ -62,29 +91,41 @@ pub fn fig5(ctx: &mut Ctx) {
         }
         (100.0 * v4 / n as f64, 100.0 * full / n as f64)
     };
-    print!("{}", compare(
-        &format!("IPv4-only % of connected (paper @ top-{})", last.total),
-        paper_v4,
-        last.pct_of_connected(last.v4_only),
-    ));
-    print!("{}", compare(
-        &format!("IPv6-partial % of connected (paper @ top-{})", last.total),
-        100.0 - paper_v4 - paper_full,
-        last.pct_of_connected(last.partial),
-    ));
-    print!("{}", compare(
-        &format!("IPv6-full % of connected (paper @ top-{})", last.total),
-        paper_full,
-        last.pct_of_connected(last.full),
-    ));
+    print!(
+        "{}",
+        compare(
+            &format!("IPv4-only % of connected (paper @ top-{})", last.total),
+            paper_v4,
+            last.pct_of_connected(last.v4_only),
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            &format!("IPv6-partial % of connected (paper @ top-{})", last.total),
+            100.0 - paper_v4 - paper_full,
+            last.pct_of_connected(last.partial),
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            &format!("IPv6-full % of connected (paper @ top-{})", last.total),
+            paper_full,
+            last.pct_of_connected(last.full),
+        )
+    );
     println!(
         "(paper @ 100k: 57.6% v4-only / 29.8% partial / 12.6% full — run with --full to compare)"
     );
-    print!("{}", compare(
-        "binary metric (has AAAA) % — the baseline view",
-        100.0 - paper_v4,
-        last.binary_adoption_pct(),
-    ));
+    print!(
+        "{}",
+        compare(
+            "binary metric (has AAAA) % — the baseline view",
+            100.0 - paper_v4,
+            last.binary_adoption_pct(),
+        )
+    );
     let drift = counts[epochs - 1].pct_of_connected(counts[epochs - 1].full)
         - counts[0].pct_of_connected(counts[0].full);
     print!("{}", compare("IPv6-full drift Oct→Jul (pp)", 0.6, drift));
@@ -100,7 +141,12 @@ pub fn fig6(ctx: &mut Ctx) {
         .collect();
     let report = ctx.latest_crawl();
     let buckets = ReadinessBuckets::compute(report, &bounds);
-    let mut t = TextTable::new(vec!["Top N", "IPv4-only %", "IPv6-partial %", "IPv6-full %"]);
+    let mut t = TextTable::new(vec![
+        "Top N",
+        "IPv4-only %",
+        "IPv6-partial %",
+        "IPv6-full %",
+    ]);
     for b in &buckets.buckets {
         t.row(vec![
             b.top_n.to_string(),
@@ -110,17 +156,26 @@ pub fn fig6(ctx: &mut Ctx) {
         ]);
     }
     print!("{}", t.render());
-    print!("{}", compare("top-100 IPv6-full %", 30.1, buckets.buckets[0].pct_full));
-    print!("{}", compare(
-        "tail IPv6-full %",
-        12.6,
-        buckets.buckets.last().expect("buckets").pct_full,
-    ));
+    print!(
+        "{}",
+        compare("top-100 IPv6-full %", 30.1, buckets.buckets[0].pct_full)
+    );
+    print!(
+        "{}",
+        compare(
+            "tail IPv6-full %",
+            12.6,
+            buckets.buckets.last().expect("buckets").pct_full,
+        )
+    );
 }
 
 /// Fig 7: per-partial-site IPv4-only counts and fractions.
 pub fn fig7(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 7 — IPv4-only resources per IPv6-partial site"));
+    print!(
+        "{}",
+        heading("Fig 7 — IPv4-only resources per IPv6-partial site")
+    );
     let psl = ctx.world.psl.clone();
     let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
     let (c25, c50, c75) = inf.count_quantiles().expect("partial sites exist");
@@ -133,37 +188,75 @@ pub fn fig7(ctx: &mut Ctx) {
     print!("{}", compare("fraction p75", 0.41, f75));
     let counts: Vec<f64> = inf.sites.iter().map(|s| s.v4only_count as f64).collect();
     let fracs: Vec<f64> = inf.sites.iter().map(|s| s.v4only_fraction).collect();
-    print!("{}", render_cdf("IPv4-only resource count", &Ecdf::new(counts), 6));
-    print!("{}", render_cdf("IPv4-only resource fraction", &Ecdf::new(fracs), 6));
+    print!(
+        "{}",
+        render_cdf("IPv4-only resource count", &Ecdf::new(counts), 6)
+    );
+    print!(
+        "{}",
+        render_cdf("IPv4-only resource fraction", &Ecdf::new(fracs), 6)
+    );
 }
 
 /// Fig 8: span and median contribution of IPv4-only domains.
 pub fn fig8(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 8 — span & median contribution of IPv4-only domains"));
+    print!(
+        "{}",
+        heading("Fig 8 — span & median contribution of IPv4-only domains")
+    );
     let psl = ctx.world.psl.clone();
     let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
     let spans: Vec<f64> = inf.domains.iter().map(|d| d.span as f64).collect();
     let contribs: Vec<f64> = inf.domains.iter().map(|d| d.median_contribution).collect();
-    println!("{} IPv4-only domains used by partial sites", inf.domains.len());
-    print!("{}", compare("span p75", 2.0, netstats::quantile(&spans, 0.75).expect("spans")));
-    print!("{}", compare("span p95", 20.0, netstats::quantile(&spans, 0.95).expect("spans")));
-    print!("{}", compare(
-        "top span as fraction of partial sites",
-        6_666.0 / 24_384.0,
-        spans[0] / inf.sites.len() as f64,
-    ));
-    print!("{}", compare(
-        "median contribution p50",
-        0.04,
-        netstats::quantile(&contribs, 0.5).expect("contribs"),
-    ));
-    print!("{}", compare(
-        "median contribution p95",
-        0.72,
-        netstats::quantile(&contribs, 0.95).expect("contribs"),
-    ));
+    println!(
+        "{} IPv4-only domains used by partial sites",
+        inf.domains.len()
+    );
+    print!(
+        "{}",
+        compare(
+            "span p75",
+            2.0,
+            netstats::quantile(&spans, 0.75).expect("spans")
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            "span p95",
+            20.0,
+            netstats::quantile(&spans, 0.95).expect("spans")
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            "top span as fraction of partial sites",
+            6_666.0 / 24_384.0,
+            spans[0] / inf.sites.len() as f64,
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            "median contribution p50",
+            0.04,
+            netstats::quantile(&contribs, 0.5).expect("contribs"),
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            "median contribution p95",
+            0.72,
+            netstats::quantile(&contribs, 0.95).expect("contribs"),
+        )
+    );
     print!("{}", render_cdf("span", &Ecdf::new(spans), 6));
-    print!("{}", render_cdf("median contribution", &Ecdf::new(contribs), 6));
+    print!(
+        "{}",
+        render_cdf("median contribution", &Ecdf::new(contribs), 6)
+    );
     println!("top 5 spans:");
     for d in inf.domains.iter().take(5) {
         println!(
@@ -177,7 +270,10 @@ pub fn fig8(ctx: &mut Ctx) {
 
 /// Fig 9: categories of heavy-hitter IPv4-only domains.
 pub fn fig9(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 9 — categories of high-span IPv4-only domains"));
+    print!(
+        "{}",
+        heading("Fig 9 — categories of high-span IPv4-only domains")
+    );
     let scale = ctx.site_scale();
     let psl = ctx.world.psl.clone();
     let category_of: HashMap<Name, DomainCategory> = ctx
@@ -191,9 +287,7 @@ pub fn fig9(ctx: &mut Ctx) {
     let min_span = ((100.0 * scale).ceil() as usize).max(2);
     let hh_count = inf.heavy_hitters(min_span).count();
     let cats = inf.heavy_hitter_categories(min_span, &category_of);
-    println!(
-        "{hh_count} domains with span ≥ {min_span} (paper: 396 with span ≥ 100 at 100k)"
-    );
+    println!("{hh_count} domains with span ≥ {min_span} (paper: 396 with span ≥ 100 at 100k)");
     let total: usize = cats.iter().map(|(_, n)| n).sum();
     let mut t = TextTable::new(vec!["Category", "Count", "Share %", "paper share %"]);
     let paper_share = |c: DomainCategory| match c {
@@ -217,17 +311,23 @@ pub fn fig9(ctx: &mut Ctx) {
 
 /// Fig 10: the what-if adoption curve.
 pub fn fig10(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 10 — what-if: enabling IPv6 on IPv4-only domains by span"));
+    print!(
+        "{}",
+        heading("Fig 10 — what-if: enabling IPv6 on IPv4-only domains by span")
+    );
     let psl = ctx.world.psl.clone();
     let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
     let curve = WhatIfCurve::compute(&inf);
     let scale = ctx.site_scale();
     let top500 = ((500.0 * scale).ceil() as usize).max(1);
-    print!("{}", compare(
-        &format!("fraction full after top {top500} domains (paper: top 500)"),
-        0.25,
-        curve.fraction_after(top500),
-    ));
+    print!(
+        "{}",
+        compare(
+            &format!("fraction full after top {top500} domains (paper: top 500)"),
+            0.25,
+            curve.fraction_after(top500),
+        )
+    );
     println!(
         "domains needed for ALL partial sites: {} of {} (paper: >15,000 of ~37.5k)",
         curve
@@ -251,7 +351,10 @@ pub fn fig10(ctx: &mut Ctx) {
 
 /// Fig 18: heatmap of top IPv4-only domains by resource type.
 pub fn fig18(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 18 — top-20 IPv4-only domains × resource type"));
+    print!(
+        "{}",
+        heading("Fig 18 — top-20 IPv4-only domains × resource type")
+    );
     let psl = ctx.world.psl.clone();
     let hm = TypeHeatmap::compute(ctx.latest_crawl(), &psl, 20);
     let mut header = vec!["domain".to_string(), "(any)".to_string()];
@@ -268,27 +371,42 @@ pub fn fig18(ctx: &mut Ctx) {
 
 /// Ablation: main-page-only crawling (Bajpai & Schönwälder style).
 pub fn ablation_mainpage(ctx: &mut Ctx) {
-    print!("{}", heading("Ablation — main-page-only crawl vs link-click crawl"));
+    print!(
+        "{}",
+        heading("Ablation — main-page-only crawl vs link-click crawl")
+    );
     let full = ClassCounts::from_report(ctx.latest_crawl());
     let main_only = ClassCounts::from_report(ctx.mainpage_crawl());
-    print!("{}", compare(
-        "IPv6-full % with link clicks (paper Apr: 12.5)",
-        12.5,
-        full.pct_of_connected(full.full),
-    ));
-    print!("{}", compare(
-        "IPv6-full % main page only (paper: 14.1)",
-        14.1,
-        main_only.pct_of_connected(main_only.full),
-    ));
+    print!(
+        "{}",
+        compare(
+            "IPv6-full % with link clicks (paper Apr: 12.5)",
+            12.5,
+            full.pct_of_connected(full.full),
+        )
+    );
+    print!(
+        "{}",
+        compare(
+            "IPv6-full % main page only (paper: 14.1)",
+            14.1,
+            main_only.pct_of_connected(main_only.full),
+        )
+    );
     let jump = main_only.pct_of_connected(main_only.full) - full.pct_of_connected(full.full);
-    print!("{}", compare("inflation from skipping clicks (pp)", 1.6, jump));
+    print!(
+        "{}",
+        compare("inflation from skipping clicks (pp)", 1.6, jump)
+    );
     println!("(the paper notes this inflation is ~2.7× the real 9-month growth)");
 }
 
 /// Ablation: first-party-only analysis (Dhamdhere et al. style).
 pub fn ablation_firstparty(ctx: &mut Ctx) {
-    print!("{}", heading("Ablation — first-party-only resource analysis"));
+    print!(
+        "{}",
+        heading("Ablation — first-party-only resource analysis")
+    );
     let report = ctx.latest_crawl();
     let mut connected = 0usize;
     let mut full_grade = 0usize;
@@ -324,19 +442,29 @@ pub fn ablation_firstparty(ctx: &mut Ctx) {
     );
     let psl = ctx.world.psl.clone();
     let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
-    print!("{}", compare(
-        "% of partial sites partial due to first-party only",
-        2.3,
-        100.0 * inf.first_party_only_partial as f64 / inf.sites.len() as f64,
-    ));
+    print!(
+        "{}",
+        compare(
+            "% of partial sites partial due to first-party only",
+            2.3,
+            100.0 * inf.first_party_only_partial as f64 / inf.sites.len() as f64,
+        )
+    );
 }
 
 /// Ablation: Happy Eyeballs parameters vs the "Browser Used IPv4" rate.
 pub fn ablation_he(ctx: &mut Ctx) {
-    print!("{}", heading("Ablation — Happy Eyeballs degradation vs IPv4 race wins"));
+    print!(
+        "{}",
+        heading("Ablation — Happy Eyeballs degradation vs IPv4 race wins")
+    );
     use crawlsim::{crawl_epoch, CrawlConfig};
     let epoch = ctx.world.latest_epoch();
-    let mut t = TextTable::new(vec!["v6 degraded rate", "browser used IPv4 %", "IPv6-full %"]);
+    let mut t = TextTable::new(vec![
+        "v6 degraded rate",
+        "browser used IPv4 %",
+        "IPv6-full %",
+    ]);
     for rate in [0.0, 0.05, 0.116, 0.25] {
         let cfg = CrawlConfig {
             v6_degraded_rate: rate,

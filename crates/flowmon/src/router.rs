@@ -4,6 +4,7 @@ use crate::flow::{FlowKey, FlowRecord, Scope};
 use crate::table::FlowTable;
 use crate::Timestamp;
 use iputil::prefix::{Prefix4, Prefix6};
+use iputil::trie::{Lpm4, Lpm6};
 use std::net::IpAddr;
 
 /// A residence router running the flow monitor.
@@ -12,19 +13,31 @@ use std::net::IpAddr;
 /// the delegated IPv6 prefix); every flow is classified as
 /// [`Scope::Internal`] when *both* endpoints are inside the LAN, otherwise
 /// [`Scope::External`] — the exact split reported per-residence in Table 1.
+///
+/// Scoping runs once per injected flow, so the LAN sets are held in the
+/// shared LPM engine (`iputil::trie`): O(1)-ish per classification however
+/// many prefixes a deployment configures, same structure as the RIB.
 #[derive(Debug, Clone)]
 pub struct RouterMonitor {
-    lan4: Vec<Prefix4>,
-    lan6: Vec<Prefix6>,
+    lan4: Lpm4<()>,
+    lan6: Lpm6<()>,
     table: FlowTable,
 }
 
 impl RouterMonitor {
     /// Create a monitor for a residence with the given LAN prefixes.
     pub fn new(lan4: Vec<Prefix4>, lan6: Vec<Prefix6>) -> RouterMonitor {
+        let mut lan4_lpm = Lpm4::new();
+        for p in lan4 {
+            lan4_lpm.insert(p, ());
+        }
+        let mut lan6_lpm = Lpm6::new();
+        for p in lan6 {
+            lan6_lpm.insert(p, ());
+        }
         RouterMonitor {
-            lan4,
-            lan6,
+            lan4: lan4_lpm,
+            lan6: lan6_lpm,
             table: FlowTable::new(),
         }
     }
@@ -32,8 +45,8 @@ impl RouterMonitor {
     /// Is an address inside this residence's LAN?
     pub fn is_lan(&self, addr: IpAddr) -> bool {
         match addr {
-            IpAddr::V4(a) => self.lan4.iter().any(|p| p.contains(a)),
-            IpAddr::V6(a) => self.lan6.iter().any(|p| p.contains(a)),
+            IpAddr::V4(a) => self.lan4.longest_match(a).is_some(),
+            IpAddr::V6(a) => self.lan6.longest_match(a).is_some(),
         }
     }
 

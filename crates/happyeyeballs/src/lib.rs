@@ -25,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dnssim::{LookupOutcome, Name, Resolver};
+use dnssim::{AddrsOutcome, Name, Resolver};
 use iputil::Family;
 use netsim::{ConnectOutcome, EventQueue, Network, TcpConnector, Time, MILLIS};
 use rand::Rng;
@@ -83,9 +83,9 @@ pub enum RaceError {
     /// Neither family resolved to any address.
     ResolutionFailed {
         /// Outcome of the `AAAA` query.
-        v6: LookupOutcome,
+        v6: AddrsOutcome,
         /// Outcome of the `A` query.
-        v4: LookupOutcome,
+        v4: AddrsOutcome,
     },
     /// Addresses resolved but every attempt failed.
     AllAttemptsFailed,
@@ -98,10 +98,11 @@ pub struct RaceReport {
     pub winner: Option<Attempt>,
     /// Every attempt that was started, in start order.
     pub attempts: Vec<Attempt>,
-    /// `AAAA` resolution outcome.
-    pub v6_resolution: LookupOutcome,
+    /// `AAAA` resolution outcome (chainless; the race never reads CNAME
+    /// chains, so the resolver's allocation-free fast path is used).
+    pub v6_resolution: AddrsOutcome,
     /// `A` resolution outcome.
-    pub v4_resolution: LookupOutcome,
+    pub v4_resolution: AddrsOutcome,
     /// Error when no connection was established.
     pub error: Option<RaceError>,
 }
@@ -159,17 +160,20 @@ impl HappyEyeballs {
         start: Time,
     ) -> RaceReport {
         let cfg = &self.config;
-        let v6_res = resolver.resolve(name, Family::V6);
-        let v4_res = resolver.resolve(name, Family::V4);
+        // Chainless resolution: one Vec<Name> allocation avoided per query,
+        // and the race runs once per (day, service) pair in trafficgen and
+        // once per page load in crawlsim.
+        let v6_res = resolver.resolve_addrs(name, Family::V6);
+        let v4_res = resolver.resolve_addrs(name, Family::V4);
 
         let mut queue: EventQueue<Event> = EventQueue::new();
         // Model query latency; a timeout answer takes 5 s to "arrive".
         let v6_latency = match v6_res {
-            LookupOutcome::Timeout => 5_000 * MILLIS,
+            AddrsOutcome::Timeout => 5_000 * MILLIS,
             _ => cfg.dns_latency_v6,
         };
         let v4_latency = match v4_res {
-            LookupOutcome::Timeout => 5_000 * MILLIS,
+            AddrsOutcome::Timeout => 5_000 * MILLIS,
             _ => cfg.dns_latency_v4,
         };
         queue.schedule_at(start + v6_latency, Event::DnsAnswer(Family::V6));
@@ -537,7 +541,10 @@ mod tests {
 
     #[test]
     fn interleave_orders() {
-        let v6: Vec<IpAddr> = vec!["2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap()];
+        let v6: Vec<IpAddr> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        ];
         let v4: Vec<IpAddr> = vec!["192.0.2.1".parse().unwrap()];
         let order = interleave(&v6, &v4, Family::V6);
         assert_eq!(Family::of(order[0]), Family::V6);

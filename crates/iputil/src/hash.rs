@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn integer_helpers_match_byte_hashing() {
         let h = reference_key();
-        assert_eq!(h.hash_u64(0xdead_beef), h.hash(&0xdead_beefu64.to_le_bytes()));
+        assert_eq!(
+            h.hash_u64(0xdead_beef),
+            h.hash(&0xdead_beefu64.to_le_bytes())
+        );
         assert_eq!(h.hash_u128(7), h.hash(&7u128.to_le_bytes()));
     }
 

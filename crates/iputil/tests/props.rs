@@ -3,7 +3,7 @@
 
 use iputil::anon::{Anonymizer, AnonymizerConfig};
 use iputil::prefix::{Prefix4, Prefix6};
-use iputil::trie::{Lpm4, LpmTrie};
+use iputil::trie::{Lpm4, Lpm6, LpmTrie};
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -147,6 +147,134 @@ proptest! {
         }
         for p in &prefixes {
             prop_assert!(t.get(p.bits(), p.len()).is_some());
+        }
+    }
+
+    /// IPv6: the radix trie's longest match must agree with a brute-force
+    /// linear scan (observational equivalence against a naive reference).
+    /// Addresses are biased toward stored prefixes so hits are exercised,
+    /// not just misses.
+    #[test]
+    fn lpm6_matches_linear_scan(
+        prefixes in proptest::collection::vec(arb_prefix6(), 1..40),
+        addrs in proptest::collection::vec((any::<u128>(), 0usize..40, any::<bool>()), 1..40),
+    ) {
+        let mut trie: Lpm6<usize> = Lpm6::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for (bits, pick, inside) in addrs {
+            // Half the probes land inside a stored prefix (low bits random).
+            let addr = if inside {
+                let p = prefixes[pick % prefixes.len()];
+                let host_bits = if p.len() == 128 { 0 } else { bits & !iputil::prefix::mask128(p.len()) };
+                Ipv6Addr::from(p.bits() | host_bits)
+            } else {
+                Ipv6Addr::from(bits)
+            };
+            let expect = prefixes
+                .iter()
+                .filter(|p| p.contains(addr))
+                .map(|p| p.len())
+                .max();
+            let got = trie.longest_match(addr);
+            match (expect, got) {
+                (None, None) => {}
+                (Some(len), Some((gp, _))) => {
+                    prop_assert_eq!(len, gp.len(), "match length differs for {}", addr);
+                    prop_assert!(gp.contains(addr));
+                }
+                (e, g) => prop_assert!(false, "mismatch for {}: {:?} vs {:?}", addr, e, g),
+            }
+        }
+    }
+
+    /// Batched lookup must be observationally identical to one-at-a-time
+    /// lookup, for both families, including duplicates and misses.
+    #[test]
+    fn batched_agrees_with_single(
+        prefixes4 in proptest::collection::vec(arb_prefix4(), 1..30),
+        prefixes6 in proptest::collection::vec(arb_prefix6(), 1..30),
+        addrs in proptest::collection::vec((any::<u32>(), any::<u128>()), 1..50),
+    ) {
+        let mut t4: Lpm4<usize> = Lpm4::new();
+        for (i, p) in prefixes4.iter().enumerate() {
+            t4.insert(*p, i);
+        }
+        let mut t6: Lpm6<usize> = Lpm6::new();
+        for (i, p) in prefixes6.iter().enumerate() {
+            t6.insert(*p, i);
+        }
+        // Duplicate every address so the dedup path is exercised.
+        let mut a4: Vec<Ipv4Addr> = addrs.iter().map(|&(b, _)| Ipv4Addr::from(b)).collect();
+        a4.extend(addrs.iter().map(|&(b, _)| Ipv4Addr::from(b)));
+        let mut a6: Vec<Ipv6Addr> = addrs.iter().map(|&(_, b)| Ipv6Addr::from(b)).collect();
+        a6.extend(addrs.iter().map(|&(_, b)| Ipv6Addr::from(b)));
+
+        let batch4 = t4.longest_match_many(&a4);
+        for (i, &a) in a4.iter().enumerate() {
+            prop_assert_eq!(
+                batch4[i].map(|(p, v)| (p, *v)),
+                t4.longest_match(a).map(|(p, v)| (p, *v))
+            );
+        }
+        let batch6 = t6.longest_match_many(&a6);
+        for (i, &a) in a6.iter().enumerate() {
+            prop_assert_eq!(
+                batch6[i].map(|(p, v)| (p, *v)),
+                t6.longest_match(a).map(|(p, v)| (p, *v))
+            );
+        }
+    }
+
+    /// Inserting then removing every IPv6 prefix leaves the trie empty for
+    /// queries (the v4 twin of `trie_remove_all` above).
+    #[test]
+    fn trie6_remove_all(prefixes in proptest::collection::vec(arb_prefix6(), 1..30)) {
+        let mut trie: Lpm6<u8> = Lpm6::new();
+        for p in &prefixes {
+            trie.insert(*p, 0);
+        }
+        for p in &prefixes {
+            trie.remove(*p);
+        }
+        prop_assert_eq!(trie.len(), 0);
+        for p in &prefixes {
+            prop_assert!(trie.longest_match(p.network()).is_none());
+        }
+    }
+
+    /// Interleaved inserts and removes keep the trie equivalent to a naive
+    /// map-based reference, LPM included (catches stale short_best /
+    /// dangling-split bugs that insert-only tests cannot).
+    #[test]
+    fn lpm4_interleaved_ops_match_reference(
+        ops in proptest::collection::vec((arb_prefix4(), any::<bool>(), any::<u32>()), 1..60),
+        probes in proptest::collection::vec(any::<u32>(), 1..30),
+    ) {
+        let mut trie: Lpm4<u32> = Lpm4::new();
+        let mut reference: std::collections::HashMap<Prefix4, u32> =
+            std::collections::HashMap::new();
+        for (p, is_insert, val) in ops {
+            if is_insert {
+                prop_assert_eq!(trie.insert(p, val), reference.insert(p, val), "insert {}", p);
+            } else {
+                prop_assert_eq!(trie.remove(p), reference.remove(&p), "remove {}", p);
+            }
+            prop_assert_eq!(trie.len(), reference.len());
+        }
+        for bits in &probes {
+            let addr = Ipv4Addr::from(*bits);
+            let expect = reference
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            let got = trie.longest_match(addr).map(|(p, v)| {
+                // Reconstruct the canonical stored prefix for comparison.
+                (Prefix4::new(addr, p.len()), *v)
+            });
+            prop_assert_eq!(got, expect, "probe {}", addr);
         }
     }
 }

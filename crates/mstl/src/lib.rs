@@ -188,12 +188,7 @@ pub fn mstl_decompose(series: &[f64], config: &MstlConfig) -> Result<Mstl, Strin
     Ok(Mstl {
         observed: series.to_vec(),
         trend: last_trend,
-        seasonals: config
-            .periods
-            .iter()
-            .cloned()
-            .zip(seasonals)
-            .collect(),
+        seasonals: config.periods.iter().cloned().zip(seasonals).collect(),
         remainder,
     })
 }
@@ -206,12 +201,16 @@ mod tests {
     fn synthetic(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
         // trend + daily (24) + weekly (168) seasonal, deterministic "noise".
         let trend: Vec<f64> = (0..n).map(|t| 0.5 + 0.001 * t as f64).collect();
-        let daily: Vec<f64> = (0..n).map(|t| 0.3 * (t as f64 * TAU / 24.0).sin()).collect();
+        let daily: Vec<f64> = (0..n)
+            .map(|t| 0.3 * (t as f64 * TAU / 24.0).sin())
+            .collect();
         let weekly: Vec<f64> = (0..n)
             .map(|t| 0.15 * (t as f64 * TAU / 168.0).cos())
             .collect();
         let y: Vec<f64> = (0..n)
-            .map(|t| trend[t] + daily[t] + weekly[t] + 0.01 * ((t * 7919 % 100) as f64 / 100.0 - 0.5))
+            .map(|t| {
+                trend[t] + daily[t] + weekly[t] + 0.01 * ((t * 7919 % 100) as f64 / 100.0 - 0.5)
+            })
             .collect();
         (y, trend, daily, weekly)
     }
@@ -285,8 +284,7 @@ mod tests {
         assert_eq!(d.trend.len(), n);
         assert_eq!(d.remainder.len(), n);
         // Remainder should be small relative to the signal.
-        let rms: f64 =
-            (d.remainder.iter().map(|r| r * r).sum::<f64>() / n as f64).sqrt();
+        let rms: f64 = (d.remainder.iter().map(|r| r * r).sum::<f64>() / n as f64).sqrt();
         assert!(rms < 0.12, "remainder RMS too large: {rms}");
     }
 

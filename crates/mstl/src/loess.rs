@@ -142,11 +142,7 @@ fn fit_at(
         }
         2 => {
             // 3x3 normal equations; value at x is the constant coefficient.
-            let m = [
-                [s[0], s[1], s[2]],
-                [s[1], s[2], s[3]],
-                [s[2], s[3], s[4]],
-            ];
+            let m = [[s[0], s[1], s[2]], [s[1], s[2], s[3]], [s[2], s[3], s[4]]];
             let rhs = [t[0], t[1], t[2]];
             match solve3(m, rhs) {
                 Some(c) => c[0],
@@ -252,7 +248,9 @@ mod tests {
 
     #[test]
     fn quadratic_series_is_fixed_point_for_degree_2() {
-        let y: Vec<f64> = (0..50).map(|i| 0.5 * (i * i) as f64 - 3.0 * i as f64).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 0.5 * (i * i) as f64 - 3.0 * i as f64)
+            .collect();
         let s = loess_smooth(&y, LoessConfig::new(11, 2), None);
         for (i, v) in s.iter().enumerate() {
             assert!((v - y[i]).abs() < 1e-6, "at {i}");
@@ -277,8 +275,16 @@ mod tests {
     fn extrapolation_beyond_ends() {
         let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let out = loess_at(&y, &[-2.0, 31.0], LoessConfig::new(9, 1), None);
-        assert!((out[0] - (-2.0)).abs() < 1e-6, "left extrapolation: {}", out[0]);
-        assert!((out[1] - 31.0).abs() < 1e-6, "right extrapolation: {}", out[1]);
+        assert!(
+            (out[0] - (-2.0)).abs() < 1e-6,
+            "left extrapolation: {}",
+            out[0]
+        );
+        assert!(
+            (out[1] - 31.0).abs() < 1e-6,
+            "right extrapolation: {}",
+            out[1]
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ impl Stl {
 
         let outer = self.config.robust_iterations + 1;
         for outer_iter in 0..outer {
-            let rw = if outer_iter == 0 { None } else { Some(&weights) };
+            let rw = if outer_iter == 0 {
+                None
+            } else {
+                Some(&weights)
+            };
             for _ in 0..self.config.inner_iterations.max(1) {
                 // 1. Detrend.
                 let detrended: Vec<f64> = y.iter().zip(&trend).map(|(a, b)| a - b).collect();
@@ -165,8 +169,7 @@ fn cycle_subseries_smooth(
         // Gather the subseries for this phase.
         let positions: Vec<usize> = (phase..n).step_by(p).collect();
         let sub: Vec<f64> = positions.iter().map(|&t| y[t]).collect();
-        let sub_w: Option<Vec<f64>> =
-            robustness.map(|w| positions.iter().map(|&t| w[t]).collect());
+        let sub_w: Option<Vec<f64>> = robustness.map(|w| positions.iter().map(|&t| w[t]).collect());
         let m = sub.len();
 
         // Evaluate at -1, 0..m-1, m (one extra cycle each side).
@@ -250,8 +253,7 @@ mod tests {
         for (t, &tr) in r.trend.iter().enumerate() {
             assert!((tr - 2.0).abs() < 0.15, "trend at {t}: {tr}");
         }
-        let rms =
-            (r.remainder.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
+        let rms = (r.remainder.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
         assert!(rms < 0.05, "remainder RMS {rms}");
     }
 

@@ -81,7 +81,11 @@ impl<E> EventQueue<E> {
     /// Panics if `at` lies in the past (before `now`): time travel in a
     /// simulation is always a bug.
     pub fn schedule_at(&mut self, at: Time, event: E) {
-        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
         self.heap.push(Entry {
             at,
             seq: self.seq,

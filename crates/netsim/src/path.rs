@@ -86,7 +86,10 @@ impl Network {
 
     /// A dual-stack network with identical healthy defaults.
     pub fn dual_stack_ms(rtt_ms: u64) -> Network {
-        Network::new(PathProfile::healthy_ms(rtt_ms), PathProfile::healthy_ms(rtt_ms))
+        Network::new(
+            PathProfile::healthy_ms(rtt_ms),
+            PathProfile::healthy_ms(rtt_ms),
+        )
     }
 
     /// Override the path to one exact destination address.
@@ -163,20 +166,44 @@ mod tests {
     #[test]
     fn exact_beats_prefix_beats_default() {
         let mut net = Network::dual_stack_ms(30);
-        net.set_prefix4("198.51.100.0/24".parse().unwrap(), PathProfile::healthy_ms(80));
+        net.set_prefix4(
+            "198.51.100.0/24".parse().unwrap(),
+            PathProfile::healthy_ms(80),
+        );
         net.set_path("198.51.100.7".parse().unwrap(), PathProfile::healthy_ms(5));
-        assert_eq!(net.path_to("198.51.100.7".parse().unwrap()).rtt, 5 * crate::MILLIS);
-        assert_eq!(net.path_to("198.51.100.8".parse().unwrap()).rtt, 80 * crate::MILLIS);
-        assert_eq!(net.path_to("198.51.101.8".parse().unwrap()).rtt, 30 * crate::MILLIS);
+        assert_eq!(
+            net.path_to("198.51.100.7".parse().unwrap()).rtt,
+            5 * crate::MILLIS
+        );
+        assert_eq!(
+            net.path_to("198.51.100.8".parse().unwrap()).rtt,
+            80 * crate::MILLIS
+        );
+        assert_eq!(
+            net.path_to("198.51.101.8".parse().unwrap()).rtt,
+            30 * crate::MILLIS
+        );
     }
 
     #[test]
     fn longest_prefix_wins() {
         let mut net = Network::dual_stack_ms(30);
-        net.set_prefix6("2001:db8::/32".parse().unwrap(), PathProfile::healthy_ms(50));
-        net.set_prefix6("2001:db8:1::/48".parse().unwrap(), PathProfile::healthy_ms(9));
-        assert_eq!(net.path_to("2001:db8:1::5".parse().unwrap()).rtt, 9 * crate::MILLIS);
-        assert_eq!(net.path_to("2001:db8:2::5".parse().unwrap()).rtt, 50 * crate::MILLIS);
+        net.set_prefix6(
+            "2001:db8::/32".parse().unwrap(),
+            PathProfile::healthy_ms(50),
+        );
+        net.set_prefix6(
+            "2001:db8:1::/48".parse().unwrap(),
+            PathProfile::healthy_ms(9),
+        );
+        assert_eq!(
+            net.path_to("2001:db8:1::5".parse().unwrap()).rtt,
+            9 * crate::MILLIS
+        );
+        assert_eq!(
+            net.path_to("2001:db8:2::5".parse().unwrap()).rtt,
+            50 * crate::MILLIS
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ impl TcpConnector {
         let mut rto = self.initial_rto;
         for attempt in 0..=self.syn_retries {
             let syn_count = attempt + 1;
-            let delivered = path.reachable
-                && (path.loss <= 0.0 || rng.gen::<f64>() >= path.loss);
+            let delivered = path.reachable && (path.loss <= 0.0 || rng.gen::<f64>() >= path.loss);
             if delivered {
                 return ConnectOutcome::Connected {
                     at: send_time + path.rtt,
@@ -133,12 +132,8 @@ mod tests {
     #[test]
     fn clean_path_connects_in_one_rtt() {
         let net = Network::dual_stack_ms(25);
-        let out = TcpConnector::default().connect(
-            &net,
-            &mut rng(),
-            "192.0.2.1".parse().unwrap(),
-            1_000,
-        );
+        let out =
+            TcpConnector::default().connect(&net, &mut rng(), "192.0.2.1".parse().unwrap(), 1_000);
         assert_eq!(
             out,
             ConnectOutcome::Connected {

@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn spearman_known_value() {
         // IQ vs hours of TV (Wikipedia's worked Spearman example, rho ≈ -0.1757).
-        let iq = [106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0];
+        let iq = [
+            106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0,
+        ];
         let tv = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
         let s = spearman(&iq, &tv).unwrap();
         assert!((s - (-29.0 / 165.0)).abs() < 1e-9, "rho = {s}");

@@ -203,9 +203,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -286,7 +285,9 @@ mod tests {
     #[test]
     fn heavy_ties_use_normal_approximation() {
         // Cloud-style data: fractions that are mostly 0 or 1.
-        let a: Vec<f64> = (0..40).map(|i| if i % 3 == 0 { 0.0 } else { 1.0 }).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 3 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let b: Vec<f64> = (0..40).map(|_| 0.0).collect();
         let r = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(!r.exact);

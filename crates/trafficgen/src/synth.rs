@@ -34,6 +34,11 @@ pub struct TrafficConfig {
     pub he_both_flow_rate: f64,
     /// Happy Eyeballs parameters for the per-(day, service) health race.
     pub he: HappyEyeballsConfig,
+    /// Worker threads for [`synthesize_all`] (1 = sequential). Residences
+    /// derive independent RNGs from `(seed, index)`, so output is identical
+    /// at any thread count — the same determinism contract `crawlsim`
+    /// documents for its parallel crawl.
+    pub threads: usize,
 }
 
 impl Default for TrafficConfig {
@@ -44,6 +49,9 @@ impl Default for TrafficConfig {
             scale: 1.0 / 1000.0,
             he_both_flow_rate: 0.13,
             he: HappyEyeballsConfig::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
         }
     }
 }
@@ -96,12 +104,46 @@ fn human_hour_weight(hour: u32, weekday: u32) -> f64 {
     }
 }
 
-/// Synthesize every residence.
+/// Synthesize every residence, fanning residences out over
+/// `config.threads` scoped worker threads.
+///
+/// The 273-day Table 1 / Fig 1 runs are residence-independent by
+/// construction (each residence's RNG derives from `(seed, index)` alone),
+/// so this scales with cores while producing byte-identical output at any
+/// thread count.
 pub fn synthesize_all(world: &World, config: &TrafficConfig) -> Vec<ResidenceDataset> {
-    crate::profile::paper_residences()
+    let profiles = crate::profile::paper_residences();
+    let threads = config.threads.max(1).min(profiles.len().max(1));
+
+    if threads == 1 {
+        return profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| synthesize_residence(world, p, config, i as u64))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<ResidenceDataset>> = Vec::new();
+    slots.resize_with(profiles.len(), || None);
+    // Round-robin assignment: residence i runs on worker i % threads, so
+    // heavy profiles spread across workers.
+    let mut per_worker: Vec<Vec<(usize, ResidenceProfile, &mut Option<ResidenceDataset>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, (p, slot)) in profiles.into_iter().zip(slots.iter_mut()).enumerate() {
+        per_worker[i % threads].push((i, p, slot));
+    }
+    std::thread::scope(|scope| {
+        for batch in per_worker {
+            scope.spawn(move || {
+                for (i, profile, slot) in batch {
+                    *slot = Some(synthesize_residence(world, profile, config, i as u64));
+                }
+            });
+        }
+    });
+    slots
         .into_iter()
-        .enumerate()
-        .map(|(i, p)| synthesize_residence(world, p, config, i as u64))
+        .map(|s| s.expect("every residence synthesized"))
         .collect()
 }
 
@@ -182,10 +224,7 @@ pub fn synthesize_residence(
 
     for day in 0..config.num_days {
         let weekday = day % 7;
-        let absent = profile
-            .absences
-            .iter()
-            .any(|&(a, b)| day >= a && day <= b);
+        let absent = profile.absences.iter().any(|&(a, b)| day >= a && day <= b);
 
         // Per-day network health and per-day HE race results per service.
         let outage = rng.gen::<f64>() < profile.v6_outage_day_rate;
@@ -237,10 +276,7 @@ pub fn synthesize_residence(
         }
         for ev in profile.events {
             if rng.gen::<f64>() < ev.probability {
-                if let Some(idx) = services
-                    .iter()
-                    .position(|s| s.service.key == ev.service)
-                {
+                if let Some(idx) = services.iter().position(|s| s.service.key == ev.service) {
                     let extra_gb = ev.gb_mean * lognormal(&mut rng, 1.0, 0.4);
                     let wsum: f64 = day_weights.iter().sum();
                     // Make the event service dominate the (enlarged) day.
@@ -307,16 +343,13 @@ pub fn synthesize_residence(
                                 break d;
                             }
                         };
-                        let start = day as u64 * DAY_US
-                            + hour as u64 * HOUR_US
-                            + rng.gen_range(0..HOUR_US);
+                        let start =
+                            day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
                         let duration = match svc.service.kind {
                             ServiceKind::Streaming | ServiceKind::LiveVideo => {
                                 rng.gen_range(600..3600) as u64 * 1_000_000
                             }
-                            ServiceKind::VideoConf => {
-                                rng.gen_range(900..5400) as u64 * 1_000_000
-                            }
+                            ServiceKind::VideoConf => rng.gen_range(900..5400) as u64 * 1_000_000,
                             ServiceKind::Download => rng.gen_range(60..900) as u64 * 1_000_000,
                             _ => rng.gen_range(1..120) as u64 * 1_000_000,
                         };
@@ -364,9 +397,15 @@ pub fn synthesize_residence(
                 let svc = &services[rng.gen_range(0..services.len())];
                 let use_v6 = device.dual_stack && !svc.v6.is_empty() && rng.gen::<f64>() < 0.5;
                 let (src, dst) = if use_v6 {
-                    (IpAddr::V6(device.v6), svc.v6[rng.gen_range(0..svc.v6.len())])
+                    (
+                        IpAddr::V6(device.v6),
+                        svc.v6[rng.gen_range(0..svc.v6.len())],
+                    )
                 } else {
-                    (IpAddr::V4(device.v4), svc.v4[rng.gen_range(0..svc.v4.len())])
+                    (
+                        IpAddr::V4(device.v4),
+                        svc.v4[rng.gen_range(0..svc.v4.len())],
+                    )
                 };
                 let key = FlowKey::icmp(
                     src,
@@ -377,8 +416,7 @@ pub fn synthesize_residence(
                         icmp_id: rng.gen(),
                     },
                 );
-                let start =
-                    day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
+                let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
                 router.inject(key, start, start + 1_000_000, 64 * 4, 64 * 4);
             }
 
@@ -471,20 +509,23 @@ mod tests {
     fn dataset() -> ResidenceDataset {
         let world = World::generate(&WorldConfig::small());
         let profiles = crate::profile::paper_residences();
-        synthesize_residence(
-            &world,
-            profiles[0].clone(),
-            &TrafficConfig::fast(),
-            0,
-        )
+        synthesize_residence(&world, profiles[0].clone(), &TrafficConfig::fast(), 0)
     }
 
     #[test]
     fn produces_flows_with_both_scopes_and_families() {
         let ds = dataset();
         assert!(ds.flows.len() > 1_000, "got {} flows", ds.flows.len());
-        let ext = ds.flows.iter().filter(|f| f.scope == Scope::External).count();
-        let int = ds.flows.iter().filter(|f| f.scope == Scope::Internal).count();
+        let ext = ds
+            .flows
+            .iter()
+            .filter(|f| f.scope == Scope::External)
+            .count();
+        let int = ds
+            .flows
+            .iter()
+            .filter(|f| f.scope == Scope::Internal)
+            .count();
         assert!(ext > 0 && int > 0);
         let v6 = ds.flows.iter().filter(|f| f.family() == Family::V6).count();
         let v4 = ds.flows.iter().filter(|f| f.family() == Family::V4).count();
@@ -550,8 +591,7 @@ mod tests {
         for f in ds.flows.iter().filter(|f| f.scope == Scope::External) {
             by_day[(f.start / DAY_US) as usize] += f.total_bytes();
         }
-        let absent_avg: f64 =
-            (135..=138).map(|d| by_day[d] as f64).sum::<f64>() / 4.0;
+        let absent_avg: f64 = (135..=138).map(|d| by_day[d] as f64).sum::<f64>() / 4.0;
         let normal_avg: f64 = (100..130).map(|d| by_day[d] as f64).sum::<f64>() / 30.0;
         assert!(
             absent_avg < normal_avg * 0.6,
@@ -567,9 +607,7 @@ mod tests {
             .flows
             .iter()
             .filter(|f| {
-                f.family() == Family::V4
-                    && f.scope == Scope::External
-                    && f.total_bytes() == 600
+                f.family() == Family::V4 && f.scope == Scope::External && f.total_bytes() == 600
             })
             .count();
         assert!(residue > 10, "expected HE residue flows, got {residue}");
@@ -584,5 +622,33 @@ mod tests {
         assert_eq!(a.flows.len(), b.flows.len());
         assert_eq!(a.flows.first(), b.flows.first());
         assert_eq!(a.flows.last(), b.flows.last());
+    }
+
+    #[test]
+    fn synthesize_all_identical_at_any_thread_count() {
+        let world = World::generate(&WorldConfig::small());
+        let cfg = TrafficConfig {
+            num_days: 20,
+            ..TrafficConfig::fast()
+        };
+        let seq = synthesize_all(
+            &world,
+            &TrafficConfig {
+                threads: 1,
+                ..cfg.clone()
+            },
+        );
+        let par = synthesize_all(
+            &world,
+            &TrafficConfig {
+                threads: 4,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.profile.key, b.profile.key);
+            assert_eq!(a.flows, b.flows, "residence {} differs", a.profile.key);
+        }
     }
 }

@@ -11,8 +11,8 @@ use rand::Rng;
 use std::collections::HashSet;
 
 const CONSONANTS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "st", "tr", "ch", "br", "pl", "cr",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "st",
+    "tr", "ch", "br", "pl", "cr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 
@@ -48,9 +48,36 @@ const TLDS: &[(&str, u32)] = &[
 
 /// Subdomain labels weighted towards the ones real sites use.
 const SUBDOMAIN_LABELS: &[&str] = &[
-    "www", "cdn", "static", "img", "assets", "api", "media", "app", "blog", "shop", "mail",
-    "login", "edge", "data", "files", "video", "js", "css", "track", "ads", "analytics",
-    "content", "secure", "m", "news", "docs", "status", "web", "origin", "portal",
+    "www",
+    "cdn",
+    "static",
+    "img",
+    "assets",
+    "api",
+    "media",
+    "app",
+    "blog",
+    "shop",
+    "mail",
+    "login",
+    "edge",
+    "data",
+    "files",
+    "video",
+    "js",
+    "css",
+    "track",
+    "ads",
+    "analytics",
+    "content",
+    "secure",
+    "m",
+    "news",
+    "docs",
+    "status",
+    "web",
+    "origin",
+    "portal",
 ];
 
 /// A deterministic, collision-free domain-name generator.

@@ -17,46 +17,126 @@ use std::collections::HashSet;
 /// Built-in ICANN-style suffix rules (subset sufficient for the suite).
 const BUILTIN_RULES: &[&str] = &[
     // Generic TLDs.
-    "com", "net", "org", "io", "info", "biz", "dev", "app", "edu", "gov", "mil", "int",
-    "cloud", "online", "site", "store", "tech", "xyz", "top", "club", "tv", "me", "cc",
-    "us", "eu",
+    "com",
+    "net",
+    "org",
+    "io",
+    "info",
+    "biz",
+    "dev",
+    "app",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "cloud",
+    "online",
+    "site",
+    "store",
+    "tech",
+    "xyz",
+    "top",
+    "club",
+    "tv",
+    "me",
+    "cc",
+    "us",
+    "eu",
     // Reserved for testing/documentation (RFC 2606) — the synthetic world
     // lives here.
-    "test", "example", "invalid", "localhost",
+    "test",
+    "example",
+    "invalid",
+    "localhost",
     // Country codes with common second-level registrations.
-    "uk", "co.uk", "org.uk", "ac.uk", "gov.uk",
-    "au", "com.au", "net.au", "org.au",
-    "br", "com.br", "net.br",
-    "jp", "co.jp", "ne.jp", "or.jp",
-    "cn", "com.cn", "net.cn",
-    "in", "co.in", "net.in",
-    "il", "co.il", "net.il",
-    "nz", "co.nz", "net.nz",
-    "za", "co.za",
-    "kr", "co.kr",
-    "tw", "com.tw",
-    "hk", "com.hk",
-    "sg", "com.sg",
-    "th", "co.th",
-    "my", "com.my",
-    "mx", "com.mx",
-    "ar", "com.ar",
-    "vn", "com.vn",
-    "id", "co.id",
-    "ph", "com.ph",
-    "tr", "com.tr",
-    "ru", "de", "fr", "nl", "es", "it", "pl", "se", "no", "fi", "dk", "gr", "pt", "hu",
-    "be", "at", "ch", "cz", "ro", "sk", "ca", "ie", "lu",
+    "uk",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "au",
+    "com.au",
+    "net.au",
+    "org.au",
+    "br",
+    "com.br",
+    "net.br",
+    "jp",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "cn",
+    "com.cn",
+    "net.cn",
+    "in",
+    "co.in",
+    "net.in",
+    "il",
+    "co.il",
+    "net.il",
+    "nz",
+    "co.nz",
+    "net.nz",
+    "za",
+    "co.za",
+    "kr",
+    "co.kr",
+    "tw",
+    "com.tw",
+    "hk",
+    "com.hk",
+    "sg",
+    "com.sg",
+    "th",
+    "co.th",
+    "my",
+    "com.my",
+    "mx",
+    "com.mx",
+    "ar",
+    "com.ar",
+    "vn",
+    "com.vn",
+    "id",
+    "co.id",
+    "ph",
+    "com.ph",
+    "tr",
+    "com.tr",
+    "ru",
+    "de",
+    "fr",
+    "nl",
+    "es",
+    "it",
+    "pl",
+    "se",
+    "no",
+    "fi",
+    "dk",
+    "gr",
+    "pt",
+    "hu",
+    "be",
+    "at",
+    "ch",
+    "cz",
+    "ro",
+    "sk",
+    "ca",
+    "ie",
+    "lu",
     // Wildcard + exception examples from the PSL spec (kept for fidelity and
     // exercised by tests).
-    "*.ck", "!www.ck",
+    "*.ck",
+    "!www.ck",
 ];
 
 /// A compiled Public Suffix List.
 #[derive(Debug, Clone)]
 pub struct Psl {
     exact: HashSet<String>,
-    wildcard: HashSet<String>, // stored without the "*." prefix
+    wildcard: HashSet<String>,  // stored without the "*." prefix
     exception: HashSet<String>, // stored without the "!" prefix
 }
 
@@ -164,7 +244,9 @@ mod tests {
             "example.com"
         );
         assert_eq!(
-            p.etld_plus_one(&"a.b.c.example.com".into()).unwrap().as_str(),
+            p.etld_plus_one(&"a.b.c.example.com".into())
+                .unwrap()
+                .as_str(),
             "example.com"
         );
     }
@@ -177,7 +259,9 @@ mod tests {
             "co.uk"
         );
         assert_eq!(
-            p.etld_plus_one(&"www.example.co.uk".into()).unwrap().as_str(),
+            p.etld_plus_one(&"www.example.co.uk".into())
+                .unwrap()
+                .as_str(),
             "example.co.uk"
         );
         // The paper's appendix D has netvision.net.il.
@@ -204,7 +288,9 @@ mod tests {
             "unknowntld"
         );
         assert_eq!(
-            p.etld_plus_one(&"foo.bar.unknowntld".into()).unwrap().as_str(),
+            p.etld_plus_one(&"foo.bar.unknowntld".into())
+                .unwrap()
+                .as_str(),
             "bar.unknowntld"
         );
     }
@@ -214,7 +300,9 @@ mod tests {
         let p = psl();
         // *.ck: every <label>.ck is a public suffix...
         assert_eq!(
-            p.etld_plus_one(&"shop.site.whatever.ck".into()).unwrap().as_str(),
+            p.etld_plus_one(&"shop.site.whatever.ck".into())
+                .unwrap()
+                .as_str(),
             "site.whatever.ck"
         );
         // ...except www.ck (exception rule), which is registrable itself.
@@ -242,11 +330,15 @@ mod tests {
     fn custom_rules() {
         let p = Psl::new(["platform.test", "*.hosted.test"]);
         assert_eq!(
-            p.etld_plus_one(&"tenant1.platform.test".into()).unwrap().as_str(),
+            p.etld_plus_one(&"tenant1.platform.test".into())
+                .unwrap()
+                .as_str(),
             "tenant1.platform.test"
         );
         assert_eq!(
-            p.etld_plus_one(&"x.y.eu.hosted.test".into()).unwrap().as_str(),
+            p.etld_plus_one(&"x.y.eu.hosted.test".into())
+                .unwrap()
+                .as_str(),
             "y.eu.hosted.test"
         );
     }

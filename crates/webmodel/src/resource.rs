@@ -147,21 +147,9 @@ impl DomainCategory {
                 (R::Beacon, 0.2),
                 (R::Image, 0.1),
             ],
-            C::SocialMedia => &[
-                (R::SubFrame, 0.4),
-                (R::Script, 0.3),
-                (R::Image, 0.3),
-            ],
-            C::Assets => &[
-                (R::Font, 0.4),
-                (R::Script, 0.3),
-                (R::Stylesheet, 0.3),
-            ],
-            C::Other => &[
-                (R::Image, 0.4),
-                (R::Script, 0.3),
-                (R::XmlHttpRequest, 0.3),
-            ],
+            C::SocialMedia => &[(R::SubFrame, 0.4), (R::Script, 0.3), (R::Image, 0.3)],
+            C::Assets => &[(R::Font, 0.4), (R::Script, 0.3), (R::Stylesheet, 0.3)],
+            C::Other => &[(R::Image, 0.4), (R::Script, 0.3), (R::XmlHttpRequest, 0.3)],
         }
     }
 }

@@ -124,7 +124,11 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|r| r.fqdn.as_str()).collect();
         assert_eq!(
             names,
-            vec!["static.example.test", "ads.tracker.test", "fonts.assets.test"]
+            vec![
+                "static.example.test",
+                "ads.tracker.test",
+                "fonts.assets.test"
+            ]
         );
     }
 
@@ -132,7 +136,11 @@ mod tests {
     fn main_page_only_misses_deeper_resources() {
         let s = site();
         let main_only = s.resource_fqdns(&[0]);
-        assert_eq!(main_only.len(), 2, "the font dependency is only found by clicking");
+        assert_eq!(
+            main_only.len(),
+            2,
+            "the font dependency is only found by clicking"
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn list(n: usize) -> TopList {
-        TopList::new((0..n).map(|i| Name::new(&format!("site{i}.test"))).collect())
+        TopList::new(
+            (0..n)
+                .map(|i| Name::new(&format!("site{i}.test")))
+                .collect(),
+        )
     }
 
     #[test]

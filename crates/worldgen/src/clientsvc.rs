@@ -88,53 +88,431 @@ pub struct ClientService {
 /// moves bytes via `steamcontent.com`).
 pub const CLIENT_AS_CATALOG: &[ClientService] = &[
     // --- Hosting and Cloud Providers (Fig 4 top panel, sorted by median) ---
-    ClientService { key: "fastly", domain: "fastly.net", as_name: "FASTLY", asn: 54113, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.95, weight: 3.0 },
-    ClientService { key: "cloudflare", domain: "cloudflare.com", as_name: "CLOUDFLARENET", asn: 13335, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.92, weight: 3.5 },
-    ClientService { key: "akamai-asn1", domain: "akamaiedge.net", as_name: "AKAMAI-ASN1", asn: 20940, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.88, weight: 2.5 },
-    ClientService { key: "cdn77", domain: "cdn77.com", as_name: "CDN77", asn: 60068, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.84, weight: 1.0 },
-    ClientService { key: "qwilt", domain: "qwilted-cds.com", as_name: "QWILTED-PROD-01", asn: 20253, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.80, weight: 1.0 },
-    ClientService { key: "microsoft-azure", domain: "azure.com", as_name: "MICROSOFT-CORP-MSN-AS-BLOCK", asn: 8075, category: AsCategory::Hosting, kind: ServiceKind::Web, v6_share: 0.72, weight: 2.0 },
-    ClientService { key: "cloudflare-spectrum", domain: "cloudflare.net", as_name: "CLOUDFLARESPECTRUM", asn: 209242, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.68, weight: 0.8 },
-    ClientService { key: "amazon-02", domain: "amazonaws.com", as_name: "AMAZON-02", asn: 16509, category: AsCategory::Hosting, kind: ServiceKind::Web, v6_share: 0.60, weight: 3.0 },
-    ClientService { key: "zen-ecn", domain: "zen-ecn.net", as_name: "ZEN-ECN", asn: 21859, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.55, weight: 0.6 },
-    ClientService { key: "google-cloud", domain: "googleusercontent.com", as_name: "GOOGLE-CLOUD-PLATFORM", asn: 396982, category: AsCategory::Hosting, kind: ServiceKind::Web, v6_share: 0.50, weight: 1.5 },
-    ClientService { key: "amazon-aes", domain: "r.cloudfront.net", as_name: "AMAZON-AES", asn: 14618, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.40, weight: 1.2 },
-    ClientService { key: "ace", domain: "hvvc.us", as_name: "ACE-AS-AP", asn: 139341, category: AsCategory::Hosting, kind: ServiceKind::Cdn, v6_share: 0.33, weight: 0.5 },
-    ClientService { key: "ovh", domain: "ovh.net", as_name: "OVH", asn: 16276, category: AsCategory::Hosting, kind: ServiceKind::Background, v6_share: 0.07, weight: 1.0 },
-    ClientService { key: "digitalocean", domain: "digitalocean.com", as_name: "DIGITALOCEAN-ASN", asn: 14061, category: AsCategory::Hosting, kind: ServiceKind::Background, v6_share: 0.05, weight: 1.0 },
-    ClientService { key: "leaseweb", domain: "leaseweb.com", as_name: "LEASEWEB-NL-AMS-01", asn: 60781, category: AsCategory::Hosting, kind: ServiceKind::Download, v6_share: 0.04, weight: 0.5 },
-    ClientService { key: "akamai-as", domain: "akamaitechnologies.com", as_name: "AKAMAI-AS", asn: 16625, category: AsCategory::Hosting, kind: ServiceKind::Background, v6_share: 0.02, weight: 2.0 },
-    ClientService { key: "i3d", domain: "i3d.net", as_name: "i3Dnet", asn: 49544, category: AsCategory::Hosting, kind: ServiceKind::Gaming, v6_share: 0.0, weight: 0.4 },
+    ClientService {
+        key: "fastly",
+        domain: "fastly.net",
+        as_name: "FASTLY",
+        asn: 54113,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.95,
+        weight: 3.0,
+    },
+    ClientService {
+        key: "cloudflare",
+        domain: "cloudflare.com",
+        as_name: "CLOUDFLARENET",
+        asn: 13335,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.92,
+        weight: 3.5,
+    },
+    ClientService {
+        key: "akamai-asn1",
+        domain: "akamaiedge.net",
+        as_name: "AKAMAI-ASN1",
+        asn: 20940,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.88,
+        weight: 2.5,
+    },
+    ClientService {
+        key: "cdn77",
+        domain: "cdn77.com",
+        as_name: "CDN77",
+        asn: 60068,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.84,
+        weight: 1.0,
+    },
+    ClientService {
+        key: "qwilt",
+        domain: "qwilted-cds.com",
+        as_name: "QWILTED-PROD-01",
+        asn: 20253,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.80,
+        weight: 1.0,
+    },
+    ClientService {
+        key: "microsoft-azure",
+        domain: "azure.com",
+        as_name: "MICROSOFT-CORP-MSN-AS-BLOCK",
+        asn: 8075,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Web,
+        v6_share: 0.72,
+        weight: 2.0,
+    },
+    ClientService {
+        key: "cloudflare-spectrum",
+        domain: "cloudflare.net",
+        as_name: "CLOUDFLARESPECTRUM",
+        asn: 209242,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.68,
+        weight: 0.8,
+    },
+    ClientService {
+        key: "amazon-02",
+        domain: "amazonaws.com",
+        as_name: "AMAZON-02",
+        asn: 16509,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Web,
+        v6_share: 0.60,
+        weight: 3.0,
+    },
+    ClientService {
+        key: "zen-ecn",
+        domain: "zen-ecn.net",
+        as_name: "ZEN-ECN",
+        asn: 21859,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.55,
+        weight: 0.6,
+    },
+    ClientService {
+        key: "google-cloud",
+        domain: "googleusercontent.com",
+        as_name: "GOOGLE-CLOUD-PLATFORM",
+        asn: 396982,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Web,
+        v6_share: 0.50,
+        weight: 1.5,
+    },
+    ClientService {
+        key: "amazon-aes",
+        domain: "r.cloudfront.net",
+        as_name: "AMAZON-AES",
+        asn: 14618,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.40,
+        weight: 1.2,
+    },
+    ClientService {
+        key: "ace",
+        domain: "hvvc.us",
+        as_name: "ACE-AS-AP",
+        asn: 139341,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.33,
+        weight: 0.5,
+    },
+    ClientService {
+        key: "ovh",
+        domain: "ovh.net",
+        as_name: "OVH",
+        asn: 16276,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Background,
+        v6_share: 0.07,
+        weight: 1.0,
+    },
+    ClientService {
+        key: "digitalocean",
+        domain: "digitalocean.com",
+        as_name: "DIGITALOCEAN-ASN",
+        asn: 14061,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Background,
+        v6_share: 0.05,
+        weight: 1.0,
+    },
+    ClientService {
+        key: "leaseweb",
+        domain: "leaseweb.com",
+        as_name: "LEASEWEB-NL-AMS-01",
+        asn: 60781,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Download,
+        v6_share: 0.04,
+        weight: 0.5,
+    },
+    ClientService {
+        key: "akamai-as",
+        domain: "akamaitechnologies.com",
+        as_name: "AKAMAI-AS",
+        asn: 16625,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Background,
+        v6_share: 0.02,
+        weight: 2.0,
+    },
+    ClientService {
+        key: "i3d",
+        domain: "i3d.net",
+        as_name: "i3Dnet",
+        asn: 49544,
+        category: AsCategory::Hosting,
+        kind: ServiceKind::Gaming,
+        v6_share: 0.0,
+        weight: 0.4,
+    },
     // --- Software Development (Fig 4 second panel) ---
-    ClientService { key: "microsoft-8068", domain: "microsoft.com", as_name: "MICROSOFT-CORP-AS", asn: 8068, category: AsCategory::Software, kind: ServiceKind::Background, v6_share: 0.82, weight: 0.5 },
-    ClientService { key: "apple-austin", domain: "aaplimg.com", as_name: "APPLE-AUSTIN", asn: 6185, category: AsCategory::Software, kind: ServiceKind::Download, v6_share: 0.74, weight: 1.5 },
-    ClientService { key: "apple-eng", domain: "apple.com", as_name: "APPLE-ENGINEERING", asn: 714, category: AsCategory::Software, kind: ServiceKind::Background, v6_share: 0.62, weight: 1.0 },
-    ClientService { key: "zoom", domain: "zoom.us", as_name: "ZOOM-VIDEO-COMM-AS", asn: 30103, category: AsCategory::Software, kind: ServiceKind::VideoConf, v6_share: 0.0, weight: 1.4 },
+    ClientService {
+        key: "microsoft-8068",
+        domain: "microsoft.com",
+        as_name: "MICROSOFT-CORP-AS",
+        asn: 8068,
+        category: AsCategory::Software,
+        kind: ServiceKind::Background,
+        v6_share: 0.82,
+        weight: 0.5,
+    },
+    ClientService {
+        key: "apple-austin",
+        domain: "aaplimg.com",
+        as_name: "APPLE-AUSTIN",
+        asn: 6185,
+        category: AsCategory::Software,
+        kind: ServiceKind::Download,
+        v6_share: 0.74,
+        weight: 1.5,
+    },
+    ClientService {
+        key: "apple-eng",
+        domain: "apple.com",
+        as_name: "APPLE-ENGINEERING",
+        asn: 714,
+        category: AsCategory::Software,
+        kind: ServiceKind::Background,
+        v6_share: 0.62,
+        weight: 1.0,
+    },
+    ClientService {
+        key: "zoom",
+        domain: "zoom.us",
+        as_name: "ZOOM-VIDEO-COMM-AS",
+        asn: 30103,
+        category: AsCategory::Software,
+        kind: ServiceKind::VideoConf,
+        v6_share: 0.0,
+        weight: 1.4,
+    },
     // --- ISPs (Fig 4 third panel) ---
-    ClientService { key: "china169", domain: "china169-bb.cn", as_name: "CHINA169-Backbone", asn: 4837, category: AsCategory::Isp, kind: ServiceKind::Web, v6_share: 0.20, weight: 0.3 },
-    ClientService { key: "chinanet", domain: "chinatelecom.cn", as_name: "CHINANET-BACKBONE", asn: 4134, category: AsCategory::Isp, kind: ServiceKind::Web, v6_share: 0.17, weight: 0.3 },
-    ClientService { key: "att", domain: "sbcglobal.net", as_name: "ATT-INTERNET4", asn: 7018, category: AsCategory::Isp, kind: ServiceKind::Web, v6_share: 0.14, weight: 0.4 },
-    ClientService { key: "comcast", domain: "comcast.net", as_name: "COMCAST-7922", asn: 7922, category: AsCategory::Isp, kind: ServiceKind::Web, v6_share: 0.11, weight: 0.4 },
-    ClientService { key: "frontier", domain: "frontiernet.net", as_name: "FRONTIER-FRTR", asn: 5650, category: AsCategory::Isp, kind: ServiceKind::Web, v6_share: 0.02, weight: 0.3 },
+    ClientService {
+        key: "china169",
+        domain: "china169-bb.cn",
+        as_name: "CHINA169-Backbone",
+        asn: 4837,
+        category: AsCategory::Isp,
+        kind: ServiceKind::Web,
+        v6_share: 0.20,
+        weight: 0.3,
+    },
+    ClientService {
+        key: "chinanet",
+        domain: "chinatelecom.cn",
+        as_name: "CHINANET-BACKBONE",
+        asn: 4134,
+        category: AsCategory::Isp,
+        kind: ServiceKind::Web,
+        v6_share: 0.17,
+        weight: 0.3,
+    },
+    ClientService {
+        key: "att",
+        domain: "sbcglobal.net",
+        as_name: "ATT-INTERNET4",
+        asn: 7018,
+        category: AsCategory::Isp,
+        kind: ServiceKind::Web,
+        v6_share: 0.14,
+        weight: 0.4,
+    },
+    ClientService {
+        key: "comcast",
+        domain: "comcast.net",
+        as_name: "COMCAST-7922",
+        asn: 7922,
+        category: AsCategory::Isp,
+        kind: ServiceKind::Web,
+        v6_share: 0.11,
+        weight: 0.4,
+    },
+    ClientService {
+        key: "frontier",
+        domain: "frontiernet.net",
+        as_name: "FRONTIER-FRTR",
+        asn: 5650,
+        category: AsCategory::Isp,
+        kind: ServiceKind::Web,
+        v6_share: 0.02,
+        weight: 0.3,
+    },
     // --- Web and Social Media (Fig 4 fourth panel) ---
-    ClientService { key: "wikimedia", domain: "wikimedia.org", as_name: "WIKIMEDIA", asn: 14907, category: AsCategory::WebSocial, kind: ServiceKind::Web, v6_share: 0.96, weight: 0.6 },
-    ClientService { key: "facebook", domain: "facebook.com", as_name: "FACEBOOK", asn: 32934, category: AsCategory::WebSocial, kind: ServiceKind::Social, v6_share: 0.95, weight: 2.5 },
-    ClientService { key: "fbcdn", domain: "fbcdn.net", as_name: "FACEBOOK", asn: 32934, category: AsCategory::WebSocial, kind: ServiceKind::Cdn, v6_share: 0.96, weight: 1.5 },
-    ClientService { key: "google", domain: "google.com", as_name: "GOOGLE", asn: 15169, category: AsCategory::WebSocial, kind: ServiceKind::Web, v6_share: 0.94, weight: 3.0 },
-    ClientService { key: "google-1e100", domain: "1e100.net", as_name: "GOOGLE", asn: 15169, category: AsCategory::WebSocial, kind: ServiceKind::Streaming, v6_share: 0.93, weight: 3.5 },
-    ClientService { key: "google-dns", domain: "dns.google", as_name: "GOOGLE", asn: 15169, category: AsCategory::WebSocial, kind: ServiceKind::Background, v6_share: 0.90, weight: 0.2 },
-    ClientService { key: "bytedance", domain: "bytecdn.cn", as_name: "BYTEDANCE", asn: 396986, category: AsCategory::WebSocial, kind: ServiceKind::Social, v6_share: 0.12, weight: 1.8 },
+    ClientService {
+        key: "wikimedia",
+        domain: "wikimedia.org",
+        as_name: "WIKIMEDIA",
+        asn: 14907,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Web,
+        v6_share: 0.96,
+        weight: 0.6,
+    },
+    ClientService {
+        key: "facebook",
+        domain: "facebook.com",
+        as_name: "FACEBOOK",
+        asn: 32934,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Social,
+        v6_share: 0.95,
+        weight: 2.5,
+    },
+    ClientService {
+        key: "fbcdn",
+        domain: "fbcdn.net",
+        as_name: "FACEBOOK",
+        asn: 32934,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Cdn,
+        v6_share: 0.96,
+        weight: 1.5,
+    },
+    ClientService {
+        key: "google",
+        domain: "google.com",
+        as_name: "GOOGLE",
+        asn: 15169,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Web,
+        v6_share: 0.94,
+        weight: 3.0,
+    },
+    ClientService {
+        key: "google-1e100",
+        domain: "1e100.net",
+        as_name: "GOOGLE",
+        asn: 15169,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Streaming,
+        v6_share: 0.93,
+        weight: 3.5,
+    },
+    ClientService {
+        key: "google-dns",
+        domain: "dns.google",
+        as_name: "GOOGLE",
+        asn: 15169,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Background,
+        v6_share: 0.90,
+        weight: 0.2,
+    },
+    ClientService {
+        key: "bytedance",
+        domain: "bytecdn.cn",
+        as_name: "BYTEDANCE",
+        asn: 396986,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Social,
+        v6_share: 0.12,
+        weight: 1.8,
+    },
     // --- Other (Fig 4 bottom panel) ---
-    ClientService { key: "netflix-ssi", domain: "nflxvideo.net", as_name: "AS-SSI", asn: 2906, category: AsCategory::Other, kind: ServiceKind::Streaming, v6_share: 0.92, weight: 4.0 },
-    ClientService { key: "valve", domain: "steamcontent.com", as_name: "VALVE-CORPORATION", asn: 32590, category: AsCategory::Other, kind: ServiceKind::Download, v6_share: 0.85, weight: 3.0 },
-    ClientService { key: "valve-net", domain: "valve.net", as_name: "VALVE-CORPORATION", asn: 32590, category: AsCategory::Other, kind: ServiceKind::Gaming, v6_share: 0.80, weight: 0.8 },
-    ClientService { key: "netflix-oca", domain: "netflix.com", as_name: "NETFLIX-ASN", asn: 40027, category: AsCategory::Other, kind: ServiceKind::Streaming, v6_share: 0.78, weight: 1.5 },
-    ClientService { key: "archive", domain: "archive.org", as_name: "INTERNET-ARCHIVE", asn: 7941, category: AsCategory::Other, kind: ServiceKind::Download, v6_share: 0.45, weight: 0.5 },
-    ClientService { key: "usc", domain: "usc.edu", as_name: "USC-AS", asn: 47, category: AsCategory::Other, kind: ServiceKind::Web, v6_share: 0.0, weight: 0.5 },
+    ClientService {
+        key: "netflix-ssi",
+        domain: "nflxvideo.net",
+        as_name: "AS-SSI",
+        asn: 2906,
+        category: AsCategory::Other,
+        kind: ServiceKind::Streaming,
+        v6_share: 0.92,
+        weight: 4.0,
+    },
+    ClientService {
+        key: "valve",
+        domain: "steamcontent.com",
+        as_name: "VALVE-CORPORATION",
+        asn: 32590,
+        category: AsCategory::Other,
+        kind: ServiceKind::Download,
+        v6_share: 0.85,
+        weight: 3.0,
+    },
+    ClientService {
+        key: "valve-net",
+        domain: "valve.net",
+        as_name: "VALVE-CORPORATION",
+        asn: 32590,
+        category: AsCategory::Other,
+        kind: ServiceKind::Gaming,
+        v6_share: 0.80,
+        weight: 0.8,
+    },
+    ClientService {
+        key: "netflix-oca",
+        domain: "netflix.com",
+        as_name: "NETFLIX-ASN",
+        asn: 40027,
+        category: AsCategory::Other,
+        kind: ServiceKind::Streaming,
+        v6_share: 0.78,
+        weight: 1.5,
+    },
+    ClientService {
+        key: "archive",
+        domain: "archive.org",
+        as_name: "INTERNET-ARCHIVE",
+        asn: 7941,
+        category: AsCategory::Other,
+        kind: ServiceKind::Download,
+        v6_share: 0.45,
+        weight: 0.5,
+    },
+    ClientService {
+        key: "usc",
+        domain: "usc.edu",
+        as_name: "USC-AS",
+        asn: 47,
+        category: AsCategory::Other,
+        kind: ServiceKind::Web,
+        v6_share: 0.0,
+        weight: 0.5,
+    },
     // --- Fig 17 stragglers that lag at zero IPv6 (not in the 35-AS set) ---
-    ClientService { key: "twitch", domain: "justin.tv", as_name: "TWITCH", asn: 46489, category: AsCategory::Other, kind: ServiceKind::LiveVideo, v6_share: 0.0, weight: 1.6 },
-    ClientService { key: "github", domain: "github.com", as_name: "GITHUB", asn: 36459, category: AsCategory::Other, kind: ServiceKind::Web, v6_share: 0.0, weight: 0.7 },
-    ClientService { key: "wordpress", domain: "wp.com", as_name: "AUTOMATTIC", asn: 2635, category: AsCategory::WebSocial, kind: ServiceKind::Web, v6_share: 0.0, weight: 0.4 },
+    ClientService {
+        key: "twitch",
+        domain: "justin.tv",
+        as_name: "TWITCH",
+        asn: 46489,
+        category: AsCategory::Other,
+        kind: ServiceKind::LiveVideo,
+        v6_share: 0.0,
+        weight: 1.6,
+    },
+    ClientService {
+        key: "github",
+        domain: "github.com",
+        as_name: "GITHUB",
+        asn: 36459,
+        category: AsCategory::Other,
+        kind: ServiceKind::Web,
+        v6_share: 0.0,
+        weight: 0.7,
+    },
+    ClientService {
+        key: "wordpress",
+        domain: "wp.com",
+        as_name: "AUTOMATTIC",
+        asn: 2635,
+        category: AsCategory::WebSocial,
+        kind: ServiceKind::Web,
+        v6_share: 0.0,
+        weight: 0.4,
+    },
 ];
 
 /// Number of endpoint addresses created per service and family.
@@ -188,7 +566,9 @@ pub fn register_client_services(
             .filter(|r: &&ClientServiceRuntime| r.service.asn == svc.asn)
             .count() as u64;
         let s4 = p4.subnet(24, svc_index).expect("few services per AS");
-        let s6 = p6.subnet(48, svc_index as u128).expect("few services per AS");
+        let s6 = p6
+            .subnet(48, svc_index as u128)
+            .expect("few services per AS");
 
         let mut v4 = Vec::new();
         let mut v6 = Vec::new();

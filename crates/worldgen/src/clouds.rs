@@ -381,7 +381,10 @@ impl CloudRuntime {
             .unwrap_or_else(|| panic!("unknown service {service_key}"))
             .clone();
         self.cname_counter += 1;
-        let endpoint = Name::new(&format!("t{:x}.{}", self.cname_counter, service.cname_suffix));
+        let endpoint = Name::new(&format!(
+            "t{:x}.{}",
+            self.cname_counter, service.cname_suffix
+        ));
         zone.add_cname(fqdn.clone(), endpoint.clone());
 
         let (v4_org, v6_org) = if service.key.starts_with("bunny-cdn") {

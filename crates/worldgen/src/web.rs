@@ -237,7 +237,9 @@ impl CumTable {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cum.last().expect("non-empty table");
         let roll = rng.gen::<f64>() * total;
-        self.cum.partition_point(|&c| c < roll).min(self.cum.len() - 1)
+        self.cum
+            .partition_point(|&c| c < roll)
+            .min(self.cum.len() - 1)
     }
 }
 
@@ -375,7 +377,14 @@ fn build_third_party_pool<R: Rng + ?Sized>(
         } else {
             None
         };
-        push(namegen.registrable(rng), cat, Tier::HeavyV4, ready_epoch, false, rng);
+        push(
+            namegen.registrable(rng),
+            cat,
+            Tier::HeavyV4,
+            ready_epoch,
+            false,
+            rng,
+        );
     }
 
     // Heavy IPv6-ready infrastructure pool (fonts, JS CDNs, analytics that
@@ -387,7 +396,14 @@ fn build_third_party_pool<R: Rng + ?Sized>(
             7..=8 => DomainCategory::Analytics,
             _ => DomainCategory::SocialMedia,
         };
-        push(namegen.registrable(rng), cat, Tier::HeavyReady, Some(0), false, rng);
+        push(
+            namegen.registrable(rng),
+            cat,
+            Tier::HeavyReady,
+            Some(0),
+            false,
+            rng,
+        );
     }
 
     // Mid pool: 2% of site count, half ready.
@@ -548,7 +564,8 @@ fn generate_site<R: Rng + ?Sized>(
         Vec::new()
     };
     // The §4.3 first-party-only-partial mechanism.
-    let fp_partial = base_class == GenClass::Partial && rng.gen::<f64>() < cal.first_party_partial_rate;
+    let fp_partial =
+        base_class == GenClass::Partial && rng.gen::<f64>() < cal.first_party_partial_rate;
     let v4only_first_party = if fp_partial {
         Some(Name::new(&format!("assets.{domain}")))
     } else {
@@ -565,11 +582,12 @@ fn generate_site<R: Rng + ?Sized>(
         base_class == GenClass::Full || fp_partial || (late_bloomer && rng.gen::<f64>() < 0.25);
     let mut dep_set: Vec<u32> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    let add_dep = |idx: usize, dep_set: &mut Vec<u32>, seen: &mut std::collections::HashSet<usize>| {
-        if seen.insert(idx) {
-            dep_set.push(idx as u32);
-        }
-    };
+    let add_dep =
+        |idx: usize, dep_set: &mut Vec<u32>, seen: &mut std::collections::HashSet<usize>| {
+            if seen.insert(idx) {
+                dep_set.push(idx as u32);
+            }
+        };
 
     // Ads/tracker cluster (heavy IPv4-only): suppressed for ready-only sites.
     if !want_ready_only && rng.gen::<f64>() < 0.80 && !heavy_v4.is_empty() {
@@ -616,7 +634,11 @@ fn generate_site<R: Rng + ?Sized>(
     {
         // Uniform (not popularity-weighted) so the forced dependency does
         // not artificially inflate the head of the span distribution.
-        add_dep(heavy_v4[rng.gen_range(0..heavy_v4.len())], &mut dep_set, &mut seen);
+        add_dep(
+            heavy_v4[rng.gen_range(0..heavy_v4.len())],
+            &mut dep_set,
+            &mut seen,
+        );
     }
 
     // Build pages and distribute fetches.
@@ -639,18 +661,19 @@ fn generate_site<R: Rng + ?Sized>(
         pages[i].links = vec![0, 1.max(i) % n_pages];
     }
 
-    let place_fetch = |fqdn: Name, rtype: ResourceType, first_party: bool, pages: &mut Vec<Page>, rng: &mut R| {
-        let page_idx = if rng.gen::<f64>() < cal.main_page_fetch_share || n_pages == 1 {
-            0
-        } else {
-            rng.gen_range(1..n_pages)
+    let place_fetch =
+        |fqdn: Name, rtype: ResourceType, first_party: bool, pages: &mut Vec<Page>, rng: &mut R| {
+            let page_idx = if rng.gen::<f64>() < cal.main_page_fetch_share || n_pages == 1 {
+                0
+            } else {
+                rng.gen_range(1..n_pages)
+            };
+            pages[page_idx].resources.push(ResourceRef {
+                fqdn,
+                rtype,
+                first_party,
+            });
         };
-        pages[page_idx].resources.push(ResourceRef {
-            fqdn,
-            rtype,
-            first_party,
-        });
-    };
 
     // First-party fetches: a handful per page.
     #[allow(clippy::needless_range_loop)] // pi is the page id
@@ -868,16 +891,12 @@ mod tests {
         let web = small_web();
         let n = web.sites.len() as f64;
         let count = |class: GenClass, e: usize| {
-            web.truth
-                .iter()
-                .filter(|t| t.by_epoch[e] == class)
-                .count() as f64
+            web.truth.iter().filter(|t| t.by_epoch[e] == class).count() as f64
         };
         // Epoch 2 (Jul 2025) headline numbers, with sampling tolerance.
         let nx = count(GenClass::NxDomain, 2) / n;
         assert!((0.10..0.17).contains(&nx), "NXDOMAIN share {nx}");
-        let connected =
-            n - count(GenClass::NxDomain, 2) - count(GenClass::OtherFailure, 2);
+        let connected = n - count(GenClass::NxDomain, 2) - count(GenClass::OtherFailure, 2);
         let v4 = count(GenClass::V4Only, 2) / connected;
         let partial = count(GenClass::Partial, 2) / connected;
         let full = count(GenClass::Full, 2) / connected;
@@ -891,12 +910,8 @@ mod tests {
     #[test]
     fn epochs_drift_in_the_right_direction() {
         let web = small_web();
-        let count = |class: GenClass, e: usize| {
-            web.truth
-                .iter()
-                .filter(|t| t.by_epoch[e] == class)
-                .count()
-        };
+        let count =
+            |class: GenClass, e: usize| web.truth.iter().filter(|t| t.by_epoch[e] == class).count();
         assert!(
             count(GenClass::NxDomain, 2) >= count(GenClass::NxDomain, 0),
             "NXDOMAIN grows"
@@ -1013,9 +1028,7 @@ mod tests {
             .info
             .iter()
             .zip(&web.truth)
-            .filter(|(si, t)| {
-                t.by_epoch[0] == GenClass::Partial && si.v4only_first_party.is_some()
-            })
+            .filter(|(si, t)| t.by_epoch[0] == GenClass::Partial && si.v4only_first_party.is_some())
             .count();
         let partial = web
             .truth

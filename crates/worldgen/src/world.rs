@@ -198,11 +198,7 @@ mod tests {
             GenClass::Full,
         ] {
             assert!(
-                world
-                    .web
-                    .truth
-                    .iter()
-                    .any(|t| t.by_epoch[e] == class),
+                world.web.truth.iter().any(|t| t.by_epoch[e] == class),
                 "{class:?} missing from generated world"
             );
         }

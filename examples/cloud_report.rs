@@ -55,7 +55,10 @@ fn main() {
     let tenants = multicloud_tenant_count(&fqdns, &world.psl, &groups);
     println!("{tenants} tenants span two or more clouds");
     let matrix = pairwise_comparison(&fqdns, &world.psl, &groups, 2);
-    println!("cloud ranking by pairwise wins: {}", matrix.groups.join(" > "));
+    println!(
+        "cloud ranking by pairwise wins: {}",
+        matrix.groups.join(" > ")
+    );
     for c in matrix.cells.iter().filter(|c| c.significant).take(8) {
         println!(
             "  {:<14} vs {:<14}  effect {:+.2} over {} shared tenants",

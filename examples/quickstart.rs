@@ -28,7 +28,10 @@ fn main() {
     // 3. The non-binary view: graded classes, not "has AAAA".
     let counts = ClassCounts::from_report(&report);
     println!("\n{} sites crawled ({})", counts.total, report.epoch_label);
-    println!("  loading failures : {}", counts.nxdomain + counts.other_failure);
+    println!(
+        "  loading failures : {}",
+        counts.nxdomain + counts.other_failure
+    );
     println!(
         "  IPv4-only        : {:5}  ({:.1}% of connected)",
         counts.v4_only,

@@ -29,7 +29,11 @@ fn main() {
         ..TrafficConfig::default()
     };
     let ds = synthesize_residence(&world, profile, &cfg, 0);
-    println!("{} sampled flow records over {} days", ds.flows.len(), ds.num_days);
+    println!(
+        "{} sampled flow records over {} days",
+        ds.flows.len(),
+        ds.num_days
+    );
 
     // The privacy pipeline from the paper's appendix A: scramble the low 8
     // bits of IPv4 and the low /64 of IPv6, prefix-preserving, then rotate

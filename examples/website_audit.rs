@@ -50,9 +50,16 @@ fn main() {
             e.1 += 1;
         }
     }
-    println!("{:<34} {:>5} {:>8}  party", "dependency (eTLD+1)", "res", "v4-only");
+    println!(
+        "{:<34} {:>5} {:>8}  party",
+        "dependency (eTLD+1)", "res", "v4-only"
+    );
     for (domain, (total, v4only, first_party)) in &by_domain {
-        let marker = if *v4only > 0 { "<-- blocks IPv6-full" } else { "" };
+        let marker = if *v4only > 0 {
+            "<-- blocks IPv6-full"
+        } else {
+            ""
+        };
         println!(
             "{domain:<34} {total:>5} {v4only:>8}  {:<6} {marker}",
             if *first_party { "first" } else { "third" },
@@ -69,5 +76,12 @@ fn main() {
         blockers.len(),
         by_domain.len()
     );
-    println!("fix list: {}", blockers.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", "));
+    println!(
+        "fix list: {}",
+        blockers
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

@@ -21,8 +21,8 @@ pub use crawlsim;
 pub use dnssim;
 pub use flowmon;
 pub use happyeyeballs;
-pub use ipv6view_core as core;
 pub use iputil;
+pub use ipv6view_core as core;
 pub use mstl;
 pub use netsim;
 pub use netstats;

@@ -28,7 +28,7 @@ fn different_seeds_different_worlds_same_findings() {
     assert_ne!(a, b, "different seeds must differ in detail");
     for (nx, v4, partial, full) in [a, b] {
         let connected = 2_000 - nx; // other failures are small
-        // Qualitative findings hold for any seed:
+                                    // Qualitative findings hold for any seed:
         assert!(v4 > partial, "IPv4-only is the biggest class");
         assert!(partial > full, "most AAAA sites are only partial");
         assert!(

@@ -2,9 +2,7 @@
 //! → anonymizing export → Table 1 analysis → AS/domain attribution → MSTL —
 //! spanning trafficgen, flowmon, iputil, bgpsim, dnssim and ipv6view-core.
 
-use ipv6view::core::client::{
-    analyze_residence, as_fractions, common_ases, domain_fractions,
-};
+use ipv6view::core::client::{analyze_residence, as_fractions, common_ases, domain_fractions};
 use ipv6view::flowmon::{AnonymizingExporter, Scope};
 use ipv6view::iputil::anon::{Anonymizer, AnonymizerConfig};
 use ipv6view::trafficgen::{synthesize_all, TrafficConfig};

@@ -5,8 +5,8 @@
 
 use cloudmodel::catalog::ServiceCatalog;
 use ipv6view::core::cloud::{
-    default_groups, hosted_fqdns, multicloud_tenant_count, org_readiness,
-    pairwise_comparison, service_adoption,
+    default_groups, hosted_fqdns, multicloud_tenant_count, org_readiness, pairwise_comparison,
+    service_adoption,
 };
 use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
 use ipv6view::worldgen::{World, WorldConfig};
@@ -79,7 +79,12 @@ fn attribution_is_stable_across_crawl_configs() {
     assert!(main_only.len() < full.len());
     let full_map: std::collections::HashMap<_, _> = full
         .iter()
-        .map(|f| (f.fqdn.clone(), (f.v4_org.clone(), f.v6_org.clone(), f.has_aaaa)))
+        .map(|f| {
+            (
+                f.fqdn.clone(),
+                (f.v4_org.clone(), f.v6_org.clone(), f.has_aaaa),
+            )
+        })
         .collect();
     let mut checked = 0;
     for f in &main_only {

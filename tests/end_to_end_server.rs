@@ -21,7 +21,10 @@ fn classification_counts_add_up_across_epochs() {
         let c = ClassCounts::from_report(&report);
         assert_eq!(c.total, w.web.sites.len());
         assert_eq!(c.connected + c.nxdomain + c.other_failure, c.total);
-        assert_eq!(c.v4_only + c.partial + c.full + c.unknown_primary, c.connected);
+        assert_eq!(
+            c.v4_only + c.partial + c.full + c.unknown_primary,
+            c.connected
+        );
     }
 }
 
@@ -52,11 +55,8 @@ fn popularity_monotonicity_weakly_holds() {
 fn epoch_drift_directions_match_paper() {
     let w = world();
     let first = ClassCounts::from_report(&crawl_epoch(&w, 0, &CrawlConfig::default()));
-    let last = ClassCounts::from_report(&crawl_epoch(
-        &w,
-        w.latest_epoch(),
-        &CrawlConfig::default(),
-    ));
+    let last =
+        ClassCounts::from_report(&crawl_epoch(&w, w.latest_epoch(), &CrawlConfig::default()));
     assert!(last.nxdomain >= first.nxdomain, "NXDOMAIN grows");
     assert!(last.v4_only <= first.v4_only, "IPv4-only shrinks");
     assert!(

@@ -1,0 +1,151 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Implements the subset the workspace benches use — [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], `criterion_group!`/`criterion_main!` —
+//! with real wall-clock measurement: per sample it auto-scales the iteration
+//! count to a target duration, then reports the median, minimum and maximum
+//! per-iteration time. Output is one line per benchmark plus a JSON-ish
+//! summary line (`BENCH{...}`) that scripts can scrape.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver configuration + registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock duration of one sample (iterations auto-scale).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample_time = d;
+        self
+    }
+
+    /// Run one benchmark (skipped unless its name matches the CLI filter,
+    /// mirroring `cargo bench -- <substring>` behavior of real criterion).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if !filters.is_empty() && !filters.iter().any(|pat| name.contains(pat.as_str())) {
+            return self;
+        }
+        // Calibration pass: run once to estimate per-iteration cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample = (self.target_sample_time.as_nanos() / per_iter.as_nanos())
+            .clamp(1, u32::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let lo = samples_ns[0];
+        let hi = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{name:<45} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        println!(
+            "BENCH{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{lo:.1},\
+             \"max_ns\":{hi:.1},\"samples\":{},\"iters_per_sample\":{iters_per_sample}}}",
+            samples_ns.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to fill the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,630 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`, `any::<T>()` for primitives and
+//! byte arrays, numeric ranges as strategies, strategy tuples, `Just`,
+//! `prop_oneof!`, `proptest::collection::{vec, btree_set}`, the `proptest!`
+//! macro with optional `#![proptest_config(...)]`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the generated values left implicit in the assert message) and a fixed
+//! per-test-name deterministic RNG rather than a persisted failure file.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving the strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (e.g. the test function name).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Seed from a 64-bit value (expanded through SplitMix64).
+    pub fn from_seed(mut seed: u64) -> TestRng {
+        let mut next = || {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (retries, panics after 1000 misses).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Strategy generating exactly the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats only — the workspace's numeric properties assume finite
+    /// inputs and constrain ranges explicitly where it matters.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_f64() - 0.5) * 2e9
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*}
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// String patterns as strategies: a `&str` is interpreted as a small regex
+/// subset — literal characters, character classes (`[a-z0-9_]`, with ranges),
+/// and repetition (`{n}`, `{m,n}`, `*`, `+` capped at 8) — matching how the
+/// workspace's tests use proptest's regex strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("valid class range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition bound"),
+                        n.trim().parse().expect("repetition bound"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom[rng.below(atom.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform choice between same-typed strategies (see [`prop_oneof!`]).
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        assert!(
+            !self.0.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].gen_value(rng)
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(20).max(64) {
+                set.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` strategy (best-effort size when the domain is small).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// Re-exported so `prelude::*` users can name it.
+pub use collection::SizeRange;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Run property tests: `proptest! { #[test] fn f(x in strategy) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::Strategy::gen_value(&($strat), &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0u8..=3, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..30, any::<bool>()).prop_map(|(a, b)| (a as u32, b))) {
+            let (a, _b) = pair;
+            prop_assert!(a < 30);
+        }
+
+        #[test]
+        fn collections_have_requested_sizes(
+            v in crate::collection::vec(0u64..1000, 3..10),
+            s in crate::collection::btree_set(0u16..1000, 1..8),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn oneof_picks_from_all(x in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_runs(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("foo");
+        let mut b = TestRng::from_name("foo");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

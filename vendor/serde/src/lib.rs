@@ -1,0 +1,402 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of serde's serialization data model that the workspace uses:
+//! the [`Serialize`] / [`Serializer`] traits with struct, seq, map and
+//! unit-variant support, `derive(Serialize)` / `derive(Deserialize)` for
+//! plain named-field structs and unit enums (via the sibling vendored
+//! `serde_derive`), and a minimal [`Deserialize`] surface (strings only —
+//! enough for the manual `dnssim::Name` impl; the JSON side deserializes
+//! into `serde_json::Value` without going through this trait).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization machinery: compound serializers and the error bound.
+pub mod ser {
+    use super::Serialize;
+
+    /// Errors produced by a serializer.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Build an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Sequence serializer (arrays / `Vec`).
+    pub trait SerializeSeq {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serialize one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Map serializer (string-keyed objects).
+    pub trait SerializeMap {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serialize one key/value entry.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finish the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Struct serializer (named fields).
+    pub trait SerializeStruct {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serialize one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// A data format that can serialize the serde data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Compound serializer for sequences.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for maps.
+    type SerializeMap: ser::SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for structs.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a 128-bit signed integer.
+    fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a 128-bit unsigned integer.
+    fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit value (`()` / `None`-like).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant (rendered as its name).
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant (rendered as `{variant: value}`).
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Serialize a `char` (as a one-character string).
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        let mut buf = [0u8; 4];
+        self.serialize_str(v.encode_utf8(&mut buf))
+    }
+}
+
+/// Types serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*}
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*}
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u128(*self)
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i128(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_char(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Ok(v) => serializer.serialize_newtype_variant("Result", 0, "Ok", v),
+            Err(e) => serializer.serialize_newtype_variant("Result", 1, "Err", e),
+        }
+    }
+}
+
+fn serialize_iter<S: Serializer, T: Serialize, I: ExactSizeIterator<Item = T>>(
+    serializer: S,
+    iter: I,
+) -> Result<S::Ok, S::Error> {
+    use ser::SerializeSeq;
+    let mut seq = serializer.serialize_seq(Some(iter.len()))?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(Some(0 $(+ { let _ = stringify!($name); 1 })+))?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )*}
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+/// Deserialization machinery (minimal: string values only).
+pub mod de {
+    /// Errors produced by a deserializer.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Build an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can deserialize values.
+///
+/// Deliberately tiny: the workspace only deserializes strings through this
+/// trait (`dnssim::Name`); structured JSON input goes through
+/// `serde_json::Value` directly.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Deserialize a string value.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// Types deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,780 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! Provides the pieces the workspace uses with no crates.io access:
+//! [`to_string`] / [`to_string_pretty`] over the vendored `serde`
+//! serialization model, and [`from_str`] parsing into a self-describing
+//! [`Value`] (the only deserialization target in the workspace).
+
+#![forbid(unsafe_code)]
+
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted by key).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Index into an object by key or an array by stringified index.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            Value::Array(a) => key.parse::<usize>().ok().and_then(|i| a.get(i)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: a writer targeting compact or pretty output.
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Writer {
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) {
+        if !v.is_finite() {
+            // Real serde_json refuses non-finite floats; emitting null keeps
+            // exported datasets parseable instead of aborting an export run.
+            self.out.push_str("null");
+        } else if v == v.trunc() && v.abs() < 1e15 {
+            // Keep integral floats recognizably float-typed, like serde_json.
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+    }
+}
+
+struct Ser<'a> {
+    w: &'a mut Writer,
+}
+
+struct SerCompound<'a> {
+    w: &'a mut Writer,
+    first: bool,
+    closer: char,
+}
+
+impl SerCompound<'_> {
+    fn before_item(&mut self) {
+        if !self.first {
+            self.w.out.push(',');
+        }
+        self.first = false;
+        self.w.newline_indent();
+    }
+
+    fn finish(self) {
+        self.w.depth -= 1;
+        if !self.first {
+            self.w.newline_indent();
+        }
+        self.w.out.push(self.closer);
+    }
+}
+
+impl<'a> Serializer for Ser<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SerCompound<'a>;
+    type SerializeMap = SerCompound<'a>;
+    type SerializeStruct = SerCompound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.w.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.w.push_f64(v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.w.push_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.w.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.w.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.w.push_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.w.out.push('{');
+        self.w.depth += 1;
+        self.w.newline_indent();
+        self.w.push_escaped(variant);
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(Ser { w: self.w })?;
+        self.w.depth -= 1;
+        self.w.newline_indent();
+        self.w.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SerCompound<'a>, Error> {
+        self.w.out.push('[');
+        self.w.depth += 1;
+        Ok(SerCompound {
+            w: self.w,
+            first: true,
+            closer: ']',
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<SerCompound<'a>, Error> {
+        self.w.out.push('{');
+        self.w.depth += 1;
+        Ok(SerCompound {
+            w: self.w,
+            first: true,
+            closer: '}',
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<SerCompound<'a>, Error> {
+        self.w.out.push('{');
+        self.w.depth += 1;
+        Ok(SerCompound {
+            w: self.w,
+            first: true,
+            closer: '}',
+        })
+    }
+}
+
+impl SerializeSeq for SerCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.before_item();
+        value.serialize(Ser { w: self.w })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+/// Serialize a map key: JSON object keys must be strings, so only types that
+/// serialize as strings or integers are accepted.
+struct KeySer<'a> {
+    w: &'a mut Writer,
+}
+
+struct NoCompound;
+
+impl SerializeSeq for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, _v: &T) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+    fn end(self) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+}
+
+impl SerializeMap for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        _k: &K,
+        _v: &V,
+    ) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+    fn end(self) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+}
+
+impl SerializeStruct for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        _v: &T,
+    ) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+    fn end(self) -> Result<(), Error> {
+        Err(Error("map key must be a string".into()))
+    }
+}
+
+impl<'a> Serializer for KeySer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = NoCompound;
+    type SerializeMap = NoCompound;
+    type SerializeStruct = NoCompound;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.w.push_escaped(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.w.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.w.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), Error> {
+        self.w.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), Error> {
+        self.w.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<(), Error> {
+        Err(Error("float map keys are not valid JSON".into()))
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.w.push_escaped(v);
+        Ok(())
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        Err(Error("unit map keys are not valid JSON".into()))
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        Err(Error("null map keys are not valid JSON".into()))
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.w.push_escaped(variant);
+        Ok(())
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), Error> {
+        Err(Error("compound map keys are not valid JSON".into()))
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<NoCompound, Error> {
+        Err(Error("array map keys are not valid JSON".into()))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<NoCompound, Error> {
+        Err(Error("object map keys are not valid JSON".into()))
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<NoCompound, Error> {
+        Err(Error("object map keys are not valid JSON".into()))
+    }
+}
+
+impl SerializeMap for SerCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.before_item();
+        key.serialize(KeySer { w: self.w })?;
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(Ser { w: self.w })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeStruct for SerCompound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.before_item();
+        self.w.push_escaped(key);
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(Ser { w: self.w })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+fn serialize_with(value: &(impl Serialize + ?Sized), pretty: bool) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        pretty,
+        depth: 0,
+    };
+    value.serialize(Ser { w: &mut w })?;
+    Ok(w.out)
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    serialize_with(value, false)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    serialize_with(value, true)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing into Value.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are replaced; exported datasets
+                            // never contain astral-plane escape pairs.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+///
+/// Unlike real `serde_json`, this is not generic: [`Value`] is the only
+/// deserialization target the workspace uses.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basics() {
+        let v = from_str(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3}}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_str(), Some("x\n"));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert!(a[4].is_null());
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let data = vec![("k".to_string(), 1u64), ("m".to_string(), 2)];
+        let map: std::collections::BTreeMap<_, _> = data.into_iter().collect();
+        let text = to_string_pretty(&map).unwrap();
+        assert!(text.contains("\"k\": 1"));
+        let v = from_str(&text).unwrap();
+        assert_eq!(v.get("m").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn compact_output() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(to_string(&xs).unwrap(), "[1,2,3]");
+        let s = "quote\" and \\ slash";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str(&json).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn floats_stay_float_typed() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+    }
+}
