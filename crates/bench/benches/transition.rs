@@ -1,0 +1,148 @@
+//! Benchmarks of the transition-technology hot paths: RFC 6052
+//! embed/extract (once per translated packet-pair in a real gateway, once
+//! per flow here), the NAT64 binding table under churn, DNS64 synthesis
+//! (once per AAAA query at an IPv6-only residence) and router-side
+//! translation classification. Recorded in `BENCH_transition.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dnssim::{Name, Resolver, ZoneDb};
+use iputil::Family;
+use std::net::Ipv4Addr;
+use transition::{Dns64, GatewayConfig, Nat64Gateway, Nat64Prefix};
+
+fn bench_rfc6052(c: &mut Criterion) {
+    let p = Nat64Prefix::well_known();
+    let specific = Nat64Prefix::new("2001:db8:122::/48".parse().unwrap()).unwrap();
+    let v4: Ipv4Addr = "203.0.113.77".parse().unwrap();
+    c.bench_function("rfc6052_embed_extract_wellknown_96", |b| {
+        b.iter(|| {
+            let v6 = p.embed(black_box(v4));
+            p.extract(black_box(v6))
+        })
+    });
+    c.bench_function("rfc6052_embed_extract_specific_48", |b| {
+        b.iter(|| {
+            let v6 = specific.embed(black_box(v4));
+            specific.extract(black_box(v6))
+        })
+    });
+}
+
+fn bench_nat64_gateway(c: &mut Criterion) {
+    // 1k translations per iteration against a pool that never exhausts:
+    // the grant fast path (heap push + lazy expiry).
+    c.bench_function("nat64_translate_1k_flows", |b| {
+        b.iter(|| {
+            let mut gw = Nat64Gateway::new(
+                Nat64Prefix::well_known(),
+                GatewayConfig {
+                    capacity: 4096,
+                    binding_timeout: 120_000_000,
+                },
+            );
+            let mut granted = 0u32;
+            for i in 0..1_000u64 {
+                let dst = Ipv4Addr::from(0xc633_6400 + (i as u32 & 0xff));
+                if gw
+                    .translate(black_box(dst), i * 1_000, i * 1_000 + 500)
+                    .is_ok()
+                {
+                    granted += 1;
+                }
+            }
+            granted
+        })
+    });
+    // Same load on an 64-binding pool: the exhaustion path (reject + expiry
+    // scanning) that the exhaustion experiment leans on.
+    c.bench_function("nat64_translate_1k_flows_exhausted_pool", |b| {
+        b.iter(|| {
+            let mut gw = Nat64Gateway::new(
+                Nat64Prefix::well_known(),
+                GatewayConfig {
+                    capacity: 64,
+                    binding_timeout: 3_600_000_000,
+                },
+            );
+            let mut granted = 0u32;
+            for i in 0..1_000u64 {
+                let dst = Ipv4Addr::from(0xc633_6400 + (i as u32 & 0xff));
+                if gw
+                    .translate(black_box(dst), i * 1_000, i * 1_000 + 500)
+                    .is_ok()
+                {
+                    granted += 1;
+                }
+            }
+            granted
+        })
+    });
+}
+
+fn bench_dns64(c: &mut Criterion) {
+    let mut db = ZoneDb::new();
+    for i in 0..64u32 {
+        let name = Name::new(&format!("svc{i}.test"));
+        db.add_a(name.clone(), Ipv4Addr::from(0xc633_6400 + i));
+        if i % 2 == 0 {
+            db.add_aaaa(name, format!("2001:db8::{i:x}").parse().unwrap());
+        }
+    }
+    let names: Vec<Name> = (0..64u32)
+        .map(|i| Name::new(&format!("svc{i}.test")))
+        .collect();
+    let dns64 = Dns64::new(Resolver::new(&db), Nat64Prefix::well_known());
+    // Half the names synthesize, half pass native AAAA through — the mix an
+    // IPv6-only residence's resolver sees.
+    c.bench_function("dns64_resolve_64_names_half_synth", |b| {
+        b.iter(|| {
+            let mut addrs = 0usize;
+            for name in &names {
+                addrs += dns64
+                    .resolve_addrs_traced(black_box(name), Family::V6)
+                    .0
+                    .addresses()
+                    .len();
+            }
+            addrs
+        })
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    use flowmon::{FlowKey, Scope, TranslationMap};
+    let mut map = TranslationMap::new();
+    map.add_nat64_prefix("64:ff9b::/96".parse().unwrap());
+    let prefix = Nat64Prefix::well_known();
+    let keys: Vec<FlowKey> = (0..1_000u32)
+        .map(|i| {
+            let dst = if i % 3 == 0 {
+                std::net::IpAddr::V6(prefix.embed(Ipv4Addr::from(0xc633_6400 + i)))
+            } else {
+                format!("2600::{:x}", i + 1).parse().unwrap()
+            };
+            FlowKey::tcp(
+                format!("2001:db8::{:x}", i + 1).parse().unwrap(),
+                40000,
+                dst,
+                443,
+            )
+        })
+        .collect();
+    c.bench_function("translation_classify_1k_flows", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter(|k| map.classify(k, Scope::External) != flowmon::Translation::Native)
+                .count()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rfc6052,
+    bench_nat64_gateway,
+    bench_dns64,
+    bench_classification
+);
+criterion_main!(benches);

@@ -23,6 +23,10 @@
 //!   multi-cloud tenant extraction and the pairwise Wilcoxon effect matrix
 //!   (Fig 12), CNAME-based service identification and the policy table
 //!   (Table 2), and the §5 ease-vs-adoption correlation.
+//! * [`tiers`] — translated-adoption tiers: access lines graded from
+//!   "no IPv6" through native dual-stack and DS-Lite to IPv6-only with
+//!   NAT64/464XLAT, from flow records alone (the client-side analogue of
+//!   the graded website classes).
 //! * [`report`] — plain-text rendering of tables, CDFs and boxplots with
 //!   paper-vs-measured columns.
 //!
@@ -40,9 +44,11 @@ pub mod influence;
 pub mod readiness;
 pub mod report;
 pub mod seasonal;
+pub mod tiers;
 pub mod whatif;
 
 pub use classify::{classify_site, ClassCounts, SiteClass};
 pub use influence::{DomainInfluence, InfluenceReport};
 pub use readiness::ReadinessBuckets;
+pub use tiers::{analyze_transition, AdoptionTier, TransitionAnalysis};
 pub use whatif::WhatIfCurve;

@@ -30,5 +30,5 @@ pub mod zone;
 
 pub use name::Name;
 pub use record::{QueryType, Record, RecordData};
-pub use resolver::{AddrAnswer, AddrsOutcome, LookupOutcome, Resolver};
+pub use resolver::{AddrAnswer, AddrsOutcome, LookupOutcome, ResolveAddrs, Resolver};
 pub use zone::{FailureMode, ZoneDb};

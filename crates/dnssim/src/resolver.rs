@@ -98,10 +98,28 @@ impl AddrsOutcome {
     }
 }
 
+/// Anything that can resolve a name to addresses of one family.
+///
+/// The plain [`Resolver`] implements this over a [`ZoneDb`]; translation
+/// layers (a DNS64 recursive resolver synthesizing `AAAA` answers from `A`
+/// records) implement it by wrapping another resolver. Consumers that only
+/// need addresses — Happy Eyeballs, traffic synthesis — take
+/// `&impl ResolveAddrs` so they work unchanged behind any resolution path.
+pub trait ResolveAddrs {
+    /// Resolve `name` to addresses of `family` (chainless fast path).
+    fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome;
+}
+
 /// A stub resolver over a [`ZoneDb`].
 #[derive(Debug, Clone, Copy)]
 pub struct Resolver<'a> {
     db: &'a ZoneDb,
+}
+
+impl ResolveAddrs for Resolver<'_> {
+    fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome {
+        Resolver::resolve_addrs(self, name, family)
+    }
 }
 
 impl<'a> Resolver<'a> {

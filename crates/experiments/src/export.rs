@@ -73,7 +73,14 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
         &service_adoption(&fqdns, &cloudmodel::catalog::ServiceCatalog::paper()),
     )?;
 
-    // 4. Client-side: per-residence aggregates plus ANONYMIZED daily logs
+    // 4. The transition-technology cohort: translated vs native shares per
+    //    access tech (deterministic: same seed ⇒ byte-identical file).
+    let cohort = crate::transition_exps::cohort_analyses(ctx, ctx.days.min(30));
+    let path = out_dir.join("transition_report.json");
+    std::fs::write(&path, crate::transition_exps::cohort_json(&cohort))?;
+    eprintln!("[export] wrote {}", path.display());
+
+    // 5. Client-side: per-residence aggregates plus ANONYMIZED daily logs
     //    (CryptoPAN'd addresses, like the paper's upload pipeline; the raw
     //    logs are deliberately not exported).
     ctx.traffic();

@@ -7,6 +7,7 @@
 //!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!   fig11 fig12 table2 table3 fig13 fig14 fig15 fig16 fig17 fig18
 //!   ablation-mainpage ablation-firstparty ablation-he ablation-policy
+//!   transition nat64-exhaustion   (transition-technology scenarios)
 //!   all          (everything above, in paper order)
 //! ```
 //!
@@ -20,6 +21,7 @@ mod cloud_exps;
 mod context;
 mod export;
 mod server_exps;
+mod transition_exps;
 
 use context::Ctx;
 
@@ -75,7 +77,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro <experiment> [--sites N] [--seed S] [--days D] [--full]\n\
          experiments: table1 fig1..fig18 table2 table3 export robustness \
-         ablation-mainpage ablation-firstparty ablation-he ablation-policy all"
+         ablation-mainpage ablation-firstparty ablation-he ablation-policy \
+         transition nat64-exhaustion all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -107,6 +110,8 @@ fn run(ctx: &mut Ctx, experiment: &str) {
         "table2" => cloud_exps::table2(ctx),
         "table3" => cloud_exps::table3(ctx),
         "ablation-policy" => cloud_exps::ablation_policy(ctx),
+        "transition" => transition_exps::transition_report(ctx),
+        "nat64-exhaustion" => transition_exps::nat64_exhaustion(ctx),
         "robustness" => {
             let sites = ctx.world.web.sites.len().min(5_000);
             server_exps::robustness(sites, ctx.world.config.seed);
@@ -142,6 +147,8 @@ fn run(ctx: &mut Ctx, experiment: &str) {
                 "ablation-firstparty",
                 "ablation-he",
                 "ablation-policy",
+                "transition",
+                "nat64-exhaustion",
             ] {
                 run(ctx, e);
             }

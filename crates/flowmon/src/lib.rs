@@ -20,6 +20,9 @@
 //! * [`export`] — daily log rotation and the anonymizing exporter
 //!   (prefix-preserving scrambling of the low bits, per the paper's IRB
 //!   protocol).
+//! * [`xlat`] — translated-vs-native grading: flows towards RFC 6052
+//!   prefixes are NAT64/464XLAT legacy traffic, external IPv4 on a DS-Lite
+//!   line rides the softwire; both are recognized from addresses alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,14 +31,16 @@ pub mod export;
 pub mod flow;
 pub mod router;
 pub mod table;
+pub mod xlat;
 
 pub use export::{AnonymizingExporter, DailyLog};
 pub use flow::{Direction, FlowKey, FlowRecord, IcmpMeta, Proto, Scope};
 pub use router::RouterMonitor;
 pub use table::FlowTable;
+pub use xlat::{Translation, TranslationMap};
 
 /// Timestamps are microseconds since the simulation epoch (matching
-/// [`netsim::Time`]'s unit so connection racing and flow logs share a
+/// `netsim::Time`'s unit so connection racing and flow logs share a
 /// clock).
 pub type Timestamp = u64;
 

@@ -2,6 +2,7 @@
 
 use crate::flow::{FlowKey, FlowRecord, Scope};
 use crate::table::FlowTable;
+use crate::xlat::{Translation, TranslationMap};
 use crate::Timestamp;
 use iputil::prefix::{Prefix4, Prefix6};
 use iputil::trie::{Lpm4, Lpm6};
@@ -21,6 +22,7 @@ use std::net::IpAddr;
 pub struct RouterMonitor {
     lan4: Lpm4<()>,
     lan6: Lpm6<()>,
+    xlat: TranslationMap,
     table: FlowTable,
 }
 
@@ -38,8 +40,22 @@ impl RouterMonitor {
         RouterMonitor {
             lan4: lan4_lpm,
             lan6: lan6_lpm,
+            xlat: TranslationMap::new(),
             table: FlowTable::new(),
         }
+    }
+
+    /// Install the translation knowledge this router classifies against
+    /// (NAT64 prefixes; whether external v4 rides a DS-Lite softwire).
+    pub fn set_translation_map(&mut self, xlat: TranslationMap) {
+        self.xlat = xlat;
+    }
+
+    /// Translation provenance of a flow: native, NAT64-translated, or
+    /// DS-Lite tunneled. Purely address-derived — usable on live keys and on
+    /// drained records alike.
+    pub fn translation_of(&self, key: &FlowKey) -> Translation {
+        self.xlat.classify(key, self.scope_of(key.src, key.dst))
     }
 
     /// Is an address inside this residence's LAN?
@@ -142,6 +158,28 @@ mod tests {
         assert_eq!(recs[0].scope, Scope::Internal);
         assert_eq!(recs[0].packets_orig, 2);
         assert_eq!(recs[0].packets_reply, 100);
+    }
+
+    #[test]
+    fn translation_classification_through_router() {
+        let mut r = router();
+        let mut xlat = TranslationMap::new();
+        xlat.add_nat64_prefix("64:ff9b::/96".parse().unwrap());
+        r.set_translation_map(xlat);
+        let translated = FlowKey::tcp(
+            "2001:db8:1000::5".parse().unwrap(),
+            40000,
+            "64:ff9b::c633:6407".parse().unwrap(),
+            443,
+        );
+        assert_eq!(r.translation_of(&translated), Translation::Nat64);
+        let native = FlowKey::tcp(
+            "2001:db8:1000::5".parse().unwrap(),
+            40001,
+            "2600::1".parse().unwrap(),
+            443,
+        );
+        assert_eq!(r.translation_of(&native), Translation::Native);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dnssim::{AddrsOutcome, Name, Resolver};
+use dnssim::{AddrsOutcome, Name, ResolveAddrs};
 use iputil::Family;
 use netsim::{ConnectOutcome, EventQueue, Network, TcpConnector, Time, MILLIS};
 use rand::Rng;
@@ -149,12 +149,15 @@ impl HappyEyeballs {
     /// Race a connection to `name` starting at absolute time `start`.
     ///
     /// Deterministic given the RNG state. The per-attempt TCP outcomes are
-    /// drawn through [`TcpConnector`]; DNS outcomes come from the resolver
-    /// with fixed per-family latency.
-    pub fn connect<R: Rng + ?Sized>(
+    /// drawn through [`TcpConnector`]; DNS outcomes come from any
+    /// [`ResolveAddrs`] implementation with fixed per-family latency — the
+    /// plain stub resolver, or a DNS64 layer whose synthesized `AAAA`
+    /// answers make an IPv4-only service race (and win) over IPv6 through a
+    /// NAT64 gateway.
+    pub fn connect<R: Rng + ?Sized, S: ResolveAddrs>(
         &self,
         net: &Network,
-        resolver: &Resolver<'_>,
+        resolver: &S,
         rng: &mut R,
         name: &Name,
         start: Time,
@@ -342,7 +345,7 @@ fn interleave(v6: &[IpAddr], v4: &[IpAddr], preferred: Family) -> Vec<IpAddr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dnssim::ZoneDb;
+    use dnssim::{Resolver, ZoneDb};
     use netsim::{PathProfile, SECONDS};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;

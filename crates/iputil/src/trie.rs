@@ -44,9 +44,12 @@
 //! allocate the `2^16`-entry root tables; the first insert beyond the
 //! threshold migrates them in.
 //!
-//! Removal keeps the structure valid but does not merge path-compressed
-//! nodes back together (tables here are built once and queried many times);
-//! `remove` is exact and `len()` always reflects stored prefixes.
+//! Removal merges path-compressed nodes back together: a node emptied by
+//! `remove` is spliced out (single child) or detached (leaf), cascading
+//! upward, so announce/withdraw churn leaves the trie structurally
+//! identical to a fresh build of the surviving prefix set — depth stays
+//! minimal over a long-lived RIB's lifetime ([`LpmTrie::node_count`] is the
+//! metric; the interleaved-ops property tests assert the equivalence).
 
 use crate::prefix::{Prefix4, Prefix6};
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -216,7 +219,7 @@ impl<K: Bits, V> Default for LpmTrie<K, V> {
 
 impl<K: Bits, V> LpmTrie<K, V> {
     /// Create an empty trie. The root tables are not allocated until the
-    /// table outgrows small-table mode ([`SMALL_MAX`] entries), so empty
+    /// table outgrows small-table mode (`SMALL_MAX` entries), so empty
     /// and small tries are cheap to create and clone.
     pub fn new() -> LpmTrie<K, V> {
         LpmTrie {
@@ -406,9 +409,12 @@ impl<K: Bits, V> LpmTrie<K, V> {
         self.nodes[node].value.as_mut()
     }
 
-    /// Remove an exact prefix, returning its value. Path-compressed interior
-    /// nodes are left in place (the trie is built once and queried many
-    /// times in this workload, so we do not re-merge).
+    /// Remove an exact prefix, returning its value. Emptied nodes are
+    /// merged back into their neighbours (a valueless node keeps existing
+    /// only while it has two children), so announce/withdraw churn leaves
+    /// the trie structurally identical to a fresh build of the surviving
+    /// prefix set — lookup depth never degrades over a long-lived RIB's
+    /// lifetime.
     pub fn remove(&mut self, key: K, plen: u8) -> Option<V> {
         if plen > K::WIDTH {
             return None;
@@ -428,12 +434,68 @@ impl<K: Bits, V> LpmTrie<K, V> {
         if plen < K::ROOT_BITS {
             return self.remove_short(key, plen);
         }
-        let node = self.walk_exact(key, plen)?;
-        let v = self.nodes[node].value.take();
-        if v.is_some() {
-            self.len -= 1;
+        // Walk to the exact node, recording every (incoming link, node) so
+        // the un-merge pass below can rewire in place.
+        let slot = key.root_slot();
+        let mut path: Vec<(Link, u32)> = Vec::new();
+        let mut link = Link::Root(slot);
+        let mut cur = self.root[slot];
+        let found = loop {
+            if cur == NO_NODE {
+                return None;
+            }
+            let n = &self.nodes[cur as usize];
+            if n.len > plen || key.truncate(n.len) != n.key {
+                return None;
+            }
+            path.push((link, cur));
+            if n.len == plen {
+                break cur;
+            }
+            let b = key.bit(n.len) as usize;
+            link = Link::Child(cur as usize, b);
+            cur = n.children[b];
+        };
+        let v = self.nodes[found as usize].value.take()?;
+        self.len -= 1;
+        self.prune_path(&path);
+        Some(v)
+    }
+
+    /// Merge pass after a long-prefix removal: walking the recorded path
+    /// bottom-up, a valueless leaf is detached (and may cascade — its
+    /// parent just lost a child), and a valueless single-child node is
+    /// spliced out by pointing its incoming link at the child, restoring
+    /// path compression. Nodes holding a value, or with two children, stop
+    /// the pass.
+    fn prune_path(&mut self, path: &[(Link, u32)]) {
+        for &(incoming, idx) in path.iter().rev() {
+            let n = &self.nodes[idx as usize];
+            if n.value.is_some() {
+                break;
+            }
+            match (n.children[0], n.children[1]) {
+                (NO_NODE, NO_NODE) => {
+                    self.set_link(incoming, NO_NODE);
+                    self.free.push(idx);
+                    // Continue upward: the parent lost this child.
+                }
+                (child, NO_NODE) | (NO_NODE, child) => {
+                    self.set_link(incoming, child);
+                    self.free.push(idx);
+                    break;
+                }
+                _ => break,
+            }
         }
-        v
+    }
+
+    /// Number of live arena nodes (stored prefixes plus branching interior
+    /// nodes). With merge-on-remove this equals the node count of a fresh
+    /// build of the same prefix set — the structural-equivalence metric the
+    /// property tests assert.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 
     fn remove_short(&mut self, key: K, plen: u8) -> Option<V> {
@@ -665,6 +727,11 @@ impl<V> Lpm4<V> {
     pub fn is_empty(&self) -> bool {
         self.trie.is_empty()
     }
+
+    /// Live arena nodes (see [`LpmTrie::node_count`]).
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
+    }
 }
 
 /// Longest-prefix-match table for IPv6 built on [`LpmTrie`].
@@ -728,6 +795,11 @@ impl<V> Lpm6<V> {
     /// True if empty.
     pub fn is_empty(&self) -> bool {
         self.trie.is_empty()
+    }
+
+    /// Live arena nodes (see [`LpmTrie::node_count`]).
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
     }
 }
 
@@ -972,6 +1044,32 @@ mod tests {
         // The trie still answers correctly after all that churn.
         big.insert(0x0a00_0000, 8, 77);
         assert_eq!(big.longest_match(0x0a01_0101), Some((8, &77)));
+    }
+
+    #[test]
+    fn remove_merges_split_nodes_back() {
+        // Force table mode with 16 anchors, then split a run and heal it.
+        let mut t: LpmTrie<u32, u8> = LpmTrie::new();
+        for i in 0..16u32 {
+            t.insert(0xb000_0000 + (i << 20), 16, 0);
+        }
+        let baseline = t.node_count();
+        // Two /24s under one /16 create an interior split node at bit 20.
+        t.insert(0x0a14_1000, 24, 1);
+        t.insert(0x0a14_1800, 24, 2);
+        assert_eq!(t.node_count(), baseline + 3, "two leaves + one interior");
+        // Removing one /24 must also splice the now-pointless interior out.
+        assert_eq!(t.remove(0x0a14_1800, 24), Some(2));
+        assert_eq!(t.node_count(), baseline + 1, "interior merged away");
+        assert_eq!(t.longest_match(0x0a14_10ff), Some((24, &1)));
+        assert_eq!(t.remove(0x0a14_1000, 24), Some(1));
+        assert_eq!(t.node_count(), baseline, "subtree fully reclaimed");
+        // A valueless ancestor chain collapses when a leaf is detached.
+        t.insert(0x0a00_0000, 20, 7);
+        t.insert(0x0a00_0800, 24, 8); // child of the /20's subtree
+        assert_eq!(t.remove(0x0a00_0800, 24), Some(8));
+        assert_eq!(t.remove(0x0a00_0000, 20), Some(7));
+        assert_eq!(t.node_count(), baseline);
     }
 
     #[test]

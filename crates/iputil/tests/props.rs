@@ -244,6 +244,101 @@ proptest! {
         }
     }
 
+    /// Interleaved inserts and removes leave the trie *structurally*
+    /// equivalent to a fresh build of the surviving prefix set: same stored
+    /// prefixes, same live node count (merge-on-remove reclaims every
+    /// split node churn created), and identical longest-match behaviour.
+    #[test]
+    fn lpm4_interleaved_ops_structurally_equal_fresh_build(
+        ops in proptest::collection::vec(
+            ((any::<u32>(), 16u8..=32), any::<bool>(), any::<u32>()),
+            1..80,
+        ),
+        probes in proptest::collection::vec(any::<u32>(), 1..30),
+    ) {
+        // 16 fixed anchors keep both tries out of small-table mode so the
+        // comparison exercises the radix paths.
+        let anchors: Vec<Prefix4> = (0..16u32)
+            .map(|i| Prefix4::new(Ipv4Addr::from(0xb000_0000 + (i << 20)), 16))
+            .collect();
+        let mut churned: Lpm4<u32> = Lpm4::new();
+        let mut reference: std::collections::HashMap<Prefix4, u32> =
+            std::collections::HashMap::new();
+        for a in &anchors {
+            churned.insert(*a, 0);
+            reference.insert(*a, 0);
+        }
+        for ((bits, len), is_insert, val) in ops {
+            let p = Prefix4::new(Ipv4Addr::from(bits), len);
+            if is_insert {
+                prop_assert_eq!(churned.insert(p, val), reference.insert(p, val));
+            } else {
+                prop_assert_eq!(churned.remove(p), reference.remove(&p));
+            }
+        }
+        // Fresh build of the surviving set (insertion order is irrelevant
+        // to the canonical radix structure).
+        let mut fresh: Lpm4<u32> = Lpm4::new();
+        for (p, v) in &reference {
+            fresh.insert(*p, *v);
+        }
+        prop_assert_eq!(churned.len(), fresh.len());
+        prop_assert_eq!(
+            churned.node_count(),
+            fresh.node_count(),
+            "churned trie must not retain stale interior nodes"
+        );
+        for bits in probes {
+            let addr = Ipv4Addr::from(bits);
+            prop_assert_eq!(
+                churned.longest_match(addr).map(|(p, v)| (p, *v)),
+                fresh.longest_match(addr).map(|(p, v)| (p, *v))
+            );
+        }
+    }
+
+    /// IPv6 twin of the structural-equivalence property.
+    #[test]
+    fn lpm6_interleaved_ops_structurally_equal_fresh_build(
+        ops in proptest::collection::vec(
+            ((any::<u128>(), 16u8..=64), any::<bool>(), any::<u32>()),
+            1..60,
+        ),
+        probes in proptest::collection::vec(any::<u128>(), 1..20),
+    ) {
+        let anchors: Vec<Prefix6> = (0..16u128)
+            .map(|i| Prefix6::new(Ipv6Addr::from(0xfd00u128 << 112 | i << 96), 32))
+            .collect();
+        let mut churned: Lpm6<u32> = Lpm6::new();
+        let mut reference: std::collections::HashMap<Prefix6, u32> =
+            std::collections::HashMap::new();
+        for a in &anchors {
+            churned.insert(*a, 0);
+            reference.insert(*a, 0);
+        }
+        for ((bits, len), is_insert, val) in ops {
+            let p = Prefix6::new(Ipv6Addr::from(bits), len);
+            if is_insert {
+                prop_assert_eq!(churned.insert(p, val), reference.insert(p, val));
+            } else {
+                prop_assert_eq!(churned.remove(p), reference.remove(&p));
+            }
+        }
+        let mut fresh: Lpm6<u32> = Lpm6::new();
+        for (p, v) in &reference {
+            fresh.insert(*p, *v);
+        }
+        prop_assert_eq!(churned.len(), fresh.len());
+        prop_assert_eq!(churned.node_count(), fresh.node_count());
+        for bits in probes {
+            let addr = Ipv6Addr::from(bits);
+            prop_assert_eq!(
+                churned.longest_match(addr).map(|(p, v)| (p, *v)),
+                fresh.longest_match(addr).map(|(p, v)| (p, *v))
+            );
+        }
+    }
+
     /// Interleaved inserts and removes keep the trie equivalent to a naive
     /// map-based reference, LPM included (catches stale short_best /
     /// dangling-split bugs that insert-only tests cannot).

@@ -10,7 +10,7 @@
 //! * [`stl`] — STL (Cleveland, Cleveland, McRae & Terpenning 1990): the
 //!   inner loop of cycle-subseries smoothing, low-pass filtering and trend
 //!   smoothing, plus the outer robustness-weight loop with bisquare weights.
-//! * [`decompose`] ([`Mstl`]) — MSTL (Bandara, Hyndman & Bergmeir 2021):
+//! * [`mstl_decompose`] ([`Mstl`]) — MSTL (Bandara, Hyndman & Bergmeir 2021):
 //!   iterative application of STL once per seasonal period, refining each
 //!   seasonal component while the others are held out.
 //!

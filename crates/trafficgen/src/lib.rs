@@ -32,5 +32,7 @@
 pub mod profile;
 pub mod synth;
 
-pub use profile::{paper_residences, EventDayProfile, ResidenceProfile};
-pub use synth::{synthesize_all, synthesize_residence, ResidenceDataset, TrafficConfig};
+pub use profile::{paper_residences, transition_residences, EventDayProfile, ResidenceProfile};
+pub use synth::{
+    synthesize_all, synthesize_profiles, synthesize_residence, ResidenceDataset, TrafficConfig,
+};

@@ -1,6 +1,8 @@
-//! Residence profiles calibrated against Table 1.
+//! Residence profiles calibrated against Table 1, plus the synthetic
+//! transition-technology cohort.
 
 use serde::Serialize;
+use transition::AccessTech;
 
 /// Rare "event day" behaviour: a huge download/streaming day dominated by a
 /// single service (the paper's heavy-hitter days above the 90th / below the
@@ -19,8 +21,11 @@ pub struct EventDayProfile {
 /// (used only for comparison output, never during generation).
 #[derive(Debug, Clone, Serialize)]
 pub struct ResidenceProfile {
-    /// Residence letter (A–E).
+    /// Residence letter (A–E for the paper's cohort).
     pub key: char,
+    /// How the access network provides IPv4/IPv6 (the paper's residences
+    /// are all native dual-stack; the transition cohort varies this).
+    pub access_tech: AccessTech,
     /// Number of residents (drives diurnal amplitude).
     pub residents: usize,
     /// Mean external gigabytes per day.
@@ -73,6 +78,7 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
         // (days 135–138 from the Nov 1 2024 epoch).
         ResidenceProfile {
             key: 'A',
+            access_tech: AccessTech::NativeDualStack,
             residents: 7,
             daily_external_gb: 25.6,
             internal_byte_fraction: 0.00127,
@@ -107,6 +113,7 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
         // IPv6; still IPv6-majority.
         ResidenceProfile {
             key: 'B',
+            access_tech: AccessTech::NativeDualStack,
             residents: 4,
             daily_external_gb: 22.2,
             internal_byte_fraction: 0.00087,
@@ -141,6 +148,7 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
         // IPv6 bytes fraction seen among ASes at Residence C is 40%").
         ResidenceProfile {
             key: 'C',
+            access_tech: AccessTech::NativeDualStack,
             residents: 3,
             daily_external_gb: 28.6,
             internal_byte_fraction: 0.00054,
@@ -175,6 +183,7 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
         // plus internal gaming traffic that is almost entirely IPv6.
         ResidenceProfile {
             key: 'D',
+            access_tech: AccessTech::NativeDualStack,
             residents: 2,
             daily_external_gb: 0.30,
             internal_byte_fraction: 0.088,
@@ -209,6 +218,7 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
         // total — overall 6.6% IPv6 despite a 45.9% daily mean.
         ResidenceProfile {
             key: 'E',
+            access_tech: AccessTech::NativeDualStack,
             residents: 1,
             daily_external_gb: 0.24,
             internal_byte_fraction: 0.0005,
@@ -236,9 +246,66 @@ pub fn paper_residences() -> Vec<ResidenceProfile> {
     ]
 }
 
+/// The synthetic transition-technology cohort: five residences identical in
+/// every behavioural parameter, differing *only* in [`AccessTech`]. Holding
+/// demand constant isolates what each provisioning does to the traffic —
+/// translated vs native shares become directly comparable across lines.
+///
+/// Keys: `N` native dual-stack, `4` IPv4-only, `6` IPv6-only + NAT64/DNS64,
+/// `X` 464XLAT, `L` DS-Lite.
+pub fn transition_residences() -> Vec<ResidenceProfile> {
+    let base = |key: char, access_tech: AccessTech| ResidenceProfile {
+        key,
+        access_tech,
+        residents: 3,
+        daily_external_gb: 8.0,
+        internal_byte_fraction: 0.002,
+        target_ext_v6_bytes: 0.65,
+        internal_v6_share: 0.40,
+        day_mix_sigma: 0.9,
+        mix_boosts: &[],
+        broken_v6_share: 0.0,
+        v6_tunnel: false,
+        v6_outage_day_rate: 0.01,
+        absences: &[],
+        events: &[],
+        // No Table 1 analogue: the cohort is a new scenario, not a
+        // reproduction target.
+        paper_ext_gb: 0.0,
+        paper_ext_v6_bytes: 0.0,
+        paper_ext_flows_m: 0.0,
+        paper_ext_v6_flows: 0.0,
+        paper_int_gb: 0.0,
+        paper_int_v6_bytes: 0.0,
+        paper_daily_mean_sd: (0.0, 0.0),
+    };
+    vec![
+        base('N', AccessTech::NativeDualStack),
+        base('4', AccessTech::V4Only),
+        base('6', AccessTech::Ipv6OnlyNat64),
+        base('X', AccessTech::Xlat464),
+        base('L', AccessTech::DsLite),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transition_cohort_differs_only_in_tech() {
+        let cohort = transition_residences();
+        let techs: Vec<AccessTech> = cohort.iter().map(|r| r.access_tech).collect();
+        assert_eq!(techs, AccessTech::all().to_vec());
+        for r in &cohort {
+            assert_eq!(r.daily_external_gb, cohort[0].daily_external_gb);
+            assert_eq!(r.residents, cohort[0].residents);
+        }
+        // The paper's residences are all native dual-stack.
+        for r in paper_residences() {
+            assert_eq!(r.access_tech, AccessTech::NativeDualStack);
+        }
+    }
 
     #[test]
     fn five_residences_a_through_e() {

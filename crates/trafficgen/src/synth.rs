@@ -1,26 +1,50 @@
 //! The traffic synthesizer: profiles × diurnal activity × Happy Eyeballs →
 //! flow records.
+//!
+//! Synthesis is organized around *days*: each (residence, day) pair derives
+//! its own RNG stream from the master seed, so days are mutually independent
+//! and can run on any number of worker threads with byte-identical output
+//! (the same determinism contract `synthesize_all` gives across residences).
+//! Per-residence state that must be stable across days (LAN addressing, the
+//! device population) comes from a residence-level stream seeded without a
+//! day component.
+//!
+//! Residences whose [`ResidenceProfile::access_tech`] is not native
+//! dual-stack route their legacy traffic through the world's transition
+//! plant: IPv6-only lines resolve through DNS64 and reach IPv4-only
+//! services via the NAT64 gateway (flows towards the RFC 6052 prefix),
+//! 464XLAT lines additionally push v4-literal application traffic through
+//! the CLAT, and DS-Lite lines tunnel IPv4 to an AFTR whose NAT44 binding
+//! table — like the NAT64's — can run out of ports under load.
 
 use crate::profile::ResidenceProfile;
 use dnssim::{Name, Resolver};
-use flowmon::{FlowKey, FlowRecord, RouterMonitor};
+use flowmon::{FlowKey, FlowRecord, RouterMonitor, TranslationMap};
 use happyeyeballs::{HappyEyeballs, HappyEyeballsConfig};
+use iputil::prefix::{Prefix4, Prefix6};
 use iputil::Family;
 use netsim::{Network, PathProfile, MILLIS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
-use worldgen::clientsvc::ServiceKind;
+use transition::{AccessTech, Aftr, Dns64, GatewayConfig, GatewayStats, Nat64Gateway};
+use worldgen::clientsvc::{ClientServiceRuntime, ServiceKind};
 use worldgen::World;
 
 /// Microseconds per hour / day (local aliases to keep formulas readable).
 const HOUR_US: u64 = 3_600_000_000;
 const DAY_US: u64 = 24 * HOUR_US;
 
+/// Share of a 464XLAT line's traffic from IPv4-literal applications that
+/// bypasses DNS64 and goes through the CLAT even when the service has
+/// native IPv6 (RFC 7849 puts such apps in the low single digits; the CLAT
+/// exists exactly for them).
+const CLAT_LITERAL_SHARE: f64 = 0.05;
+
 /// Traffic synthesis configuration.
 #[derive(Debug, Clone)]
 pub struct TrafficConfig {
-    /// Master seed (per-residence RNGs derive from it).
+    /// Master seed (per-(residence, day) RNGs derive from it).
     pub seed: u64,
     /// Days to simulate (the paper observes ~273: Nov 2024 – Aug 2025).
     pub num_days: u32,
@@ -34,11 +58,17 @@ pub struct TrafficConfig {
     pub he_both_flow_rate: f64,
     /// Happy Eyeballs parameters for the per-(day, service) health race.
     pub he: HappyEyeballsConfig,
-    /// Worker threads for [`synthesize_all`] (1 = sequential). Residences
-    /// derive independent RNGs from `(seed, index)`, so output is identical
-    /// at any thread count — the same determinism contract `crawlsim`
-    /// documents for its parallel crawl.
+    /// Worker threads fanning residences out in [`synthesize_all`]
+    /// (1 = sequential). Output is identical at any thread count.
     pub threads: usize,
+    /// Worker threads fanning *days* out inside one residence
+    /// (1 = sequential). Days derive independent RNGs from
+    /// `(seed, residence, day)`, so output is identical at any thread
+    /// count; combined with `threads` the two levels multiply.
+    pub day_threads: usize,
+    /// Binding-table limits of the NAT64/AFTR gateways serving translated
+    /// residences (shrink to provoke the exhaustion scenario).
+    pub gateway: GatewayConfig,
 }
 
 impl Default for TrafficConfig {
@@ -52,6 +82,8 @@ impl Default for TrafficConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(1),
+            day_threads: 1,
+            gateway: GatewayConfig::default(),
         }
     }
 }
@@ -78,6 +110,10 @@ pub struct ResidenceDataset {
     pub scale: f64,
     /// Days simulated.
     pub num_days: u32,
+    /// Binding-table counters of the residence's translator (NAT64 for the
+    /// IPv6-only techs, the AFTR's NAT44 for DS-Lite); `None` on lines that
+    /// use no stateful gateway.
+    pub gateway: Option<GatewayStats>,
 }
 
 /// Diurnal activity weight for human traffic: near-zero overnight, a
@@ -104,47 +140,97 @@ fn human_hour_weight(hour: u32, weekday: u32) -> f64 {
     }
 }
 
-/// Synthesize every residence, fanning residences out over
-/// `config.threads` scoped worker threads.
-///
-/// The 273-day Table 1 / Fig 1 runs are residence-independent by
-/// construction (each residence's RNG derives from `(seed, index)` alone),
-/// so this scales with cores while producing byte-identical output at any
-/// thread count.
-pub fn synthesize_all(world: &World, config: &TrafficConfig) -> Vec<ResidenceDataset> {
-    let profiles = crate::profile::paper_residences();
-    let threads = config.threads.max(1).min(profiles.len().max(1));
+/// Residence-level RNG seed (devices, addressing — stable across days).
+fn residence_seed(seed: u64, residence_index: u64) -> u64 {
+    seed.wrapping_add(residence_index.wrapping_mul(0x9e3779b97f4a7c15))
+}
 
+/// Day-level RNG seed: a second independent stream per (residence, day).
+fn day_seed(seed: u64, residence_index: u64, day: u32) -> u64 {
+    residence_seed(seed, residence_index)
+        .wrapping_add((day as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95))
+}
+
+/// Synthesize every paper residence, fanning residences out over
+/// `config.threads` scoped worker threads.
+pub fn synthesize_all(world: &World, config: &TrafficConfig) -> Vec<ResidenceDataset> {
+    synthesize_profiles(world, crate::profile::paper_residences(), config)
+}
+
+/// Synthesize an arbitrary cohort of residences (the transition-technology
+/// cohort, ablations), fanning residences out over `config.threads`.
+///
+/// Residence `i` derives all randomness from `(seed, i)` and, inside,
+/// `(seed, i, day)` alone, so output is byte-identical at any combination
+/// of `threads` and `day_threads`.
+pub fn synthesize_profiles(
+    world: &World,
+    profiles: Vec<ResidenceProfile>,
+    config: &TrafficConfig,
+) -> Vec<ResidenceDataset> {
+    fan_out(profiles, config.threads, |i, p| {
+        synthesize_residence(world, p, config, i as u64)
+    })
+}
+
+/// Fan `items` out over up to `threads` scoped workers, returning results
+/// in input order. Assignment is round-robin (item `i` on worker
+/// `i % threads`) so heavy items spread; `threads <= 1` runs inline.
+/// Thread-count invariance is the *caller's* contract: `f` must derive all
+/// randomness from its index argument alone — both call sites (residences,
+/// days) seed their RNG from exactly that.
+fn fan_out<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
-        return profiles
+        return items
             .into_iter()
             .enumerate()
-            .map(|(i, p)| synthesize_residence(world, p, config, i as u64))
+            .map(|(i, x)| f(i, x))
             .collect();
     }
-
-    let mut slots: Vec<Option<ResidenceDataset>> = Vec::new();
-    slots.resize_with(profiles.len(), || None);
-    // Round-robin assignment: residence i runs on worker i % threads, so
-    // heavy profiles spread across workers.
-    let mut per_worker: Vec<Vec<(usize, ResidenceProfile, &mut Option<ResidenceDataset>)>> =
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let mut per_worker: Vec<Vec<(usize, T, &mut Option<R>)>> =
         (0..threads).map(|_| Vec::new()).collect();
-    for (i, (p, slot)) in profiles.into_iter().zip(slots.iter_mut()).enumerate() {
-        per_worker[i % threads].push((i, p, slot));
+    for (i, (x, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
+        per_worker[i % threads].push((i, x, slot));
     }
+    let f = &f;
     std::thread::scope(|scope| {
         for batch in per_worker {
             scope.spawn(move || {
-                for (i, profile, slot) in batch {
-                    *slot = Some(synthesize_residence(world, profile, config, i as u64));
+                for (i, x, slot) in batch {
+                    *slot = Some(f(i, x));
                 }
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every residence synthesized"))
+        .map(|s| s.expect("worker filled every slot"))
         .collect()
+}
+
+/// One day's synthesis output: its flow records plus the day-local
+/// gateway's counters (when the access technology uses one).
+type DayOutput = (Vec<FlowRecord>, Option<GatewayStats>);
+
+/// Per-residence state shared read-only by every day worker.
+struct ResidenceCtx<'a> {
+    world: &'a World,
+    profile: &'a ResidenceProfile,
+    config: &'a TrafficConfig,
+    devices: &'a [Device],
+    base_weights: &'a [f64],
+    residence_factor: f64,
+    dual_share: f64,
+    lan4: Prefix4,
+    lan6: Prefix6,
+    residence_index: u64,
 }
 
 /// Synthesize one residence's dataset.
@@ -154,22 +240,16 @@ pub fn synthesize_residence(
     config: &TrafficConfig,
     residence_index: u64,
 ) -> ResidenceDataset {
-    let mut rng = SmallRng::seed_from_u64(
-        config
-            .seed
-            .wrapping_add(residence_index.wrapping_mul(0x9e3779b97f4a7c15)),
-    );
+    let mut rng = SmallRng::seed_from_u64(residence_seed(config.seed, residence_index));
     let services = &world.client_services;
-    let resolver = Resolver::new(&world.client_zone);
 
     // LAN addressing: 192.168.<idx>.0/24 and a delegated /56.
-    let lan4: iputil::prefix::Prefix4 = format!("192.168.{}.0/24", residence_index + 1)
+    let lan4: Prefix4 = format!("192.168.{}.0/24", residence_index + 1)
         .parse()
         .expect("valid LAN prefix");
-    let lan6: iputil::prefix::Prefix6 = format!("2001:db8:{:x}00::/56", residence_index + 1)
+    let lan6: Prefix6 = format!("2001:db8:{:x}00::/56", residence_index + 1)
         .parse()
         .expect("valid LAN prefix");
-    let mut router = RouterMonitor::new(vec![lan4], vec![lan6]);
 
     // Devices: ~3 per resident; some broken-v6 at Residence C.
     let n_devices = (profile.residents * 3).clamp(2, 24);
@@ -210,201 +290,470 @@ pub fn synthesize_residence(
     let dual_share = devices.iter().filter(|d| d.dual_stack).count() as f64 / n_devices as f64;
     let residence_factor = profile.target_ext_v6_bytes / (mix_v6 * dual_share).max(1e-9);
 
-    // The residence's network path view for Happy Eyeballs health races.
-    let he = HappyEyeballs::new(config.he);
+    let ctx = ResidenceCtx {
+        world,
+        profile: &profile,
+        config,
+        devices: &devices,
+        base_weights: &base_weights,
+        residence_factor,
+        dual_share,
+        lan4,
+        lan6,
+        residence_index,
+    };
+
+    // Day fan-out: each day is an independent unit of work.
+    let day_results: Vec<DayOutput> = fan_out(
+        (0..config.num_days).collect(),
+        config.day_threads,
+        |_, day| synthesize_day(&ctx, day),
+    );
 
     let mut flows: Vec<FlowRecord> = Vec::new();
-    let mut sport_counter: u16 = 10_000;
-    // Byte/flow-mass accumulators per (service, family): hours whose sampled
-    // flow expectation is below one record carry their bytes forward instead
-    // of dropping them (dropping would bias fractions against big-flow
-    // services, which are disproportionately the IPv6-heavy streamers).
-    let mut pending_bytes = vec![[0.0f64; 2]; services.len()];
-    let mut pending_flows = vec![[0.0f64; 2]; services.len()];
+    let mut gateway: Option<GatewayStats> = None;
+    for (day_flows, day_gw) in day_results {
+        flows.extend(day_flows);
+        if let Some(stats) = day_gw {
+            gateway
+                .get_or_insert_with(GatewayStats::default)
+                .absorb(stats);
+        }
+    }
 
-    for day in 0..config.num_days {
-        let weekday = day % 7;
-        let absent = profile.absences.iter().any(|&(a, b)| day >= a && day <= b);
+    ResidenceDataset {
+        profile,
+        flows,
+        scale: config.scale,
+        num_days: config.num_days,
+        gateway,
+    }
+}
 
-        // Per-day network health and per-day HE race results per service.
-        let outage = rng.gen::<f64>() < profile.v6_outage_day_rate;
-        let mut net = Network::dual_stack_ms(18 + rng.gen_range(0..20));
-        if profile.v6_tunnel {
-            net.set_family_default(
-                Family::V6,
+/// Mutable per-day machinery: RNG, router, port counter and (for translated
+/// access technologies) the stateful gateways.
+///
+/// Gateways are instantiated per day — the price of day independence (and
+/// thus day-level parallelism). This is an *approximation*: bindings still
+/// held at midnight are dropped instead of carrying into the next day, so
+/// for binding timeouts that are a meaningful fraction of a day (the
+/// exhaustion experiments use 30–60 minutes) the pool pressure in the first
+/// timeout-window of each day is understated and reported rejection rates
+/// are a lower bound. At the default two-minute timeout the effect is
+/// negligible; a shared cross-day gateway would need a sequential pass (or
+/// a reconciliation step) and is noted in the ROADMAP as future work.
+struct DayRun<'a> {
+    ctx: &'a ResidenceCtx<'a>,
+    rng: SmallRng,
+    router: RouterMonitor,
+    sport: u16,
+    nat64: Option<Nat64Gateway>,
+    aftr: Option<Aftr>,
+}
+
+impl DayRun<'_> {
+    /// Emit one external service flow of `bytes` total volume. Returns
+    /// `false` when the flow was refused (gateway exhausted / no path).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_external(
+        &mut self,
+        svc: &ClientServiceRuntime,
+        family_v6: bool,
+        bytes: u64,
+        day: u32,
+        hour: u32,
+    ) -> bool {
+        let tech = self.ctx.profile.access_tech;
+        let rng = &mut self.rng;
+        let devices = self.ctx.devices;
+        let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
+        let duration = match svc.service.kind {
+            ServiceKind::Streaming | ServiceKind::LiveVideo => {
+                rng.gen_range(600..3600) as u64 * 1_000_000
+            }
+            ServiceKind::VideoConf => rng.gen_range(900..5400) as u64 * 1_000_000,
+            ServiceKind::Download => rng.gen_range(60..900) as u64 * 1_000_000,
+            _ => rng.gen_range(1..120) as u64 * 1_000_000,
+        };
+        self.sport = self.sport.wrapping_add(1).max(1024);
+
+        let (src, dst, src_v4) = if family_v6 {
+            // Native IPv6 flow. On dual-stack/DS-Lite lines this needs a
+            // device with working WAN IPv6; on an IPv6-only wire every
+            // device is v6-provisioned by definition (the bucket can only
+            // carry bytes there anyway — `dual_share` gates p_v6 on the
+            // other techs), so any device serves and the loop below cannot
+            // spin on an all-broken population.
+            let device = if tech.v6_only_wire() {
+                &devices[rng.gen_range(0..devices.len())]
+            } else {
+                loop {
+                    let d = &devices[rng.gen_range(0..devices.len())];
+                    if d.dual_stack {
+                        break d;
+                    }
+                }
+            };
+            let dst = svc.v6[rng.gen_range(0..svc.v6.len())];
+            (IpAddr::V6(device.v6), dst, Some(device.v4))
+        } else {
+            let device = &devices[rng.gen_range(0..devices.len())];
+            let IpAddr::V4(dst4) = svc.v4[rng.gen_range(0..svc.v4.len())] else {
+                unreachable!("service v4 pool holds IPv4 addresses");
+            };
+            match tech {
+                AccessTech::Ipv6OnlyNat64 | AccessTech::Xlat464 => {
+                    // Legacy traffic crosses the wire as IPv6 towards the
+                    // RFC 6052 mapping of the true destination; each flow
+                    // consumes a NAT64 binding.
+                    let gw = self.nat64.as_mut().expect("v6-only line has a NAT64");
+                    match gw.translate(dst4, start, start + duration) {
+                        Ok(dst6) => (IpAddr::V6(device.v6), IpAddr::V6(dst6), None),
+                        Err(_) => return false, // pool exhausted: flow dropped
+                    }
+                }
+                AccessTech::DsLite => {
+                    // Inner IPv4 flow over the softwire; the AFTR's NAT44
+                    // must grant a binding.
+                    let aftr = self.aftr.as_mut().expect("DS-Lite line has an AFTR");
+                    if aftr.admit(start, start + duration).is_err() {
+                        return false;
+                    }
+                    (IpAddr::V4(device.v4), IpAddr::V4(dst4), None)
+                }
+                _ => (IpAddr::V4(device.v4), IpAddr::V4(dst4), None),
+            }
+        };
+
+        let proto_udp = matches!(
+            svc.service.kind,
+            ServiceKind::VideoConf | ServiceKind::Gaming
+        ) || self.rng.gen::<f64>() < 0.05;
+        let key = if proto_udp {
+            FlowKey::udp(src, self.sport, dst, 443)
+        } else {
+            FlowKey::tcp(src, self.sport, dst, 443)
+        };
+        // Download-heavy: most bytes flow from the server.
+        self.router
+            .inject(key, start, start + duration, bytes / 20, bytes);
+
+        // Happy Eyeballs residue: on lines with an IPv4 socket (native or
+        // DS-Lite) a winning IPv6 connection can leave the losing IPv4
+        // attempt as a tiny flow.
+        if family_v6
+            && matches!(tech, AccessTech::NativeDualStack | AccessTech::DsLite)
+            && self.rng.gen::<f64>() < self.ctx.config.he_both_flow_rate
+        {
+            let residue_ok = match tech {
+                AccessTech::DsLite => self
+                    .aftr
+                    .as_mut()
+                    .expect("DS-Lite line has an AFTR")
+                    .admit(start, start + 2_000_000)
+                    .is_ok(),
+                _ => true,
+            };
+            if residue_ok {
+                // The residue is the *same host's* losing IPv4 attempt, so
+                // it must originate from the device that won over v6.
+                let src4 = src_v4.expect("v6 emission recorded its device");
+                let v4dst = svc.v4[self.rng.gen_range(0..svc.v4.len())];
+                let k = FlowKey::tcp(
+                    IpAddr::V4(src4),
+                    self.sport.wrapping_add(7).max(1024),
+                    v4dst,
+                    443,
+                );
+                self.router.inject(k, start, start + 2_000_000, 300, 300);
+            }
+        }
+        true
+    }
+}
+
+/// Synthesize one day of one residence. Pure function of
+/// `(config.seed, residence_index, day)` plus the world.
+fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
+    let config = ctx.config;
+    let profile = ctx.profile;
+    let tech = profile.access_tech;
+    let services = &ctx.world.client_services;
+    let resolver = Resolver::new(&ctx.world.client_zone);
+    let nat64_prefix = ctx.world.transition.nat64_prefix;
+    let dns64 = Dns64::new(resolver, nat64_prefix);
+    let he = HappyEyeballs::new(config.he);
+
+    let mut rng = SmallRng::seed_from_u64(day_seed(config.seed, ctx.residence_index, day));
+
+    let mut router = RouterMonitor::new(vec![ctx.lan4], vec![ctx.lan6]);
+    let mut xlat = TranslationMap::new();
+    if tech.v6_only_wire() {
+        xlat.add_nat64_prefix(nat64_prefix.prefix());
+    }
+    xlat.set_dslite_b4(tech == AccessTech::DsLite);
+    router.set_translation_map(xlat);
+
+    let weekday = day % 7;
+    let absent = profile.absences.iter().any(|&(a, b)| day >= a && day <= b);
+
+    // Per-day network health. On a v6-outage day a line whose IPv4 also
+    // rides IPv6 (v6-only, DS-Lite) loses everything.
+    let outage = rng.gen::<f64>() < profile.v6_outage_day_rate;
+    let total_outage = outage && (tech.v6_only_wire() || tech == AccessTech::DsLite);
+    let base_ms = 18 + rng.gen_range(0..20);
+    let mut net = Network::dual_stack_ms(base_ms);
+    match tech {
+        AccessTech::NativeDualStack => {
+            if profile.v6_tunnel {
+                net.set_family_default(
+                    Family::V6,
+                    PathProfile {
+                        rtt: (60 + rng.gen_range(0..30)) * MILLIS,
+                        loss: 0.002,
+                        reachable: true,
+                    },
+                );
+            }
+        }
+        AccessTech::V4Only => net.set_family_default(Family::V6, PathProfile::unreachable()),
+        AccessTech::Ipv6OnlyNat64 | AccessTech::Xlat464 => {
+            // No IPv4 on the wire at all; translated destinations pay the
+            // gateway detour.
+            net.set_family_default(Family::V4, PathProfile::unreachable());
+            net.set_prefix6(
+                nat64_prefix.prefix(),
                 PathProfile {
-                    rtt: (60 + rng.gen_range(0..30)) * MILLIS,
-                    loss: 0.002,
+                    rtt: (base_ms + 8) * MILLIS,
+                    loss: 0.0,
                     reachable: true,
                 },
             );
         }
-        if outage {
-            net.set_family_default(Family::V6, PathProfile::unreachable());
+        AccessTech::DsLite => {
+            // IPv4 rides the softwire: a couple of ms of AFTR detour.
+            net.set_family_default(
+                Family::V4,
+                PathProfile {
+                    rtt: (base_ms + 6) * MILLIS,
+                    loss: 0.0,
+                    reachable: true,
+                },
+            );
         }
-        // One Happy Eyeballs race per service per day decides whether IPv6
-        // is usable towards that service today.
-        let v6_usable: Vec<bool> = services
-            .iter()
-            .map(|s| {
+    }
+    if outage {
+        net.set_family_default(Family::V6, PathProfile::unreachable());
+        if total_outage {
+            net.set_family_default(Family::V4, PathProfile::unreachable());
+        }
+    }
+
+    // One Happy Eyeballs race per service per day decides whether IPv6 (or,
+    // behind DNS64, the translated path) is usable towards that service.
+    let v6_usable: Vec<bool> = services
+        .iter()
+        .map(|s| match tech {
+            AccessTech::V4Only => false,
+            AccessTech::Ipv6OnlyNat64 | AccessTech::Xlat464 => {
+                if total_outage {
+                    return false;
+                }
+                let fqdn = Name::new(&format!("edge0.{}", s.service.domain));
+                let race = he.connect(&net, &dns64, &mut rng, &fqdn, 0);
+                race.winning_family() == Some(Family::V6)
+            }
+            _ => {
                 if s.v6.is_empty() {
                     return false;
                 }
                 let fqdn = Name::new(&format!("edge0.{}", s.service.domain));
                 let race = he.connect(&net, &resolver, &mut rng, &fqdn, 0);
                 race.winning_family() == Some(Family::V6)
-            })
-            .collect();
+            }
+        })
+        .collect();
 
-        // Per-day service mix jitter (lognormal), plus event days.
-        let mut day_weights: Vec<f64> = base_weights
-            .iter()
-            .zip(services.iter())
-            .map(|(w, s)| {
-                let jitter = lognormal(&mut rng, 1.0, profile.day_mix_sigma);
-                let absence_damp = if absent && s.service.kind.human_driven() {
-                    0.03
-                } else {
-                    1.0
-                };
-                w * jitter * absence_damp
-            })
-            .collect();
-        let mut day_gb = profile.daily_external_gb * lognormal(&mut rng, 1.0, 0.35);
-        if absent {
-            day_gb *= 0.25; // only background traffic remains
+    // Per-day service mix jitter (lognormal), plus event days.
+    let mut day_weights: Vec<f64> = ctx
+        .base_weights
+        .iter()
+        .zip(services.iter())
+        .map(|(w, s)| {
+            let jitter = lognormal(&mut rng, 1.0, profile.day_mix_sigma);
+            let absence_damp = if absent && s.service.kind.human_driven() {
+                0.03
+            } else {
+                1.0
+            };
+            w * jitter * absence_damp
+        })
+        .collect();
+    let mut day_gb = profile.daily_external_gb * lognormal(&mut rng, 1.0, 0.35);
+    if absent {
+        day_gb *= 0.25; // only background traffic remains
+    }
+    for ev in profile.events {
+        if rng.gen::<f64>() < ev.probability {
+            if let Some(idx) = services.iter().position(|s| s.service.key == ev.service) {
+                let extra_gb = ev.gb_mean * lognormal(&mut rng, 1.0, 0.4);
+                let wsum: f64 = day_weights.iter().sum();
+                // Make the event service dominate the (enlarged) day.
+                day_weights[idx] += wsum * (extra_gb / day_gb.max(0.01));
+                day_gb += extra_gb;
+            }
         }
-        for ev in profile.events {
-            if rng.gen::<f64>() < ev.probability {
-                if let Some(idx) = services.iter().position(|s| s.service.key == ev.service) {
-                    let extra_gb = ev.gb_mean * lognormal(&mut rng, 1.0, 0.4);
-                    let wsum: f64 = day_weights.iter().sum();
-                    // Make the event service dominate the (enlarged) day.
-                    day_weights[idx] += wsum * (extra_gb / day_gb.max(0.01));
-                    day_gb += extra_gb;
+    }
+    let weight_sum: f64 = day_weights.iter().sum();
+
+    let mut run = DayRun {
+        ctx,
+        rng,
+        router,
+        sport: 10_000,
+        nat64: tech
+            .v6_only_wire()
+            .then(|| Nat64Gateway::new(nat64_prefix, config.gateway)),
+        aftr: (tech == AccessTech::DsLite).then(|| Aftr::new(config.gateway)),
+    };
+
+    // Byte/flow-mass accumulators per (service, family bucket): hours whose
+    // sampled flow expectation is below one record carry their bytes
+    // forward within the day instead of dropping them (dropping would bias
+    // fractions against big-flow services, which are disproportionately the
+    // IPv6-heavy streamers). Flushed at day end so days stay independent.
+    let mut pending_bytes = vec![[0.0f64; 2]; services.len()];
+    let mut pending_flows = vec![[0.0f64; 2]; services.len()];
+
+    for hour in 0..24u32 {
+        for (si, svc) in services.iter().enumerate() {
+            // A v6-only line with no usable path today drops the service's
+            // traffic entirely (nothing can leave the residence).
+            if tech.v6_only_wire() && !v6_usable[si] {
+                continue;
+            }
+            if total_outage {
+                continue;
+            }
+            let hour_w = if svc.service.kind.human_driven() {
+                human_hour_weight(hour, weekday)
+            } else {
+                1.0
+            };
+            // Normalize the hour profile so a day's weights integrate
+            // to ~1 across 24 hours (human weights sum to ~12.7).
+            let hour_norm = if svc.service.kind.human_driven() {
+                12.7
+            } else {
+                24.0
+            };
+            let svc_hour_bytes =
+                day_gb * 1e9 * (day_weights[si] / weight_sum) * (hour_w / hour_norm);
+            let mean_flow = svc.service.kind.mean_flow_bytes();
+            // Deterministic byte split. On native/DS-Lite lines the IPv6
+            // share of this hour's bytes is fixed by the service's
+            // propensity, the residence factor, today's Happy Eyeballs
+            // outcome and the dual-stack device share. On IPv6-only lines
+            // everything leaves as IPv6 and the split is native-v6 vs
+            // translated: traffic to services without native AAAA rides the
+            // NAT64 (the "false" bucket), as does the CLAT literal share on
+            // 464XLAT. Sampling only decides how many flow *records* carry
+            // those bytes, so byte fractions stay tight even at aggressive
+            // sampling scales.
+            let p_v6 = match tech {
+                AccessTech::V4Only => 0.0,
+                AccessTech::Ipv6OnlyNat64 => {
+                    if svc.v6.is_empty() {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                AccessTech::Xlat464 => {
+                    if svc.v6.is_empty() {
+                        0.0
+                    } else {
+                        1.0 - CLAT_LITERAL_SHARE
+                    }
+                }
+                _ => {
+                    if v6_usable[si] {
+                        (svc.service.v6_share * ctx.residence_factor).min(0.98) * ctx.dual_share
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            for (family_v6, bytes_real) in [
+                (true, svc_hour_bytes * p_v6),
+                (false, svc_hour_bytes * (1.0 - p_v6)),
+            ] {
+                let fam = family_v6 as usize;
+                pending_bytes[si][fam] += bytes_real * config.scale;
+                pending_flows[si][fam] += (bytes_real / mean_flow) * config.scale;
+                let n_rec = poisson(&mut run.rng, pending_flows[si][fam]);
+                if n_rec == 0 {
+                    continue;
+                }
+                let bytes_sampled = pending_bytes[si][fam];
+                pending_bytes[si][fam] = 0.0;
+                pending_flows[si][fam] = 0.0;
+                // Distribute the hour's sampled bytes over the records
+                // with lognormal weights (realistic sizes, exact total).
+                let weights: Vec<f64> = (0..n_rec)
+                    .map(|_| lognormal(&mut run.rng, 1.0, 0.9))
+                    .collect();
+                let wsum: f64 = weights.iter().sum();
+                for w in weights {
+                    let bytes = ((bytes_sampled * w / wsum).max(200.0)) as u64;
+                    run.emit_external(svc, family_v6, bytes, day, hour);
                 }
             }
         }
-        let weight_sum: f64 = day_weights.iter().sum();
 
-        // Hourly synthesis.
-        for hour in 0..24u32 {
-            for (si, svc) in services.iter().enumerate() {
-                let hour_w = if svc.service.kind.human_driven() {
-                    human_hour_weight(hour, weekday)
-                } else {
-                    1.0
+        // ICMP probes: CPE keepalives and user pings — the monitor
+        // tracks ICMP by type/code/id exactly like conntrack (§3.1).
+        if !total_outage {
+            let n_icmp = poisson(&mut run.rng, 6.0 * config.scale.min(1.0) * 50.0);
+            for _ in 0..n_icmp {
+                let device = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
+                let svc = &services[run.rng.gen_range(0..services.len())];
+                let use_v6 = match tech {
+                    AccessTech::V4Only => false,
+                    AccessTech::Ipv6OnlyNat64 | AccessTech::Xlat464 => true,
+                    _ => device.dual_stack && !svc.v6.is_empty() && run.rng.gen::<f64>() < 0.5,
                 };
-                // Normalize the hour profile so a day's weights integrate
-                // to ~1 across 24 hours (human weights sum to ~12.7).
-                let hour_norm = if svc.service.kind.human_driven() {
-                    12.7
+                let start =
+                    day as u64 * DAY_US + hour as u64 * HOUR_US + run.rng.gen_range(0..HOUR_US);
+                let (src, dst) = if use_v6 {
+                    let dst = if svc.v6.is_empty() {
+                        // v6-only line pinging a v4-only service: the probe
+                        // rides the translator like any other flow — an
+                        // ICMP-ID binding, subject to the same pool.
+                        let IpAddr::V4(d4) = svc.v4[run.rng.gen_range(0..svc.v4.len())] else {
+                            unreachable!("service v4 pool holds IPv4 addresses");
+                        };
+                        let gw = run.nat64.as_mut().expect("v6-only line has a NAT64");
+                        match gw.translate(d4, start, start + 1_000_000) {
+                            Ok(d6) => IpAddr::V6(d6),
+                            Err(_) => continue, // pool exhausted: probe lost
+                        }
+                    } else {
+                        svc.v6[run.rng.gen_range(0..svc.v6.len())]
+                    };
+                    (IpAddr::V6(device.v6), dst)
                 } else {
-                    24.0
-                };
-                let svc_hour_bytes =
-                    day_gb * 1e9 * (day_weights[si] / weight_sum) * (hour_w / hour_norm);
-                let mean_flow = svc.service.kind.mean_flow_bytes();
-                // Deterministic byte split: the IPv6 share of this hour's
-                // bytes is fixed by the service's propensity, the residence
-                // factor, today's Happy Eyeballs outcome and the dual-stack
-                // device share — sampling only decides how many flow
-                // *records* carry those bytes, so byte fractions stay tight
-                // even at aggressive sampling scales.
-                let p_v6 = if v6_usable[si] {
-                    (svc.service.v6_share * residence_factor).min(0.98) * dual_share
-                } else {
-                    0.0
-                };
-                for (family_v6, bytes_real) in [
-                    (true, svc_hour_bytes * p_v6),
-                    (false, svc_hour_bytes * (1.0 - p_v6)),
-                ] {
-                    let fam = family_v6 as usize;
-                    pending_bytes[si][fam] += bytes_real * config.scale;
-                    pending_flows[si][fam] += (bytes_real / mean_flow) * config.scale;
-                    let n_rec = poisson(&mut rng, pending_flows[si][fam]);
-                    if n_rec == 0 {
-                        continue;
-                    }
-                    let bytes_sampled = pending_bytes[si][fam];
-                    pending_bytes[si][fam] = 0.0;
-                    pending_flows[si][fam] = 0.0;
-                    // Distribute the hour's sampled bytes over the records
-                    // with lognormal weights (realistic sizes, exact total).
-                    let weights: Vec<f64> =
-                        (0..n_rec).map(|_| lognormal(&mut rng, 1.0, 0.9)).collect();
-                    let wsum: f64 = weights.iter().sum();
-                    for w in weights {
-                        let bytes = ((bytes_sampled * w / wsum).max(200.0)) as u64;
-                        let device = loop {
-                            let d = &devices[rng.gen_range(0..devices.len())];
-                            if !family_v6 || d.dual_stack {
-                                break d;
-                            }
-                        };
-                        let start =
-                            day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
-                        let duration = match svc.service.kind {
-                            ServiceKind::Streaming | ServiceKind::LiveVideo => {
-                                rng.gen_range(600..3600) as u64 * 1_000_000
-                            }
-                            ServiceKind::VideoConf => rng.gen_range(900..5400) as u64 * 1_000_000,
-                            ServiceKind::Download => rng.gen_range(60..900) as u64 * 1_000_000,
-                            _ => rng.gen_range(1..120) as u64 * 1_000_000,
-                        };
-                        sport_counter = sport_counter.wrapping_add(1).max(1024);
-                        let (src, dst) = if family_v6 {
-                            let dst = svc.v6[rng.gen_range(0..svc.v6.len())];
-                            (IpAddr::V6(device.v6), dst)
-                        } else {
-                            let dst = svc.v4[rng.gen_range(0..svc.v4.len())];
-                            (IpAddr::V4(device.v4), dst)
-                        };
-                        let proto_udp = matches!(
-                            svc.service.kind,
-                            ServiceKind::VideoConf | ServiceKind::Gaming
-                        ) || rng.gen::<f64>() < 0.05;
-                        let key = if proto_udp {
-                            FlowKey::udp(src, sport_counter, dst, 443)
-                        } else {
-                            FlowKey::tcp(src, sport_counter, dst, 443)
-                        };
-                        // Download-heavy: most bytes flow from the server.
-                        router.inject(key, start, start + duration, bytes / 20, bytes);
-
-                        // Happy Eyeballs residue: the losing IPv4 attempt
-                        // shows up as a tiny flow.
-                        if family_v6 && rng.gen::<f64>() < config.he_both_flow_rate {
-                            let v4dst = svc.v4[rng.gen_range(0..svc.v4.len())];
-                            let k = FlowKey::tcp(
-                                IpAddr::V4(device.v4),
-                                sport_counter.wrapping_add(7).max(1024),
-                                v4dst,
-                                443,
-                            );
-                            router.inject(k, start, start + 2_000_000, 300, 300);
+                    // DS-Lite: the tunneled v4 probe needs an AFTR binding
+                    // like any other softwire flow.
+                    if tech == AccessTech::DsLite {
+                        let aftr = run.aftr.as_mut().expect("DS-Lite line has an AFTR");
+                        if aftr.admit(start, start + 1_000_000).is_err() {
+                            continue;
                         }
                     }
-                }
-            }
-
-            // ICMP probes: CPE keepalives and user pings — the monitor
-            // tracks ICMP by type/code/id exactly like conntrack (§3.1).
-            let n_icmp = poisson(&mut rng, 6.0 * config.scale.min(1.0) * 50.0);
-            for _ in 0..n_icmp {
-                let device = &devices[rng.gen_range(0..devices.len())];
-                let svc = &services[rng.gen_range(0..services.len())];
-                let use_v6 = device.dual_stack && !svc.v6.is_empty() && rng.gen::<f64>() < 0.5;
-                let (src, dst) = if use_v6 {
-                    (
-                        IpAddr::V6(device.v6),
-                        svc.v6[rng.gen_range(0..svc.v6.len())],
-                    )
-                } else {
                     (
                         IpAddr::V4(device.v4),
-                        svc.v4[rng.gen_range(0..svc.v4.len())],
+                        svc.v4[run.rng.gen_range(0..svc.v4.len())],
                     )
                 };
                 let key = FlowKey::icmp(
@@ -413,55 +762,69 @@ pub fn synthesize_residence(
                     flowmon::IcmpMeta {
                         icmp_type: 8,
                         icmp_code: 0,
-                        icmp_id: rng.gen(),
+                        icmp_id: run.rng.gen(),
                     },
                 );
-                let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
-                router.inject(key, start, start + 1_000_000, 64 * 4, 64 * 4);
-            }
-
-            // Internal traffic: many tiny discovery flows plus occasional
-            // bulk transfers between devices.
-            let int_bytes_hour =
-                profile.daily_external_gb * 1e9 * profile.internal_byte_fraction / 24.0;
-            // Mean internal flow ≈ 11 kB: mostly tiny discovery chatter with
-            // 2% bulk transfers around 300 kB.
-            let n_int = poisson(&mut rng, int_bytes_hour / 11_000.0 * config.scale);
-            for _ in 0..n_int {
-                let a = &devices[rng.gen_range(0..devices.len())];
-                let b = &devices[rng.gen_range(0..devices.len())];
-                // Internal IPv6 runs over link-local/ULA addresses and works
-                // even when a device's WAN IPv6 is broken — which is why the
-                // paper finds internal and external fractions uncorrelated
-                // (Residence C: 12% external vs 49% internal).
-                let _ = (a.dual_stack, b.dual_stack);
-                let use_v6 = rng.gen::<f64>() < profile.internal_v6_share;
-                let bulk = rng.gen::<f64>() < 0.02;
-                let bytes = if bulk {
-                    lognormal(&mut rng, 300_000.0, 1.0) as u64
-                } else {
-                    rng.gen_range(120..2_500)
-                };
-                let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
-                sport_counter = sport_counter.wrapping_add(1).max(1024);
-                let (src, dst) = if use_v6 {
-                    (IpAddr::V6(a.v6), IpAddr::V6(b.v6))
-                } else {
-                    (IpAddr::V4(a.v4), IpAddr::V4(b.v4))
-                };
-                let key = FlowKey::udp(src, sport_counter, dst, 5353);
-                router.inject(key, start, start + 1_000_000, bytes, bytes / 4);
+                run.router
+                    .inject(key, start, start + 1_000_000, 64 * 4, 64 * 4);
             }
         }
-        flows.extend(router.drain());
+
+        // Internal traffic: many tiny discovery flows plus occasional
+        // bulk transfers between devices. Link-local/ULA IPv6 works
+        // whatever the access technology — which is why the paper finds
+        // internal and external fractions uncorrelated.
+        let int_bytes_hour =
+            profile.daily_external_gb * 1e9 * profile.internal_byte_fraction / 24.0;
+        // Mean internal flow ≈ 11 kB: mostly tiny discovery chatter with
+        // 2% bulk transfers around 300 kB.
+        let n_int = poisson(&mut run.rng, int_bytes_hour / 11_000.0 * config.scale);
+        for _ in 0..n_int {
+            let a = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
+            let b = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
+            let use_v6 = run.rng.gen::<f64>() < profile.internal_v6_share;
+            let bulk = run.rng.gen::<f64>() < 0.02;
+            let bytes = if bulk {
+                lognormal(&mut run.rng, 300_000.0, 1.0) as u64
+            } else {
+                run.rng.gen_range(120..2_500)
+            };
+            let start = day as u64 * DAY_US + hour as u64 * HOUR_US + run.rng.gen_range(0..HOUR_US);
+            run.sport = run.sport.wrapping_add(1).max(1024);
+            let (src, dst) = if use_v6 {
+                (IpAddr::V6(a.v6), IpAddr::V6(b.v6))
+            } else {
+                (IpAddr::V4(a.v4), IpAddr::V4(b.v4))
+            };
+            let key = FlowKey::udp(src, run.sport, dst, 5353);
+            run.router
+                .inject(key, start, start + 1_000_000, bytes, bytes / 4);
+        }
     }
 
-    ResidenceDataset {
-        profile,
-        flows,
-        scale: config.scale,
-        num_days: config.num_days,
+    // Day-end flush: days are independent, so residual byte mass cannot
+    // carry over. An importance-weighted Bernoulli draw keeps the flush
+    // unbiased in *both* moments the analyses read: the residue is emitted
+    // with probability p = min(1, expected flows) and its bytes scaled by
+    // 1/p, so E[flows] ≈ pending_flows and E[bytes] = pending_bytes
+    // exactly — low-volume (service, family) buckets keep their long-run
+    // byte share instead of losing it at every midnight.
+    for (si, svc) in services.iter().enumerate() {
+        for fam in 0..2 {
+            let p = pending_flows[si][fam].min(1.0);
+            if p > 0.0 && pending_bytes[si][fam] >= 1.0 && run.rng.gen::<f64>() < p {
+                let bytes = (pending_bytes[si][fam] / p) as u64;
+                run.emit_external(svc, fam == 1, bytes, day, 23);
+            }
+        }
     }
+
+    let stats = run
+        .nat64
+        .as_ref()
+        .map(|g| g.stats())
+        .or_else(|| run.aftr.as_ref().map(|a| a.stats()));
+    (run.router.drain(), stats)
 }
 
 struct Device {
@@ -530,6 +893,7 @@ mod tests {
         let v6 = ds.flows.iter().filter(|f| f.family() == Family::V6).count();
         let v4 = ds.flows.iter().filter(|f| f.family() == Family::V4).count();
         assert!(v6 > 0 && v4 > 0);
+        assert!(ds.gateway.is_none(), "dual-stack line uses no gateway");
     }
 
     #[test]
@@ -650,5 +1014,149 @@ mod tests {
             assert_eq!(a.profile.key, b.profile.key);
             assert_eq!(a.flows, b.flows, "residence {} differs", a.profile.key);
         }
+    }
+
+    #[test]
+    fn residence_identical_at_any_day_thread_count() {
+        let world = World::generate(&WorldConfig::small());
+        let profiles = crate::profile::paper_residences();
+        let cfg = TrafficConfig {
+            num_days: 20,
+            ..TrafficConfig::fast()
+        };
+        let seq = synthesize_residence(
+            &world,
+            profiles[0].clone(),
+            &TrafficConfig {
+                day_threads: 1,
+                ..cfg.clone()
+            },
+            0,
+        );
+        let par = synthesize_residence(
+            &world,
+            profiles[0].clone(),
+            &TrafficConfig {
+                day_threads: 5,
+                ..cfg.clone()
+            },
+            0,
+        );
+        assert_eq!(seq.flows, par.flows, "day-parallel output differs");
+        // And a translated residence (gateway state is per-day, so its
+        // stats must agree too).
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let s1 = synthesize_residence(
+            &world,
+            nat64.clone(),
+            &TrafficConfig {
+                day_threads: 1,
+                ..cfg.clone()
+            },
+            2,
+        );
+        let s4 = synthesize_residence(
+            &world,
+            nat64.clone(),
+            &TrafficConfig {
+                day_threads: 4,
+                ..cfg.clone()
+            },
+            2,
+        );
+        assert_eq!(s1.flows, s4.flows);
+        let (g1, g4) = (s1.gateway.unwrap(), s4.gateway.unwrap());
+        assert_eq!(g1.granted, g4.granted);
+        assert_eq!(g1.rejected, g4.rejected);
+        assert_eq!(g1.peak_active, g4.peak_active);
+    }
+
+    #[test]
+    fn v6only_line_emits_only_v6_external_flows() {
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let ds = synthesize_residence(&world, nat64.clone(), &TrafficConfig::fast(), 2);
+        let prefix = world.transition.nat64_prefix;
+        let mut translated = 0usize;
+        let mut native = 0usize;
+        for f in ds.flows.iter().filter(|f| f.scope == Scope::External) {
+            assert_eq!(
+                f.family(),
+                Family::V6,
+                "nothing leaves a v6-only line as IPv4: {:?}",
+                f.key
+            );
+            match f.key.dst {
+                IpAddr::V6(d) if prefix.contains(d) => translated += 1,
+                _ => native += 1,
+            }
+        }
+        assert!(translated > 0, "v4-only services must ride the NAT64");
+        assert!(native > 0, "dual-stack services stay native");
+        let gw = ds.gateway.expect("NAT64 line reports gateway stats");
+        assert_eq!(
+            gw.granted, translated as u64,
+            "every translated flow — TCP, UDP and ICMP alike — holds a binding"
+        );
+    }
+
+    #[test]
+    fn dslite_line_keeps_v4_flows_and_uses_aftr() {
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let dslite = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::DsLite)
+            .unwrap();
+        let ds = synthesize_residence(&world, dslite.clone(), &TrafficConfig::fast(), 4);
+        let ext_v4 = ds
+            .flows
+            .iter()
+            .filter(|f| f.scope == Scope::External && f.family() == Family::V4)
+            .count();
+        assert!(ext_v4 > 0, "tunneled IPv4 still appears as IPv4 flows");
+        let gw = ds.gateway.expect("AFTR stats present");
+        assert!(gw.granted > 0);
+    }
+
+    #[test]
+    fn nat64_pool_exhaustion_rejects_flows() {
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let tiny_pool = TrafficConfig {
+            num_days: 20,
+            gateway: GatewayConfig {
+                capacity: 2,
+                binding_timeout: 3_600_000_000, // one hour: bindings pile up
+            },
+            ..TrafficConfig::fast()
+        };
+        let ds = synthesize_residence(&world, nat64.clone(), &tiny_pool, 2);
+        let gw = ds.gateway.expect("gateway stats");
+        assert!(gw.rejected > 0, "a 2-binding pool must exhaust");
+        assert_eq!(gw.peak_active, 2);
+        let roomy = TrafficConfig {
+            num_days: 20,
+            ..TrafficConfig::fast()
+        };
+        let ok = synthesize_residence(&world, nat64.clone(), &roomy, 2)
+            .gateway
+            .expect("gateway stats");
+        assert!(
+            ok.rejection_rate() < gw.rejection_rate(),
+            "default pool rejects less than the tiny pool"
+        );
     }
 }

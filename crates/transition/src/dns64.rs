@@ -1,0 +1,166 @@
+//! DNS64 (RFC 6147): synthesizing `AAAA` answers from `A` records.
+//!
+//! An IPv6-only access network pairs a NAT64 gateway with a DNS64 recursive
+//! resolver: when a queried name has no native `AAAA` record but does have an
+//! `A` record, the resolver *synthesizes* `AAAA` answers by embedding each
+//! IPv4 address under the NAT64 prefix (RFC 6052). Clients then believe the
+//! destination is IPv6-reachable and connect through the gateway.
+//!
+//! Two RFC 6147 rules matter for measurement fidelity and are enforced here:
+//!
+//! * **Native answers are never shadowed** — if any real `AAAA` exists, it is
+//!   returned untouched and nothing is synthesized (§5.1.6).
+//! * **NXDOMAIN is not synthesized around** — synthesis applies only to the
+//!   empty-answer (NODATA) case; a name that does not exist stays NXDOMAIN.
+
+use crate::rfc6052::Nat64Prefix;
+use dnssim::{AddrsOutcome, Name, ResolveAddrs, Resolver};
+use iputil::Family;
+use std::net::IpAddr;
+
+/// A DNS64 view over a stub [`Resolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct Dns64<'a> {
+    resolver: Resolver<'a>,
+    prefix: Nat64Prefix,
+}
+
+impl<'a> Dns64<'a> {
+    /// Wrap `resolver`, synthesizing under `prefix`.
+    pub fn new(resolver: Resolver<'a>, prefix: Nat64Prefix) -> Dns64<'a> {
+        Dns64 { resolver, prefix }
+    }
+
+    /// The translation prefix used for synthesis.
+    pub fn prefix(&self) -> Nat64Prefix {
+        self.prefix
+    }
+
+    /// Resolve like [`ResolveAddrs::resolve_addrs`], also reporting whether
+    /// the answer was synthesized (`true` only for `AAAA` answers built from
+    /// `A` records).
+    pub fn resolve_addrs_traced(&self, name: &Name, family: Family) -> (AddrsOutcome, bool) {
+        let native = self.resolver.resolve_addrs(name, family);
+        if family == Family::V4 {
+            return (native, false);
+        }
+        match native {
+            // Native AAAA answers are never shadowed.
+            AddrsOutcome::Answers(_) => (native, false),
+            // NODATA: the name exists but has no AAAA — the synthesis case.
+            AddrsOutcome::NoData => match self.resolver.resolve_addrs(name, Family::V4) {
+                AddrsOutcome::Answers(v4s) => {
+                    let synth: Vec<IpAddr> = v4s
+                        .iter()
+                        .map(|a| match a {
+                            IpAddr::V4(v4) => IpAddr::V6(self.prefix.embed(*v4)),
+                            IpAddr::V6(_) => unreachable!("A query returns IPv4 only"),
+                        })
+                        .collect();
+                    (AddrsOutcome::Answers(synth), true)
+                }
+                // No A either (or the A path failed): keep the AAAA outcome.
+                _ => (AddrsOutcome::NoData, false),
+            },
+            // NXDOMAIN / SERVFAIL / timeout pass through unchanged.
+            other => (other, false),
+        }
+    }
+}
+
+impl ResolveAddrs for Dns64<'_> {
+    fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome {
+        self.resolve_addrs_traced(name, family).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnssim::ZoneDb;
+    use std::net::Ipv6Addr;
+
+    fn db() -> ZoneDb {
+        let mut db = ZoneDb::new();
+        db.add_a("dual.test".into(), "192.0.2.1".parse().unwrap());
+        db.add_aaaa("dual.test".into(), "2001:db8::1".parse().unwrap());
+        db.add_a("v4only.test".into(), "192.0.2.2".parse().unwrap());
+        db.add_a("v4only.test".into(), "192.0.2.3".parse().unwrap());
+        db.add_aaaa("v6only.test".into(), "2001:db8::2".parse().unwrap());
+        db
+    }
+
+    fn dns64(db: &ZoneDb) -> Dns64<'_> {
+        Dns64::new(Resolver::new(db), Nat64Prefix::well_known())
+    }
+
+    #[test]
+    fn synthesizes_aaaa_for_v4_only_names() {
+        let db = db();
+        let d = dns64(&db);
+        let (out, synth) = d.resolve_addrs_traced(&"v4only.test".into(), Family::V6);
+        assert!(synth);
+        let addrs = out.addresses();
+        assert_eq!(addrs.len(), 2, "one synthesized AAAA per A record");
+        for a in addrs {
+            match a {
+                IpAddr::V6(v6) => {
+                    assert!(d.prefix().contains(*v6));
+                    let v4 = d.prefix().extract(*v6).unwrap();
+                    assert!(matches!(u32::from(v4), 0xc0000202 | 0xc0000203));
+                }
+                IpAddr::V4(_) => panic!("AAAA answer must be IPv6"),
+            }
+        }
+    }
+
+    #[test]
+    fn native_aaaa_never_shadowed() {
+        let db = db();
+        let d = dns64(&db);
+        let (out, synth) = d.resolve_addrs_traced(&"dual.test".into(), Family::V6);
+        assert!(!synth);
+        assert_eq!(
+            out.addresses(),
+            ["2001:db8::1".parse::<IpAddr>().unwrap()],
+            "native AAAA passes through untouched"
+        );
+        let (v6only, synth2) = d.resolve_addrs_traced(&"v6only.test".into(), Family::V6);
+        assert!(!synth2);
+        assert!(v6only.is_success());
+    }
+
+    #[test]
+    fn nxdomain_is_not_synthesized() {
+        let db = db();
+        let d = dns64(&db);
+        let (out, synth) = d.resolve_addrs_traced(&"missing.test".into(), Family::V6);
+        assert!(!synth);
+        assert_eq!(out, AddrsOutcome::NxDomain);
+    }
+
+    #[test]
+    fn a_queries_pass_through() {
+        let db = db();
+        let d = dns64(&db);
+        let (out, synth) = d.resolve_addrs_traced(&"v4only.test".into(), Family::V4);
+        assert!(!synth);
+        assert_eq!(out.addresses().len(), 2);
+        // v6-only name has no A and DNS64 does not invent one (no "DNS46").
+        let (none, _) = d.resolve_addrs_traced(&"v6only.test".into(), Family::V4);
+        assert_eq!(none, AddrsOutcome::NoData);
+    }
+
+    #[test]
+    fn synthesized_addresses_round_trip_through_prefix() {
+        let db = db();
+        let d = dns64(&db);
+        let out = ResolveAddrs::resolve_addrs(&d, &"v4only.test".into(), Family::V6);
+        for a in out.addresses() {
+            let IpAddr::V6(v6) = a else { panic!("v6") };
+            let v4 = d.prefix().extract(*v6).expect("under prefix");
+            assert_eq!(d.prefix().embed(v4), *v6);
+        }
+        let _: Ipv6Addr = d.prefix().embed("192.0.2.2".parse().unwrap());
+    }
+}

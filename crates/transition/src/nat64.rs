@@ -1,0 +1,334 @@
+//! Stateful translators and tunnel concentrators: NAT64, the 464XLAT CLAT,
+//! and the DS-Lite AFTR.
+//!
+//! All three carrier-side elements share one scarce resource: a pool of
+//! IPv4 addresses × ports from which per-flow **bindings** are allocated.
+//! When the binding table is full, new flows are rejected until old bindings
+//! time out — the exhaustion scenario studied in the transition-technology
+//! comparison literature (CGN port exhaustion under heavy residential load).
+//! [`BindingTable`] models that resource; [`Nat64Gateway`] adds the RFC 6052
+//! address mapping on top, and [`Aftr`] reuses it as a plain NAT44 for
+//! tunneled DS-Lite traffic.
+
+use crate::rfc6052::Nat64Prefix;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Microseconds (matches the `netsim`/`flowmon` clock).
+pub type Time = u64;
+
+/// Capacity/timeout parameters of a binding table.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GatewayConfig {
+    /// Maximum simultaneous bindings (pool addresses × usable ports; the
+    /// suite's sampled flow volumes make a few thousand "large").
+    pub capacity: usize,
+    /// How long a binding outlives its flow before the port is reusable
+    /// (conntrack-style timeout), in microseconds.
+    pub binding_timeout: Time,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            capacity: 4096,
+            binding_timeout: 120 * 1_000_000,
+        }
+    }
+}
+
+/// Why a translator refused a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindError {
+    /// Every pool port is bound; the flow is dropped (the client sees a
+    /// connection failure).
+    PoolExhausted,
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::PoolExhausted => write!(f, "translator port pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Lifetime counters of a binding table (exported with experiment results).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct GatewayStats {
+    /// Bindings granted.
+    pub granted: u64,
+    /// Flows rejected because the pool was exhausted.
+    pub rejected: u64,
+    /// Highest simultaneous binding count observed.
+    pub peak_active: usize,
+}
+
+impl GatewayStats {
+    /// Fraction of flows rejected (0 when nothing was offered).
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.granted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+
+    /// Fold another table's counters into this one (used when per-day
+    /// gateway instances are merged into one run-level summary).
+    pub fn absorb(&mut self, other: GatewayStats) {
+        self.granted += other.granted;
+        self.rejected += other.rejected;
+        self.peak_active = self.peak_active.max(other.peak_active);
+    }
+}
+
+/// The shared port-binding resource: a capacity-bounded set of bindings with
+/// timeout-based expiry, driven by flow start/end times.
+///
+/// Expiry is lazy: each [`BindingTable::bind`] first releases bindings whose
+/// expiry precedes the new flow's start. Synthesis feeds flows in roughly
+/// increasing start order; small inversions inside an hour only delay reuse
+/// by the inversion amount, keeping the model deterministic without a global
+/// sort.
+#[derive(Debug, Clone, Default)]
+pub struct BindingTable {
+    config: GatewayConfig,
+    /// Expiry times of active bindings (min-heap).
+    active: BinaryHeap<Reverse<Time>>,
+    stats: GatewayStats,
+}
+
+impl BindingTable {
+    /// An empty table with the given limits.
+    pub fn new(config: GatewayConfig) -> BindingTable {
+        BindingTable {
+            config,
+            active: BinaryHeap::new(),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// Try to bind a flow lasting `[start, end]`.
+    pub fn bind(&mut self, start: Time, end: Time) -> Result<(), BindError> {
+        while let Some(&Reverse(expiry)) = self.active.peek() {
+            if expiry <= start {
+                self.active.pop();
+            } else {
+                break;
+            }
+        }
+        if self.active.len() >= self.config.capacity {
+            self.stats.rejected += 1;
+            return Err(BindError::PoolExhausted);
+        }
+        self.active.push(Reverse(
+            end.max(start).saturating_add(self.config.binding_timeout),
+        ));
+        self.stats.granted += 1;
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        Ok(())
+    }
+
+    /// Currently active bindings.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> GatewayConfig {
+        self.config
+    }
+}
+
+/// A stateful NAT64 gateway (RFC 6146): IPv6-only clients reach the IPv4
+/// Internet through it. Destinations are RFC 6052 addresses under the
+/// gateway's prefix; each flow consumes one pool binding.
+#[derive(Debug, Clone)]
+pub struct Nat64Gateway {
+    prefix: Nat64Prefix,
+    table: BindingTable,
+}
+
+impl Nat64Gateway {
+    /// A gateway translating under `prefix`.
+    pub fn new(prefix: Nat64Prefix, config: GatewayConfig) -> Nat64Gateway {
+        Nat64Gateway {
+            prefix,
+            table: BindingTable::new(config),
+        }
+    }
+
+    /// The gateway's translation prefix.
+    pub fn prefix(&self) -> Nat64Prefix {
+        self.prefix
+    }
+
+    /// Admit a flow towards IPv4 destination `dst4` lasting `[start, end]`:
+    /// returns the IPv6 address the client actually dials (the RFC 6052
+    /// mapping of `dst4`), or [`BindError::PoolExhausted`].
+    pub fn translate(
+        &mut self,
+        dst4: Ipv4Addr,
+        start: Time,
+        end: Time,
+    ) -> Result<Ipv6Addr, BindError> {
+        self.table.bind(start, end)?;
+        Ok(self.prefix.embed(dst4))
+    }
+
+    /// Reverse mapping for return traffic / flow classification.
+    pub fn untranslate(&self, dst6: Ipv6Addr) -> Option<Ipv4Addr> {
+        self.prefix.extract(dst6)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.table.stats()
+    }
+
+    /// Currently active bindings.
+    pub fn active_count(&self) -> usize {
+        self.table.active_count()
+    }
+}
+
+/// The customer-side translator of 464XLAT (RFC 6877): a stateless NAT46 in
+/// the CPE/host that lets IPv4-only applications open IPv4 sockets over an
+/// IPv6-only access network. The CLAT maps the app's IPv4 destination to the
+/// provider-side translator's (PLAT = NAT64) prefix; state lives only in the
+/// PLAT, so the CLAT itself cannot exhaust.
+#[derive(Debug, Clone, Copy)]
+pub struct Clat {
+    plat_prefix: Nat64Prefix,
+}
+
+impl Clat {
+    /// A CLAT forwarding to a PLAT that translates under `plat_prefix`.
+    pub fn new(plat_prefix: Nat64Prefix) -> Clat {
+        Clat { plat_prefix }
+    }
+
+    /// The destination the CLAT rewrites an IPv4 packet towards.
+    pub fn to_plat(&self, dst4: Ipv4Addr) -> Ipv6Addr {
+        self.plat_prefix.embed(dst4)
+    }
+
+    /// The PLAT prefix this CLAT uses.
+    pub fn plat_prefix(&self) -> Nat64Prefix {
+        self.plat_prefix
+    }
+}
+
+/// The DS-Lite AFTR (RFC 6333): terminates the B4's IPv4-in-IPv6 softwire
+/// and runs carrier-grade NAT44 on the inner IPv4 flows. No family
+/// translation happens — the scarce resource is the same binding pool.
+#[derive(Debug, Clone, Default)]
+pub struct Aftr {
+    table: BindingTable,
+}
+
+impl Aftr {
+    /// An AFTR with the given CGN limits.
+    pub fn new(config: GatewayConfig) -> Aftr {
+        Aftr {
+            table: BindingTable::new(config),
+        }
+    }
+
+    /// Admit a tunneled IPv4 flow lasting `[start, end]`.
+    pub fn admit(&mut self, start: Time, end: Time) -> Result<(), BindError> {
+        self.table.bind(start, end)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.table.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(capacity: usize, timeout: Time) -> GatewayConfig {
+        GatewayConfig {
+            capacity,
+            binding_timeout: timeout,
+        }
+    }
+
+    #[test]
+    fn bindings_grant_until_capacity_then_reject() {
+        let mut t = BindingTable::new(tiny(2, 10));
+        assert!(t.bind(0, 100).is_ok());
+        assert!(t.bind(0, 100).is_ok());
+        assert_eq!(t.bind(0, 100), Err(BindError::PoolExhausted));
+        let s = t.stats();
+        assert_eq!((s.granted, s.rejected, s.peak_active), (2, 1, 2));
+    }
+
+    #[test]
+    fn bindings_expire_after_timeout() {
+        let mut t = BindingTable::new(tiny(1, 10));
+        assert!(t.bind(0, 100).is_ok());
+        // Still bound at end + timeout - 1.
+        assert_eq!(t.bind(109, 200), Err(BindError::PoolExhausted));
+        // Free at end + timeout.
+        assert!(t.bind(110, 200).is_ok());
+        assert_eq!(t.active_count(), 1);
+    }
+
+    #[test]
+    fn nat64_translates_and_untranslates() {
+        let mut g = Nat64Gateway::new(Nat64Prefix::well_known(), GatewayConfig::default());
+        let dst4: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        let dst6 = g.translate(dst4, 0, 1_000_000).unwrap();
+        assert!(g.prefix().contains(dst6));
+        assert_eq!(g.untranslate(dst6), Some(dst4));
+        assert_eq!(g.untranslate("2001:db8::1".parse().unwrap()), None);
+        assert_eq!(g.stats().granted, 1);
+    }
+
+    #[test]
+    fn nat64_exhaustion_counts_rejections() {
+        let mut g = Nat64Gateway::new(Nat64Prefix::well_known(), tiny(3, 1_000_000_000));
+        let dst4: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        let mut rejected = 0;
+        for i in 0..10u64 {
+            if g.translate(dst4, i, i + 1).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 7);
+        assert!((g.stats().rejection_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(g.stats().peak_active, 3);
+    }
+
+    #[test]
+    fn clat_is_stateless_and_maps_to_plat() {
+        let clat = Clat::new(Nat64Prefix::well_known());
+        let dst4: Ipv4Addr = "203.0.113.5".parse().unwrap();
+        let v6 = clat.to_plat(dst4);
+        assert_eq!(clat.plat_prefix().extract(v6), Some(dst4));
+    }
+
+    #[test]
+    fn aftr_admits_like_a_nat44() {
+        let mut a = Aftr::new(tiny(1, 5));
+        assert!(a.admit(0, 10).is_ok());
+        assert!(a.admit(10, 20).is_err());
+        assert!(a.admit(15, 25).is_ok(), "freed at end(10) + timeout(5)");
+        assert_eq!(a.stats().granted, 2);
+    }
+}

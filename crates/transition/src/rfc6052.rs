@@ -1,0 +1,187 @@
+//! RFC 6052 IPv4-embedded IPv6 addresses.
+//!
+//! NAT64/DNS64 and 464XLAT all rely on the same address-mapping algorithm:
+//! an IPv4 address is *embedded* into an IPv6 address under a translation
+//! prefix — either the well-known prefix `64:ff9b::/96` or a
+//! network-specific prefix — and *extracted* back on the return path. RFC
+//! 6052 §2.2 defines six legal prefix lengths; for lengths shorter than 96
+//! the embedded address straddles bits 64–71 ("octet u"), which must remain
+//! zero for compatibility with the interface-identifier rules.
+
+use iputil::prefix::Prefix6;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The RFC 6052 well-known prefix, `64:ff9b::/96`.
+pub const WELL_KNOWN_PREFIX: &str = "64:ff9b::/96";
+
+/// Error building a [`Nat64Prefix`] from a [`Prefix6`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixError {
+    /// RFC 6052 only allows lengths 32, 40, 48, 56, 64 and 96.
+    BadLength(u8),
+    /// Bits 64..72 ("octet u") of a network-specific prefix must be zero.
+    NonZeroOctetU,
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::BadLength(len) => {
+                write!(
+                    f,
+                    "RFC 6052 forbids prefix length {len} (allowed: 32/40/48/56/64/96)"
+                )
+            }
+            PrefixError::NonZeroOctetU => {
+                write!(f, "bits 64..72 of an RFC 6052 prefix must be zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+/// A validated RFC 6052 translation prefix with embed/extract operations.
+///
+/// ```
+/// use transition::rfc6052::Nat64Prefix;
+/// let p = Nat64Prefix::well_known();
+/// let v4 = "192.0.2.33".parse().unwrap();
+/// let v6 = p.embed(v4);
+/// assert_eq!(v6.to_string(), "64:ff9b::c000:221");
+/// assert_eq!(p.extract(v6), Some(v4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nat64Prefix {
+    prefix: Prefix6,
+}
+
+impl Nat64Prefix {
+    /// Wrap a prefix, validating the RFC 6052 length and octet-u rules.
+    pub fn new(prefix: Prefix6) -> Result<Nat64Prefix, PrefixError> {
+        if !matches!(prefix.len(), 32 | 40 | 48 | 56 | 64 | 96) {
+            return Err(PrefixError::BadLength(prefix.len()));
+        }
+        // Octet u (bits 64..72, i.e. u128 bits 56..64 from the low end) must
+        // be zero in any address under the prefix, which for prefixes longer
+        // than 64 bits means the prefix itself must keep it zero.
+        if prefix.len() > 64 && (prefix.bits() >> 56) & 0xff != 0 {
+            return Err(PrefixError::NonZeroOctetU);
+        }
+        Ok(Nat64Prefix { prefix })
+    }
+
+    /// The well-known prefix `64:ff9b::/96`.
+    pub fn well_known() -> Nat64Prefix {
+        Nat64Prefix::new(WELL_KNOWN_PREFIX.parse().expect("static prefix"))
+            .expect("well-known prefix is valid")
+    }
+
+    /// The underlying IPv6 prefix.
+    pub fn prefix(&self) -> Prefix6 {
+        self.prefix
+    }
+
+    /// Embed `v4` under this prefix (RFC 6052 §2.2).
+    ///
+    /// For lengths below 96 the IPv4 bits are split around octet u, which is
+    /// always emitted as zero; the suffix bits stay zero.
+    pub fn embed(&self, v4: Ipv4Addr) -> Ipv6Addr {
+        let a = u32::from(v4) as u128;
+        let embedded: u128 = match self.prefix.len() {
+            32 => a << 64,
+            40 => ((a >> 8) << 64) | ((a & 0xff) << 48),
+            48 => ((a >> 16) << 64) | ((a & 0xffff) << 40),
+            56 => ((a >> 24) << 64) | ((a & 0xff_ffff) << 32),
+            64 => a << 24,
+            96 => a,
+            _ => unreachable!("length validated in new()"),
+        };
+        Ipv6Addr::from(self.prefix.bits() | embedded)
+    }
+
+    /// Extract the embedded IPv4 address, or `None` when `v6` is not under
+    /// this prefix.
+    pub fn extract(&self, v6: Ipv6Addr) -> Option<Ipv4Addr> {
+        if !self.prefix.contains(v6) {
+            return None;
+        }
+        let bits = u128::from(v6);
+        let a: u32 = match self.prefix.len() {
+            32 => (bits >> 64) as u32,
+            40 => ((bits >> 64) as u32) << 8 | ((bits >> 48) & 0xff) as u32,
+            48 => ((bits >> 64) as u32) << 16 | ((bits >> 40) & 0xffff) as u32,
+            56 => ((bits >> 64) as u32) << 24 | ((bits >> 32) & 0xff_ffff) as u32,
+            64 => (bits >> 24) as u32,
+            96 => bits as u32,
+            _ => unreachable!("length validated in new()"),
+        };
+        Some(Ipv4Addr::from(a))
+    }
+
+    /// Is `v6` an address synthesized/translated under this prefix?
+    pub fn contains(&self, v6: Ipv6Addr) -> bool {
+        self.prefix.contains(v6)
+    }
+}
+
+impl fmt::Display for Nat64Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.prefix.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_embeds_like_rfc_examples() {
+        // RFC 6052 §2.4 example: 192.0.2.33 under each prefix length.
+        let v4: Ipv4Addr = "192.0.2.33".parse().unwrap();
+        let cases = [
+            ("2001:db8::/32", "2001:db8:c000:221::"),
+            ("2001:db8:100::/40", "2001:db8:1c0:2:21::"),
+            ("2001:db8:122::/48", "2001:db8:122:c000:2:2100::"),
+            ("2001:db8:122:300::/56", "2001:db8:122:3c0:0:221::"),
+            ("2001:db8:122:344::/64", "2001:db8:122:344:c0:2:2100:0"),
+            ("2001:db8:122:344::/96", "2001:db8:122:344::c000:221"),
+        ];
+        for (prefix, expect) in cases {
+            let p = Nat64Prefix::new(prefix.parse().unwrap()).unwrap();
+            let v6 = p.embed(v4);
+            assert_eq!(v6, expect.parse::<Ipv6Addr>().unwrap(), "prefix {prefix}");
+            assert_eq!(p.extract(v6), Some(v4), "prefix {prefix}");
+        }
+    }
+
+    #[test]
+    fn rejects_illegal_lengths() {
+        for len in [0u8, 31, 33, 65, 95, 97, 128] {
+            let p = Prefix6::new("2001:db8::".parse().unwrap(), len);
+            assert_eq!(Nat64Prefix::new(p), Err(PrefixError::BadLength(len)));
+        }
+    }
+
+    #[test]
+    fn rejects_nonzero_octet_u() {
+        // /96 prefix whose bits 64..72 are set.
+        let p: Prefix6 = "2001:db8::ff00:0:0:0/96".parse().unwrap();
+        assert!((p.bits() >> 56) & 0xff != 0, "fixture sets octet u");
+        assert_eq!(Nat64Prefix::new(p), Err(PrefixError::NonZeroOctetU));
+    }
+
+    #[test]
+    fn extract_rejects_foreign_addresses() {
+        let p = Nat64Prefix::well_known();
+        assert_eq!(p.extract("2001:db8::1".parse().unwrap()), None);
+        assert!(p.contains("64:ff9b::102:304".parse().unwrap()));
+        assert!(!p.contains("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn display_shows_prefix() {
+        assert_eq!(Nat64Prefix::well_known().to_string(), "64:ff9b::/96");
+    }
+}

@@ -32,9 +32,11 @@ pub mod clientsvc;
 pub mod clouds;
 pub mod web;
 pub mod world;
+pub mod xlat;
 
 pub use calibration::Calibration;
 pub use clientsvc::{ClientService, ServiceKind, CLIENT_AS_CATALOG};
 pub use clouds::CloudRuntime;
 pub use web::{EpochState, HttpFailure, SiteClassTruth, ThirdParty};
 pub use world::{World, WorldConfig};
+pub use xlat::TransitionRuntime;

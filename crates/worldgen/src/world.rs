@@ -80,6 +80,8 @@ pub struct World {
     pub client_services: Vec<ClientServiceRuntime>,
     /// The client-side DNS view (service endpoints + reverse DNS).
     pub client_zone: ZoneDb,
+    /// Provider-side transition plant (NAT64/DNS64 prefix, CGN pools).
+    pub transition: crate::xlat::TransitionRuntime,
 }
 
 impl World {
@@ -103,6 +105,8 @@ impl World {
             config.calibration.top_cloud_share,
             config.calibration.service_cname_rate,
         );
+
+        let transition = crate::xlat::register_transition(&mut registry, &mut rib);
 
         let mut client_zone = ZoneDb::new();
         let client_services = register_client_services(
@@ -134,6 +138,7 @@ impl World {
             clouds,
             client_services,
             client_zone,
+            transition,
         }
     }
 

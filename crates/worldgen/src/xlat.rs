@@ -1,0 +1,100 @@
+//! Provider-side transition infrastructure: the NAT64/DNS64 and DS-Lite
+//! plant a residential ISP deploys for its non-dual-stack access lines.
+//!
+//! One shared "ISP transition services" AS originates the RFC 6052
+//! translation prefix (so translated flows are attributable in the RIB just
+//! like native ones) and the CGN pools the NAT64 and AFTR allocate bindings
+//! from. Residences provisioned with an IPv6-only or DS-Lite
+//! [`transition::AccessTech`] send their legacy traffic through this plant;
+//! `trafficgen` instantiates the stateful gateways per run, while the
+//! addressing and routing facts live here in the world.
+
+use bgpsim::{AsCategory, AsId, OrgId, Registry, Rib};
+use iputil::prefix::Prefix4;
+use transition::Nat64Prefix;
+
+/// The ASN of the simulated ISP's transition-services network. Top of the
+/// private-use range, far above the cloud runtime's 64500+ allocation
+/// cursor (~35 orgs) — the registration asserts the slot is free.
+pub const TRANSITION_ASN: u32 = 65500;
+
+/// The IPv4 pool the NAT64 gateway maps bindings onto (RFC 2544 benchmarking
+/// space, safely disjoint from every other generated block).
+pub const NAT64_POOL4: &str = "198.18.0.0/16";
+
+/// The IPv4 pool behind the DS-Lite AFTR's NAT44.
+pub const AFTR_POOL4: &str = "198.19.0.0/16";
+
+/// Addressing and configuration of the deployed transition plant.
+#[derive(Debug, Clone)]
+pub struct TransitionRuntime {
+    /// The RFC 6052 prefix the NAT64/DNS64 pair translates under (the
+    /// well-known `64:ff9b::/96`).
+    pub nat64_prefix: Nat64Prefix,
+    /// IPv4 pool of the NAT64 gateway.
+    pub nat64_pool4: Prefix4,
+    /// IPv4 pool of the DS-Lite AFTR.
+    pub aftr_pool4: Prefix4,
+    /// Origin AS of the translation prefix and pools.
+    pub asn: AsId,
+}
+
+/// Register the transition plant into the registry and RIB.
+pub fn register_transition(registry: &mut Registry, rib: &mut Rib) -> TransitionRuntime {
+    let asn = AsId(TRANSITION_ASN);
+    assert!(
+        registry.as_info(asn).is_none(),
+        "AS{TRANSITION_ASN} already registered — transition plant would shadow it"
+    );
+    let org = OrgId(format!("org-as{TRANSITION_ASN}"));
+    registry.add_org(org.clone(), "ISP-TRANSITION-SERVICES");
+    registry.add_as(asn, "ISP-TRANSITION-SERVICES", org, AsCategory::Isp);
+
+    let nat64_prefix = Nat64Prefix::well_known();
+    let nat64_pool4: Prefix4 = NAT64_POOL4.parse().expect("static prefix");
+    let aftr_pool4: Prefix4 = AFTR_POOL4.parse().expect("static prefix");
+    // The translation prefix is routed like any other: translated flows stay
+    // attributable (their RIB origin is the transition AS, their RFC 6052
+    // payload names the true IPv4 destination).
+    rib.announce6(nat64_prefix.prefix(), asn);
+    rib.announce4(nat64_pool4, asn);
+    rib.announce4(aftr_pool4, asn);
+
+    TransitionRuntime {
+        nat64_prefix,
+        nat64_pool4,
+        aftr_pool4,
+        asn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_is_routable_and_attributable() {
+        let mut registry = Registry::new();
+        let mut rib = Rib::new();
+        let rt = register_transition(&mut registry, &mut rib);
+        // A synthesized destination resolves to the transition AS.
+        let v6 = rt.nat64_prefix.embed("203.0.113.9".parse().unwrap());
+        assert_eq!(rib.origin_of(std::net::IpAddr::V6(v6)), Some(rt.asn));
+        // The pools are announced too.
+        let pool_host = rt.nat64_pool4.host(77).unwrap();
+        assert_eq!(rib.origin_of(std::net::IpAddr::V4(pool_host)), Some(rt.asn));
+        assert_eq!(
+            registry.as_info(rt.asn).map(|i| i.category),
+            Some(AsCategory::Isp)
+        );
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        let mut registry = Registry::new();
+        let mut rib = Rib::new();
+        let rt = register_transition(&mut registry, &mut rib);
+        assert!(!rt.nat64_pool4.covers(rt.aftr_pool4));
+        assert!(!rt.aftr_pool4.covers(rt.nat64_pool4));
+    }
+}
