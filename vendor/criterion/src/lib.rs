@@ -47,12 +47,23 @@ impl Criterion {
 
     /// Run one benchmark (skipped unless its name matches the CLI filter,
     /// mirroring `cargo bench -- <substring>` behavior of real criterion).
+    ///
+    /// `cargo bench -- --test` runs each benchmark body exactly once
+    /// without timing — real criterion's smoke-test mode, used by CI to
+    /// prove the benches execute without paying for measurement.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let filters: Vec<String> = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
         if !filters.is_empty() && !filters.iter().any(|pat| name.contains(pat.as_str())) {
+            return self;
+        }
+        if args.iter().any(|a| a == "--test") {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: smoke test ok (1 iteration, unmeasured)");
             return self;
         }
         // Calibration pass: run once to estimate per-iteration cost.
