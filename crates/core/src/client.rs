@@ -1,11 +1,20 @@
 //! Client-side adoption analysis (§3): Table 1, daily-fraction
 //! distributions (Fig 1/16), AS-level and domain-level lead/lag
 //! (Fig 3/4/17).
+//!
+//! Every analysis here has two entry points: a record-scanning function
+//! over a materialized [`ResidenceDataset`] (the historical API, kept for
+//! small runs and tests), and a streaming [`FlowSink`] aggregator
+//! ([`analyze_agg`], [`AsAgg`], [`DomainAgg`], [`HourlyAgg`]) that computes
+//! the same numbers while the synthesizer pushes records — the paper-scale
+//! path, whose memory is independent of the number of simulated days. The
+//! record-scanning functions are implemented *by* feeding the records
+//! through the streaming aggregators, so the two paths cannot drift.
 
 use bgpsim::{AsCategory, AsId, Registry, Rib};
 use dnssim::Name;
-use flowmon::{FlowRecord, Scope};
-use iputil::Family;
+use flowmon::sink::{drain_into, ScopeCell};
+use flowmon::{FlowRecord, FlowSink, Scope, ScopeFamilyAgg};
 use serde::Serialize;
 use std::collections::HashMap;
 use trafficgen::ResidenceDataset;
@@ -65,70 +74,33 @@ pub struct ResidenceAnalysis {
     pub daily: Vec<DailyFractions>,
 }
 
-#[derive(Default, Clone, Copy)]
-struct Acc {
-    bytes_v4: u64,
-    bytes_v6: u64,
-    flows_v4: u64,
-    flows_v6: u64,
-}
-
-impl Acc {
-    fn add(&mut self, f: &FlowRecord) {
-        match f.family() {
-            Family::V4 => {
-                self.bytes_v4 += f.total_bytes();
-                self.flows_v4 += 1;
-            }
-            Family::V6 => {
-                self.bytes_v6 += f.total_bytes();
-                self.flows_v6 += 1;
-            }
-        }
-    }
-
-    fn byte_fraction(&self) -> Option<f64> {
-        let total = self.bytes_v4 + self.bytes_v6;
-        (total > 0).then(|| self.bytes_v6 as f64 / total as f64)
-    }
-
-    fn flow_fraction(&self) -> Option<f64> {
-        let total = self.flows_v4 + self.flows_v6;
-        (total > 0).then(|| self.flows_v6 as f64 / total as f64)
-    }
-}
-
-/// Analyze one residence dataset into its Table 1 row and daily series.
+/// Analyze one residence dataset into its Table 1 row and daily series
+/// (record-scanning wrapper around [`analyze_agg`]).
 pub fn analyze_residence(ds: &ResidenceDataset) -> ResidenceAnalysis {
-    let days = ds.num_days as usize;
-    let mut overall = [Acc::default(), Acc::default()]; // [external, internal]
-    let mut per_day = vec![[Acc::default(), Acc::default()]; days];
+    let mut agg = ScopeFamilyAgg::new(ds.num_days);
+    drain_into(&ds.flows, &mut agg);
+    analyze_agg(ds.profile.key, ds.scale, &agg)
+}
 
-    for f in &ds.flows {
-        let scope_idx = match f.scope {
-            Scope::External => 0,
-            Scope::Internal => 1,
-        };
-        overall[scope_idx].add(f);
-        let day = ((f.end / DAY_US) as usize).min(days - 1);
-        per_day[day][scope_idx].add(f);
-    }
-
-    let scope_stats = |idx: usize| {
-        let acc = overall[idx];
-        let daily_bytes: Vec<f64> = per_day
-            .iter()
-            .filter_map(|d| d[idx].byte_fraction())
+/// Build a [`ResidenceAnalysis`] from a streamed [`ScopeFamilyAgg`] — the
+/// paper-scale path: the aggregate was filled while synthesis ran, no
+/// record was ever materialized, and the numbers equal
+/// [`analyze_residence`]'s exactly (integer counters, same formulas).
+pub fn analyze_agg(key: char, scale: f64, agg: &ScopeFamilyAgg) -> ResidenceAnalysis {
+    let days = agg.num_days();
+    let scope_stats = |scope: Scope| {
+        let cell = agg.overall(scope);
+        let daily_bytes: Vec<f64> = (0..days)
+            .filter_map(|d| agg.day(d, scope).v6_byte_fraction())
             .collect();
-        let daily_flows: Vec<f64> = per_day
-            .iter()
-            .filter_map(|d| d[idx].flow_fraction())
+        let daily_flows: Vec<f64> = (0..days)
+            .filter_map(|d| agg.day(d, scope).v6_flow_fraction())
             .collect();
         ScopeStats {
-            total_gb: (acc.bytes_v4 + acc.bytes_v6) as f64 / ds.scale / 1e9,
-            v6_byte_fraction: acc.byte_fraction().unwrap_or(0.0),
-            flows_m: (acc.flows_v4 + acc.flows_v6) as f64 / ds.scale / 1e6,
-            v6_flow_fraction: acc.flow_fraction().unwrap_or(0.0),
+            total_gb: cell.total_bytes() as f64 / scale / 1e9,
+            v6_byte_fraction: cell.v6_byte_fraction().unwrap_or(0.0),
+            flows_m: cell.total_flows() as f64 / scale / 1e6,
+            v6_flow_fraction: cell.v6_flow_fraction().unwrap_or(0.0),
             daily_byte_mean: netstats::mean(&daily_bytes).unwrap_or(0.0),
             daily_byte_sd: netstats::sample_std(&daily_bytes).unwrap_or(0.0),
             daily_flow_mean: netstats::mean(&daily_flows).unwrap_or(0.0),
@@ -138,18 +110,18 @@ pub fn analyze_residence(ds: &ResidenceDataset) -> ResidenceAnalysis {
 
     let daily = (0..days)
         .map(|d| DailyFractions {
-            day: d as u32,
-            ext_bytes: per_day[d][0].byte_fraction(),
-            ext_flows: per_day[d][0].flow_fraction(),
-            int_bytes: per_day[d][1].byte_fraction(),
-            int_flows: per_day[d][1].flow_fraction(),
+            day: d,
+            ext_bytes: agg.day(d, Scope::External).v6_byte_fraction(),
+            ext_flows: agg.day(d, Scope::External).v6_flow_fraction(),
+            int_bytes: agg.day(d, Scope::Internal).v6_byte_fraction(),
+            int_flows: agg.day(d, Scope::Internal).v6_flow_fraction(),
         })
         .collect();
 
     ResidenceAnalysis {
-        key: ds.profile.key,
-        external: scope_stats(0),
-        internal: scope_stats(1),
+        key,
+        external: scope_stats(Scope::External),
+        internal: scope_stats(Scope::Internal),
         daily,
     }
 }
@@ -163,37 +135,77 @@ pub enum Metric {
     Flows,
 }
 
-/// Hourly IPv6-fraction series for MSTL (Fig 2/13). Hours without traffic
-/// carry the last observed value (a measurement gap, not a zero).
+/// Streaming per-hour accumulator for one scope over a day range — the
+/// MSTL figures' input, O(hours) memory. Feed it as a [`FlowSink`] during
+/// synthesis (or via [`drain_into`] from records), then read either
+/// metric's series: one aggregate serves both Fig 2 and Fig 13.
+#[derive(Debug, Clone)]
+pub struct HourlyAgg {
+    scope: Scope,
+    day_range: std::ops::Range<u32>,
+    acc: Vec<ScopeCell>,
+}
+
+impl HourlyAgg {
+    /// An empty aggregate for `scope` covering `day_range`.
+    pub fn new(scope: Scope, day_range: std::ops::Range<u32>) -> HourlyAgg {
+        let hours = day_range.len() * 24;
+        HourlyAgg {
+            scope,
+            day_range,
+            acc: vec![ScopeCell::default(); hours],
+        }
+    }
+
+    /// The covered day range.
+    pub fn day_range(&self) -> std::ops::Range<u32> {
+        self.day_range.clone()
+    }
+
+    /// The hourly IPv6-fraction series. Hours without traffic carry the
+    /// last observed value (a measurement gap, not a zero).
+    pub fn series(&self, metric: Metric) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.acc.len());
+        let mut last = 0.5;
+        for a in &self.acc {
+            let v = match metric {
+                Metric::Bytes => a.v6_byte_fraction(),
+                Metric::Flows => a.v6_flow_fraction(),
+            };
+            last = v.unwrap_or(last);
+            out.push(last);
+        }
+        out
+    }
+}
+
+impl FlowSink for HourlyAgg {
+    fn accept(&mut self, f: &FlowRecord) {
+        if f.scope != self.scope {
+            return;
+        }
+        let day = (f.end / DAY_US) as u32;
+        if !self.day_range.contains(&day) {
+            return;
+        }
+        let hour = ((f.end - self.day_range.start as u64 * DAY_US) / HOUR_US) as usize;
+        if hour < self.acc.len() {
+            self.acc[hour].add(f);
+        }
+    }
+}
+
+/// Hourly IPv6-fraction series for MSTL (Fig 2/13) from a materialized
+/// dataset — record-scanning wrapper around [`HourlyAgg`].
 pub fn hourly_fraction_series(
     ds: &ResidenceDataset,
     scope: Scope,
     metric: Metric,
     day_range: std::ops::Range<u32>,
 ) -> Vec<f64> {
-    let hours = (day_range.end - day_range.start) as usize * 24;
-    let mut acc = vec![Acc::default(); hours];
-    for f in ds.flows.iter().filter(|f| f.scope == scope) {
-        let day = (f.end / DAY_US) as u32;
-        if !day_range.contains(&day) {
-            continue;
-        }
-        let hour = ((f.end - day_range.start as u64 * DAY_US) / HOUR_US) as usize;
-        if hour < hours {
-            acc[hour].add(f);
-        }
-    }
-    let mut out = Vec::with_capacity(hours);
-    let mut last = 0.5;
-    for a in acc {
-        let v = match metric {
-            Metric::Bytes => a.byte_fraction(),
-            Metric::Flows => a.flow_fraction(),
-        };
-        last = v.unwrap_or(last);
-        out.push(last);
-    }
-    out
+    let mut agg = HourlyAgg::new(scope, day_range);
+    drain_into(&ds.flows, &mut agg);
+    agg.series(metric)
 }
 
 /// Daily IPv6 byte-fraction series (Fig 14/15 input).
@@ -224,9 +236,76 @@ pub struct AsFraction {
     pub bytes: u64,
 }
 
+/// Streaming per-AS accumulator for one residence: every external record
+/// is attributed to its destination's origin AS while synthesis runs. The
+/// map is bounded by the AS catalog, not by traffic volume.
+#[derive(Debug, Clone)]
+pub struct AsAgg<'w> {
+    rib: &'w Rib,
+    per_as: HashMap<AsId, ScopeCell>,
+    total_bytes: u64,
+}
+
+impl<'w> AsAgg<'w> {
+    /// An empty aggregate attributing through `rib`.
+    pub fn new(rib: &'w Rib) -> AsAgg<'w> {
+        AsAgg {
+            rib,
+            per_as: HashMap::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Extract this residence's [`AsFraction`] rows, keeping only ASes
+    /// carrying at least `min_share` of the residence's attributed
+    /// external bytes (paper: 0.01%). Rows are sorted by ASN.
+    pub fn fractions(
+        &self,
+        residence: char,
+        registry: &Registry,
+        min_share: f64,
+    ) -> Vec<AsFraction> {
+        let mut out: Vec<AsFraction> = self
+            .per_as
+            .iter()
+            .filter_map(|(asn, acc)| {
+                let bytes = acc.total_bytes();
+                if (bytes as f64) < min_share * self.total_bytes as f64 {
+                    return None;
+                }
+                let info = registry.as_info(*asn);
+                Some(AsFraction {
+                    asn: asn.0,
+                    as_name: info.map(|i| i.name.clone()).unwrap_or_default(),
+                    category: info.map(|i| i.category).unwrap_or(AsCategory::Other),
+                    residence,
+                    fraction: acc.v6_byte_fraction().unwrap_or(0.0),
+                    bytes,
+                })
+            })
+            .collect();
+        out.sort_by_key(|f| f.asn);
+        out
+    }
+}
+
+impl FlowSink for AsAgg<'_> {
+    fn accept(&mut self, f: &FlowRecord) {
+        if f.scope != Scope::External {
+            return;
+        }
+        let Some(asn) = self.rib.origin_of(f.key.dst) else {
+            return;
+        };
+        self.per_as.entry(asn).or_default().add(f);
+        self.total_bytes += f.total_bytes();
+    }
+}
+
 /// Compute per-AS IPv6 byte fractions at each residence, keeping only ASes
 /// carrying at least `min_share` of the residence's external bytes
-/// (paper: 0.01%).
+/// (paper: 0.01%). Record-scanning wrapper around [`AsAgg`]; rows come out
+/// grouped by residence (dataset order) and sorted by ASN within one.
 pub fn as_fractions(
     datasets: &[ResidenceDataset],
     rib: &Rib,
@@ -235,30 +314,9 @@ pub fn as_fractions(
 ) -> Vec<AsFraction> {
     let mut out = Vec::new();
     for ds in datasets {
-        let mut per_as: HashMap<AsId, Acc> = HashMap::new();
-        let mut total_bytes = 0u64;
-        for f in ds.flows.iter().filter(|f| f.scope == Scope::External) {
-            let Some(asn) = rib.origin_of(f.key.dst) else {
-                continue;
-            };
-            per_as.entry(asn).or_default().add(f);
-            total_bytes += f.total_bytes();
-        }
-        for (asn, acc) in per_as {
-            let bytes = acc.bytes_v4 + acc.bytes_v6;
-            if (bytes as f64) < min_share * total_bytes as f64 {
-                continue;
-            }
-            let info = registry.as_info(asn);
-            out.push(AsFraction {
-                asn: asn.0,
-                as_name: info.map(|i| i.name.clone()).unwrap_or_default(),
-                category: info.map(|i| i.category).unwrap_or(AsCategory::Other),
-                residence: ds.profile.key,
-                fraction: acc.byte_fraction().unwrap_or(0.0),
-                bytes,
-            });
-        }
+        let mut agg = AsAgg::new(rib);
+        drain_into(&ds.flows, &mut agg);
+        out.extend(agg.fractions(ds.profile.key, registry, min_share));
     }
     out
 }
@@ -285,9 +343,74 @@ pub fn common_ases(
     out
 }
 
+/// Streaming per-domain accumulator for one residence: external records
+/// are reverse-resolved and folded into their eTLD+1 while synthesis runs.
+#[derive(Debug, Clone)]
+pub struct DomainAgg<'w> {
+    zone: &'w dnssim::ZoneDb,
+    psl: &'w Psl,
+    per_domain: HashMap<Name, ScopeCell>,
+}
+
+impl<'w> DomainAgg<'w> {
+    /// An empty aggregate resolving through `zone`/`psl`.
+    pub fn new(zone: &'w dnssim::ZoneDb, psl: &'w Psl) -> DomainAgg<'w> {
+        DomainAgg {
+            zone,
+            psl,
+            per_domain: HashMap::new(),
+        }
+    }
+}
+
+impl FlowSink for DomainAgg<'_> {
+    fn accept(&mut self, f: &FlowRecord) {
+        if f.scope != Scope::External {
+            return;
+        }
+        let Some(name) = self.zone.reverse_lookup(f.key.dst) else {
+            return;
+        };
+        let domain = self.psl.etld_plus_one(name).unwrap_or_else(|| name.clone());
+        self.per_domain.entry(domain).or_default().add(f);
+    }
+}
+
+/// Combine per-residence [`DomainAgg`]s (one per residence, any order —
+/// fractions come out in input order) into the Fig 17 rows: only domains
+/// observed at `min_residences`+ residences with at least `min_bytes`
+/// (sampled scale) total are kept. Rows are sorted by domain.
+pub fn domain_fractions_from(
+    aggs: &[DomainAgg<'_>],
+    min_bytes: u64,
+    min_residences: usize,
+) -> Vec<(Name, Vec<f64>)> {
+    let mut merged: HashMap<&Name, Vec<&ScopeCell>> = HashMap::new();
+    for agg in aggs {
+        for (domain, acc) in &agg.per_domain {
+            merged.entry(domain).or_default().push(acc);
+        }
+    }
+    let mut out: Vec<(Name, Vec<f64>)> = merged
+        .into_iter()
+        .filter_map(|(domain, per_res)| {
+            let total: u64 = per_res.iter().map(|a| a.total_bytes()).sum();
+            if per_res.len() < min_residences || total < min_bytes {
+                return None;
+            }
+            let fractions: Vec<f64> = per_res
+                .iter()
+                .filter_map(|a| a.v6_byte_fraction())
+                .collect();
+            Some((domain.clone(), fractions))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 /// Per-(domain, residence) IPv6 byte fractions via reverse DNS (Fig 17).
-/// Only domains observed at `min_residences`+ residences with at least
-/// `min_bytes` (sampled scale) total are kept.
+/// Record-scanning wrapper around [`DomainAgg`]/[`domain_fractions_from`].
 pub fn domain_fractions(
     datasets: &[ResidenceDataset],
     zone: &dnssim::ZoneDb,
@@ -295,34 +418,15 @@ pub fn domain_fractions(
     min_bytes: u64,
     min_residences: usize,
 ) -> Vec<(Name, Vec<f64>)> {
-    let mut per_domain: HashMap<Name, HashMap<char, Acc>> = HashMap::new();
-    for ds in datasets {
-        for f in ds.flows.iter().filter(|f| f.scope == Scope::External) {
-            let Some(name) = zone.reverse_lookup(f.key.dst) else {
-                continue;
-            };
-            let domain = psl.etld_plus_one(name).unwrap_or_else(|| name.clone());
-            per_domain
-                .entry(domain)
-                .or_default()
-                .entry(ds.profile.key)
-                .or_default()
-                .add(f);
-        }
-    }
-    let mut out: Vec<(Name, Vec<f64>)> = per_domain
-        .into_iter()
-        .filter_map(|(domain, per_res)| {
-            let total: u64 = per_res.values().map(|a| a.bytes_v4 + a.bytes_v6).sum();
-            if per_res.len() < min_residences || total < min_bytes {
-                return None;
-            }
-            let fractions: Vec<f64> = per_res.values().filter_map(|a| a.byte_fraction()).collect();
-            Some((domain, fractions))
+    let aggs: Vec<DomainAgg<'_>> = datasets
+        .iter()
+        .map(|ds| {
+            let mut agg = DomainAgg::new(zone, psl);
+            drain_into(&ds.flows, &mut agg);
+            agg
         })
         .collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
+    domain_fractions_from(&aggs, min_bytes, min_residences)
 }
 
 #[cfg(test)]

@@ -14,12 +14,12 @@
 //! translation prefix, and whether the CPE itself is provisioned as a
 //! DS-Lite B4. No generation ground truth is consulted.
 
-use flowmon::{Scope, Translation, TranslationMap};
+use flowmon::sink::{drain_into, TranslationAgg};
+use flowmon::TranslationMap;
 use iputil::prefix::Prefix6;
-use iputil::Family;
 use serde::Serialize;
 use trafficgen::ResidenceDataset;
-use transition::GatewayStats;
+use transition::{AccessTech, GatewayStats};
 
 /// Graded adoption of one access line, ordered from no IPv6 to IPv6-only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
@@ -75,39 +75,53 @@ pub struct TransitionAnalysis {
     pub gateway: Option<GatewayStats>,
 }
 
-/// Grade one residence dataset. `nat64_prefix` is the translation prefix
-/// the provider advertises (the RFC 6052 well-known prefix in this world);
-/// the DS-Lite B4 flag comes from the dataset's own CPE provisioning.
-pub fn analyze_transition(ds: &ResidenceDataset, nat64_prefix: Prefix6) -> TransitionAnalysis {
+/// The [`TranslationMap`] a residence's own provisioning implies:
+/// `nat64_prefix` is the translation prefix the provider advertises (the
+/// RFC 6052 well-known prefix in this world); the DS-Lite B4 flag comes
+/// from the CPE provisioning. Build the map, hang a
+/// [`TranslationAgg`] off it as a sink, and [`analyze_transition_agg`]
+/// grades the streamed tallies.
+pub fn residence_translation_map(tech: AccessTech, nat64_prefix: Prefix6) -> TranslationMap {
     let mut map = TranslationMap::new();
     map.add_nat64_prefix(nat64_prefix);
-    map.set_dslite_b4(ds.profile.access_tech == transition::AccessTech::DsLite);
+    map.set_dslite_b4(tech == AccessTech::DsLite);
+    map
+}
 
-    let mut bytes = [0u64; 4]; // [native v6, translated, tunneled, native v4]
-    let mut flows = [0u64; 4];
-    for f in ds.flows.iter().filter(|f| f.scope == Scope::External) {
-        let idx = match (map.classify(&f.key, f.scope), f.family()) {
-            (Translation::Nat64, _) => 1,
-            (Translation::DsLite, _) => 2,
-            (Translation::Native, Family::V6) => 0,
-            (Translation::Native, Family::V4) => 3,
-        };
-        bytes[idx] += f.total_bytes();
-        flows[idx] += 1;
-    }
-    let total_bytes: u64 = bytes.iter().sum();
-    let total_flows: u64 = flows.iter().sum();
-    let byte_share = |i: usize| {
-        if total_bytes == 0 {
-            0.0
-        } else {
-            bytes[i] as f64 / total_bytes as f64
-        }
-    };
-    let native_v6_bytes = byte_share(0);
-    let translated_bytes = byte_share(1);
-    let tunneled_v4_bytes = byte_share(2);
-    let native_v4_bytes = byte_share(3);
+/// Grade one residence dataset (record-scanning wrapper around
+/// [`analyze_transition_agg`]).
+pub fn analyze_transition(ds: &ResidenceDataset, nat64_prefix: Prefix6) -> TransitionAnalysis {
+    let mut agg = TranslationAgg::new(residence_translation_map(
+        ds.profile.access_tech,
+        nat64_prefix,
+    ));
+    drain_into(&ds.flows, &mut agg);
+    analyze_transition_agg(
+        ds.profile.key,
+        ds.profile.access_tech,
+        ds.scale,
+        &agg,
+        ds.gateway,
+    )
+}
+
+/// Grade a residence from a streamed [`TranslationAgg`] — the paper-scale
+/// path: tallies were accumulated while synthesis ran, no record was ever
+/// held. Produces exactly what [`analyze_transition`] produces.
+pub fn analyze_transition_agg(
+    key: char,
+    tech: AccessTech,
+    scale: f64,
+    agg: &TranslationAgg,
+    gateway: Option<GatewayStats>,
+) -> TransitionAnalysis {
+    // Class indices per `TranslationAgg`: [native v6, nat64, ds-lite,
+    // native v4].
+    let native_v6_bytes = agg.byte_share(0);
+    let translated_bytes = agg.byte_share(1);
+    let tunneled_v4_bytes = agg.byte_share(2);
+    let native_v4_bytes = agg.byte_share(3);
+    let total_flows = agg.total_flows();
 
     // Grade from the measured composition (1% noise floor so a stray
     // misclassified flow cannot promote a tier).
@@ -123,9 +137,9 @@ pub fn analyze_transition(ds: &ResidenceDataset, nat64_prefix: Prefix6) -> Trans
     };
 
     TransitionAnalysis {
-        key: ds.profile.key,
-        tech: ds.profile.access_tech.label().to_string(),
-        total_gb: total_bytes as f64 / ds.scale / 1e9,
+        key,
+        tech: tech.label().to_string(),
+        total_gb: agg.total_bytes() as f64 / scale / 1e9,
         native_v6_bytes,
         translated_bytes,
         tunneled_v4_bytes,
@@ -133,10 +147,10 @@ pub fn analyze_transition(ds: &ResidenceDataset, nat64_prefix: Prefix6) -> Trans
         translated_flows: if total_flows == 0 {
             0.0
         } else {
-            flows[1] as f64 / total_flows as f64
+            agg.flows[1] as f64 / total_flows as f64
         },
         tier,
-        gateway: ds.gateway,
+        gateway,
     }
 }
 

@@ -1,18 +1,14 @@
 //! Client-side experiments: Table 1, Fig 1–4 and appendix Figs 13–17.
+//!
+//! Everything here reads the streaming caches of [`Ctx`] — one synthesis
+//! pass with composite aggregator sinks feeds every figure, and no flow
+//! record is ever materialized on this path.
 
 use crate::context::Ctx;
-use flowmon::Scope;
-use ipv6view_core::client::{
-    analyze_residence, as_fractions, common_ases, daily_fraction_series, domain_fractions,
-    hourly_fraction_series, Metric, ResidenceAnalysis,
-};
+use ipv6view_core::client::{common_ases, daily_fraction_series, Metric};
 use ipv6view_core::report::{compare, heading, render_box_row, render_cdf, TextTable};
 use ipv6view_core::seasonal;
 use netstats::{BoxplotStats, Ecdf};
-
-fn analyses(ctx: &mut Ctx) -> Vec<ResidenceAnalysis> {
-    ctx.traffic().iter().map(analyze_residence).collect()
-}
 
 /// Table 1: per-residence traffic volume, flow counts and IPv6 fractions.
 pub fn table1(ctx: &mut Ctx) {
@@ -20,7 +16,8 @@ pub fn table1(ctx: &mut Ctx) {
         "{}",
         heading("Table 1 — per-residence IPv6 traffic (external & internal)")
     );
-    let stats = analyses(ctx);
+    let profiles = trafficgen::paper_residences();
+    let stats = ctx.client_analyses().to_vec();
     // Paper volumes cover ~273 days; scale them to the simulated duration.
     let day_scale = ctx.days as f64 / 273.0;
     let mut t = TextTable::new(vec![
@@ -35,8 +32,7 @@ pub fn table1(ctx: &mut Ctx) {
         "v6F paper",
         "daily μ(σ)",
     ]);
-    for (a, ds) in stats.iter().zip(ctx.traffic()) {
-        let p = &ds.profile;
+    for (a, p) in stats.iter().zip(&profiles) {
         t.row(vec![
             p.key.to_string(),
             "External".into(),
@@ -69,14 +65,27 @@ pub fn table1(ctx: &mut Ctx) {
         ]);
     }
     print!("{}", t.render());
-    for (a, ds) in stats.iter().zip(ctx.traffic()) {
+    for (a, p) in stats.iter().zip(&profiles) {
         print!(
             "{}",
             compare(
                 &format!("Residence {} external IPv6 byte fraction", a.key),
-                ds.profile.paper_ext_v6_bytes,
+                p.paper_ext_v6_bytes,
                 a.external.v6_byte_fraction
             )
+        );
+    }
+    // Flow-shape sketches from the same streaming pass (netstats
+    // LogHistogram: ≈9% relative quantile error, O(1) memory per
+    // residence).
+    for (key, sketch) in ctx.flow_sketches() {
+        let q = |h: &netstats::LogHistogram, p: f64| h.quantile(p).unwrap_or(0.0);
+        println!(
+            "residence {key}: flow size p50 {:.0} B / p99 {:.0} B, duration p50 {:.0}s / p99 {:.0}s",
+            q(&sketch.size_bytes, 0.5),
+            q(&sketch.size_bytes, 0.99),
+            q(&sketch.duration_us, 0.5) / 1e6,
+            q(&sketch.duration_us, 0.99) / 1e6,
         );
     }
 }
@@ -87,7 +96,7 @@ pub fn fig1(ctx: &mut Ctx) {
         "{}",
         heading("Fig 1 — daily IPv6 fraction CDFs (residences A, B, C)")
     );
-    let stats = analyses(ctx);
+    let stats = ctx.client_analyses();
     for key in ['A', 'B', 'C'] {
         let a = stats.iter().find(|a| a.key == key).expect("residence");
         let ext_b: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_bytes).collect();
@@ -111,6 +120,7 @@ pub fn fig1(ctx: &mut Ctx) {
          flow-fraction CDFs rise sharply — flows are stabler than bytes)"
     );
     // Quantify the paper's flows-stabler-than-bytes claim.
+    let stats = ctx.client_analyses();
     for key in ['A', 'B', 'C'] {
         let a = stats.iter().find(|a| a.key == key).expect("residence");
         println!(
@@ -139,13 +149,13 @@ pub fn fig13(ctx: &mut Ctx) {
 }
 
 fn mstl_hourly(ctx: &mut Ctx, key: char, metric: Metric) {
-    let dense = ctx.traffic_dense();
-    let ds = dense
+    let agg = ctx
+        .hourly_aggs()
         .iter()
-        .find(|d| d.profile.key == key)
+        .find(|(k, _)| *k == key)
+        .map(|(_, agg)| agg)
         .expect("residence");
-    let days = ds.num_days.min(35);
-    let series = hourly_fraction_series(ds, Scope::External, metric, 0..days);
+    let series = agg.series(metric);
     match seasonal::decompose_hourly(&series) {
         Ok(fit) => {
             let strengths = seasonal::seasonal_strengths(&fit);
@@ -200,7 +210,7 @@ pub fn fig15(ctx: &mut Ctx) {
 }
 
 fn mstl_daily(ctx: &mut Ctx, key: char) {
-    let stats = analyses(ctx);
+    let stats = ctx.client_analyses();
     let a = stats.iter().find(|a| a.key == key).expect("residence");
     let series = daily_fraction_series(a);
     match seasonal::decompose_daily(&series) {
@@ -230,14 +240,8 @@ pub fn fig3(ctx: &mut Ctx) {
         "{}",
         heading("Fig 3 — CDF of per-AS IPv6 byte fractions (ASes at ≥3 residences)")
     );
-    ctx.traffic();
-    let fr = as_fractions(
-        ctx.traffic_ref(),
-        &ctx.world.rib,
-        &ctx.world.registry,
-        0.0001,
-    );
-    let common = common_ases(&fr, 3);
+    let fr = ctx.as_rows();
+    let common = common_ases(fr, 3);
     println!(
         "{} ASes observed at 3+ residences (paper: 35)",
         common.len()
@@ -272,14 +276,8 @@ pub fn fig4(ctx: &mut Ctx) {
         "{}",
         heading("Fig 4 — IPv6 byte fraction by AS, grouped by category")
     );
-    ctx.traffic();
-    let fr = as_fractions(
-        ctx.traffic_ref(),
-        &ctx.world.rib,
-        &ctx.world.registry,
-        0.0001,
-    );
-    let common = common_ases(&fr, 3);
+    let fr = ctx.as_rows();
+    let common = common_ases(fr, 3);
     for cat in bgpsim::AsCategory::all() {
         let mut rows: Vec<(String, BoxplotStats)> = common
             .iter()
@@ -306,7 +304,7 @@ pub fn fig16(ctx: &mut Ctx) {
         "{}",
         heading("Fig 16 — daily IPv6 fraction CDFs (residences D, E)")
     );
-    let stats = analyses(ctx);
+    let stats = ctx.client_analyses();
     for key in ['D', 'E'] {
         let a = stats.iter().find(|a| a.key == key).expect("residence");
         let ext_b: Vec<f64> = a.daily.iter().filter_map(|d| d.ext_bytes).collect();
@@ -333,14 +331,7 @@ pub fn fig17(ctx: &mut Ctx) {
         "{}",
         heading("Fig 17 — per-domain (eTLD+1) IPv6 fractions via reverse DNS")
     );
-    ctx.traffic();
-    let domains = domain_fractions(
-        ctx.traffic_ref(),
-        &ctx.world.client_zone,
-        &ctx.world.psl,
-        10_000,
-        3,
-    );
+    let domains = ctx.domain_rows();
     println!(
         "{} domains at 3+ residences above the volume floor",
         domains.len()

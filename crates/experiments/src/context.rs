@@ -1,8 +1,59 @@
 //! Shared experiment context: the world, cached crawls and traffic runs.
+//!
+//! Flow-derived experiments come in two flavors. The *streaming* caches
+//! ([`Ctx::client_analyses`], [`Ctx::as_rows`], [`Ctx::domain_rows`],
+//! [`Ctx::hourly_aggs`], [`Ctx::flow_sketches`]) run one synthesis pass
+//! with composite [`FlowSink`] aggregators — peak memory is
+//! O(residences × aggregator), independent of `--days`, which is what lets
+//! `--full` runs scale. [`Ctx::traffic`] still materializes every record,
+//! but only the anonymized-log export needs it (raw flow logs are the one
+//! artifact that *is* the records).
 
 use crawlsim::{crawl_epoch, CrawlConfig, CrawlReport};
-use trafficgen::{synthesize_all, ResidenceDataset, TrafficConfig};
+use dnssim::Name;
+use flowmon::sink::{FlowSink, FlowStatsAgg};
+use flowmon::{FlowRecord, Scope, ScopeFamilyAgg};
+use ipv6view_core::client::{
+    analyze_agg, domain_fractions_from, AsAgg, AsFraction, DomainAgg, HourlyAgg, ResidenceAnalysis,
+};
+use trafficgen::{
+    paper_residences, synthesize_all, synthesize_profiles_with, ResidenceDataset, TrafficConfig,
+};
 use worldgen::{World, WorldConfig};
+
+/// Everything the client-side figures read, computed in one streaming
+/// synthesis pass (no flow record survives its push).
+pub struct StreamedClient {
+    /// Per-residence Table 1 rows + daily series, profile order.
+    pub analyses: Vec<ResidenceAnalysis>,
+    /// Per-(AS, residence) fraction rows (Fig 3/4), residence-major,
+    /// ASN-sorted within a residence. Computed at the paper's 0.01%
+    /// volume floor.
+    pub as_rows: Vec<AsFraction>,
+    /// Per-domain fraction rows (Fig 17), at the paper's thresholds
+    /// (≥ 10 kB sampled volume, ≥ 3 residences).
+    pub domains: Vec<(Name, Vec<f64>)>,
+    /// Per-residence flow duration/size sketches.
+    pub sketches: Vec<(char, FlowStatsAgg)>,
+}
+
+/// The composite per-residence sink of the streaming client pass: one
+/// record push feeds all four aggregators.
+struct ClientAggSink<'w> {
+    scope: ScopeFamilyAgg,
+    stats: FlowStatsAgg,
+    as_agg: AsAgg<'w>,
+    domains: DomainAgg<'w>,
+}
+
+impl FlowSink for ClientAggSink<'_> {
+    fn accept(&mut self, record: &FlowRecord) {
+        self.scope.accept(record);
+        self.stats.accept(record);
+        self.as_agg.accept(record);
+        self.domains.accept(record);
+    }
+}
 
 /// Lazily-built shared state for all experiments of one invocation.
 pub struct Ctx {
@@ -10,10 +61,15 @@ pub struct Ctx {
     pub world: World,
     /// Requested traffic duration (days).
     pub days: u32,
+    /// `--threads` override for every synthesis pass (None = default).
+    pub threads: Option<usize>,
+    /// `--day-threads` override (None = default).
+    pub day_threads: Option<usize>,
     crawls: Vec<Option<CrawlReport>>,
     crawl_mainpage_only: Option<CrawlReport>,
     traffic: Option<Vec<ResidenceDataset>>,
-    traffic_dense: Option<Vec<ResidenceDataset>>,
+    streamed: Option<StreamedClient>,
+    hourly: Option<Vec<(char, HourlyAgg)>>,
 }
 
 impl Ctx {
@@ -39,10 +95,13 @@ impl Ctx {
         Ctx {
             world,
             days,
+            threads: None,
+            day_threads: None,
             crawls: (0..epochs).map(|_| None).collect(),
             crawl_mainpage_only: None,
             traffic: None,
-            traffic_dense: None,
+            streamed: None,
+            hourly: None,
         }
     }
 
@@ -50,6 +109,23 @@ impl Ctx {
     /// scale absolute thresholds like "span ≥ 100".
     pub fn site_scale(&self) -> f64 {
         self.world.web.sites.len() as f64 / 100_000.0
+    }
+
+    /// The base synthesis configuration of this invocation: `--days` plus
+    /// the `--threads` / `--day-threads` overrides. Experiments that need
+    /// different seeds/scales start from this and override fields.
+    pub fn traffic_config(&self) -> TrafficConfig {
+        let mut cfg = TrafficConfig {
+            num_days: self.days,
+            ..TrafficConfig::default()
+        };
+        if let Some(t) = self.threads {
+            cfg.threads = t.max(1);
+        }
+        if let Some(t) = self.day_threads {
+            cfg.day_threads = t.max(1);
+        }
+        cfg
     }
 
     /// Crawl (cached) of one epoch.
@@ -100,18 +176,17 @@ impl Ctx {
         self.crawl_mainpage_only.as_ref().expect("just filled")
     }
 
-    /// The nine-month traffic run at 1/1000 sampling (Table 1, Fig 1, ...).
+    /// The nine-month traffic run at 1/1000 sampling, fully materialized.
+    /// Only the anonymized-flow-log export should need this; every
+    /// aggregate analysis reads the streaming caches instead.
     pub fn traffic(&mut self) -> &[ResidenceDataset] {
         if self.traffic.is_none() {
             eprintln!(
-                "[repro] synthesizing {}-day traffic for 5 residences ...",
+                "[repro] synthesizing {}-day traffic for 5 residences (materialized) ...",
                 self.days
             );
             let t0 = std::time::Instant::now();
-            let cfg = TrafficConfig {
-                num_days: self.days,
-                ..TrafficConfig::default()
-            };
+            let cfg = self.traffic_config();
             let ds = synthesize_all(&self.world, &cfg);
             let flows: usize = ds.iter().map(|d| d.flows.len()).sum();
             eprintln!(
@@ -123,18 +198,95 @@ impl Ctx {
         self.traffic.as_ref().expect("just filled")
     }
 
-    /// A dense (1/20 sampling) shorter traffic run for the hourly MSTL
-    /// figures, which need many flows per hour.
-    pub fn traffic_dense(&mut self) -> &[ResidenceDataset] {
-        if self.traffic_dense.is_none() {
-            eprintln!("[repro] synthesizing dense traffic (hourly analyses) ...");
+    /// The streaming client pass: same seed and sampling as
+    /// [`Ctx::traffic`], but every record dies in its aggregators. One
+    /// pass feeds Table 1, Fig 1/3/4/14–17 and the flow-shape sketches.
+    pub fn streamed(&mut self) -> &StreamedClient {
+        if self.streamed.is_none() {
+            eprintln!(
+                "[repro] synthesizing {}-day traffic for 5 residences (streaming aggregators) ...",
+                self.days
+            );
+            let t0 = std::time::Instant::now();
+            let cfg = self.traffic_config();
+            let world = &self.world;
+            let results =
+                synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| ClientAggSink {
+                    scope: ScopeFamilyAgg::new(cfg.num_days),
+                    stats: FlowStatsAgg::new(),
+                    as_agg: AsAgg::new(&world.rib),
+                    domains: DomainAgg::new(&world.client_zone, &world.psl),
+                });
+            let mut analyses = Vec::with_capacity(results.len());
+            let mut as_rows = Vec::new();
+            let mut sketches = Vec::with_capacity(results.len());
+            let mut domain_aggs = Vec::with_capacity(results.len());
+            for (summary, sink) in results {
+                let key = summary.profile.key;
+                analyses.push(analyze_agg(key, summary.scale, &sink.scope));
+                as_rows.extend(sink.as_agg.fractions(key, &world.registry, 0.0001));
+                sketches.push((key, sink.stats));
+                domain_aggs.push(sink.domains);
+            }
+            let domains = domain_fractions_from(&domain_aggs, 10_000, 3);
+            eprintln!(
+                "[repro] streaming pass done in {:.1}s",
+                t0.elapsed().as_secs_f64()
+            );
+            self.streamed = Some(StreamedClient {
+                analyses,
+                as_rows,
+                domains,
+                sketches,
+            });
+        }
+        self.streamed.as_ref().expect("just filled")
+    }
+
+    /// Per-residence Table 1 analyses (streaming).
+    pub fn client_analyses(&mut self) -> &[ResidenceAnalysis] {
+        &self.streamed().analyses
+    }
+
+    /// Per-(AS, residence) fraction rows (streaming).
+    pub fn as_rows(&mut self) -> &[AsFraction] {
+        &self.streamed().as_rows
+    }
+
+    /// Per-domain fraction rows (streaming).
+    pub fn domain_rows(&mut self) -> &[(Name, Vec<f64>)] {
+        &self.streamed().domains
+    }
+
+    /// Per-residence flow duration/size sketches (streaming).
+    pub fn flow_sketches(&mut self) -> &[(char, FlowStatsAgg)] {
+        &self.streamed().sketches
+    }
+
+    /// Dense (1/20 sampling) hourly aggregates for the MSTL figures: one
+    /// external-scope [`HourlyAgg`] per residence over the first
+    /// `min(days, 35)` days, streamed — the dense run's records are never
+    /// held either.
+    pub fn hourly_aggs(&mut self) -> &[(char, HourlyAgg)] {
+        if self.hourly.is_none() {
+            eprintln!("[repro] synthesizing dense traffic (hourly analyses, streaming) ...");
             let cfg = TrafficConfig {
                 num_days: self.days.min(63),
                 scale: 1.0 / 20.0,
-                ..TrafficConfig::default()
+                ..self.traffic_config()
             };
-            self.traffic_dense = Some(synthesize_all(&self.world, &cfg));
+            let range = 0..cfg.num_days.min(35);
+            let results =
+                synthesize_profiles_with(&self.world, paper_residences(), &cfg, |_, _| {
+                    HourlyAgg::new(Scope::External, range.clone())
+                });
+            self.hourly = Some(
+                results
+                    .into_iter()
+                    .map(|(summary, agg)| (summary.profile.key, agg))
+                    .collect(),
+            );
         }
-        self.traffic_dense.as_ref().expect("just filled")
+        self.hourly.as_ref().expect("just filled")
     }
 }

@@ -7,7 +7,6 @@ use crate::context::Ctx;
 use flowmon::AnonymizingExporter;
 use iputil::anon::{Anonymizer, AnonymizerConfig};
 use ipv6view_core::classify::{classify_site, ClassCounts};
-use ipv6view_core::client::analyze_residence;
 use ipv6view_core::cloud::{hosted_fqdns, org_readiness, service_adoption};
 use ipv6view_core::influence::InfluenceReport;
 use serde::Serialize;
@@ -80,11 +79,25 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
     std::fs::write(&path, crate::transition_exps::cohort_json(&cohort))?;
     eprintln!("[export] wrote {}", path.display());
 
+    // 4b. The provider-shared CGN pool sweep (small deterministic cohort;
+    //     same seed ⇒ byte-identical file).
+    let sweep = crate::transition_exps::cgn_sweep_rows(ctx, 6, ctx.days.min(8), &[32, 128, 512]);
+    let path = out_dir.join("cgn_sweep.json");
+    std::fs::write(&path, crate::transition_exps::cgn_sweep_json(&sweep))?;
+    eprintln!("[export] wrote {}", path.display());
+
     // 5. Client-side: per-residence aggregates plus ANONYMIZED daily logs
     //    (CryptoPAN'd addresses, like the paper's upload pipeline; the raw
-    //    logs are deliberately not exported).
+    //    logs are deliberately not exported). The anonymized logs are the
+    //    one dataset that genuinely needs materialized records, so this
+    //    step synthesizes once and derives the aggregates from the same
+    //    records instead of paying for a second streaming pass.
     ctx.traffic();
-    let analyses: Vec<_> = ctx.traffic_ref().iter().map(analyze_residence).collect();
+    let analyses: Vec<_> = ctx
+        .traffic_ref()
+        .iter()
+        .map(ipv6view_core::client::analyze_residence)
+        .collect();
     write("residence_analyses.json", &analyses)?;
     let exporter = AnonymizingExporter::new(Anonymizer::new(
         *b"dataset-release!",

@@ -1,26 +1,44 @@
 //! Transition-technology experiments (new scenarios beyond the paper):
-//! the access-technology cohort and NAT64 pool exhaustion.
+//! the access-technology cohort, NAT64 pool exhaustion, and the
+//! provider-shared CGN pool-size sweep.
 
 use crate::context::Ctx;
-use ipv6view_core::report::{heading, TextTable};
-use ipv6view_core::tiers::{analyze_transition, TransitionAnalysis};
-use trafficgen::{synthesize_profiles, transition_residences, TrafficConfig};
+use ipv6view_core::report::{heading, render_cdf, TextTable};
+use ipv6view_core::tiers::{analyze_transition_agg, residence_translation_map, TransitionAnalysis};
+use netstats::Ecdf;
+use serde::Serialize;
+use trafficgen::{
+    isp_cohort, synthesize_isps, synthesize_profiles_with, transition_residences, IspSpec,
+    TrafficConfig,
+};
 use transition::GatewayConfig;
 
-/// Synthesize the five-technology cohort and grade each line. Deterministic
-/// in `(world seed, days)`; the cohort seed derives from the world seed so
-/// `--seed` reruns are independent end to end.
+/// Synthesize the five-technology cohort and grade each line, streaming
+/// every residence through a translation aggregator (no record is
+/// materialized). Deterministic in `(world seed, days)`; the cohort seed
+/// derives from the world seed so `--seed` reruns are independent end to
+/// end.
 pub fn cohort_analyses(ctx: &Ctx, days: u32) -> Vec<TransitionAnalysis> {
     let cfg = TrafficConfig {
         seed: ctx.world.config.seed ^ 0x786c_6174, // "xlat"
         num_days: days,
-        ..TrafficConfig::default()
+        ..ctx.traffic_config()
     };
-    let datasets = synthesize_profiles(&ctx.world, transition_residences(), &cfg);
     let nat64 = ctx.world.transition.nat64_prefix.prefix();
-    datasets
+    let results = synthesize_profiles_with(&ctx.world, transition_residences(), &cfg, |_, p| {
+        flowmon::sink::TranslationAgg::new(residence_translation_map(p.access_tech, nat64))
+    });
+    results
         .iter()
-        .map(|ds| analyze_transition(ds, nat64))
+        .map(|(summary, agg)| {
+            analyze_transition_agg(
+                summary.profile.key,
+                summary.profile.access_tech,
+                summary.scale,
+                agg,
+                summary.gateway,
+            )
+        })
         .collect()
 }
 
@@ -111,7 +129,7 @@ pub fn nat64_exhaustion(ctx: &mut Ctx) {
                 // warn about).
                 binding_timeout: 1_800 * 1_000_000,
             },
-            ..TrafficConfig::default()
+            ..ctx.traffic_config()
         };
         let ds = trafficgen::synthesize_residence(&ctx.world, profile.clone(), &cfg, 0);
         let gw = ds.gateway.expect("NAT64 line reports stats");
@@ -127,6 +145,133 @@ pub fn nat64_exhaustion(ctx: &mut Ctx) {
     println!(
         "(every flow rejected here is a connection failure the subscriber sees;\n\
               sizing the pool is the deployment cost NAT64 trades for IPv6-only access)"
+    );
+}
+
+/// One row of the provider-shared CGN sweep: a pool size and what the
+/// shared gateway did with the cohort's whole-run demand.
+#[derive(Debug, Clone, Serialize)]
+pub struct CgnSweepRow {
+    /// Bindings per shared pool (NAT64 and AFTR each).
+    pub capacity: usize,
+    /// Translated/tunneled records offered over the run.
+    pub offered: u64,
+    /// Bindings granted.
+    pub granted: u64,
+    /// Records rejected (connection failures subscribers saw).
+    pub rejected: u64,
+    /// Overall rejection rate.
+    pub rejection_rate: f64,
+    /// Peak simultaneous bindings (larger pool).
+    pub peak_active: usize,
+    /// Per-day rejection rates, day order — the CDF input.
+    pub daily_rejection_rates: Vec<f64>,
+}
+
+/// Run the pool-size sweep: one ISP (shared, cross-day gateway) per
+/// capacity, identical subscriber demand, fanned out via the shared
+/// [`trafficgen::fan_out`] machinery inside [`synthesize_isps`].
+/// Deterministic in `(world seed, days, subscribers)` and invariant to
+/// `--threads` / `--day-threads`.
+pub fn cgn_sweep_rows(
+    ctx: &Ctx,
+    subscribers: usize,
+    days: u32,
+    capacities: &[usize],
+) -> Vec<CgnSweepRow> {
+    let cfg = TrafficConfig {
+        seed: ctx.world.config.seed ^ 0x6367_6e73, // "cgns"
+        num_days: days,
+        // Dense sampling, as in the exhaustion experiment: the shared pool
+        // must see CGN-realistic per-subscriber concurrency.
+        scale: 1.0 / 50.0,
+        ..ctx.traffic_config()
+    };
+    let specs: Vec<IspSpec> = capacities
+        .iter()
+        .map(|&capacity| IspSpec {
+            name: format!("pool-{capacity}"),
+            profiles: isp_cohort(subscribers),
+            gateway: GatewayConfig {
+                capacity,
+                // Two-hour bindings: the long-timeout CGN regime where
+                // cross-midnight persistence actually bites (day-local
+                // gateways under-reject most here).
+                binding_timeout: 7_200 * 1_000_000,
+            },
+        })
+        .collect();
+    synthesize_isps(&ctx.world, specs, &cfg)
+        .into_iter()
+        .map(|run| {
+            let offered = run.daily.iter().map(|d| d.offered).sum();
+            CgnSweepRow {
+                capacity: run.gateway_config.capacity,
+                offered,
+                granted: run.gateway.granted,
+                rejected: run.gateway.rejected,
+                rejection_rate: run.gateway.rejection_rate(),
+                peak_active: run.gateway.peak_active,
+                daily_rejection_rates: run.daily.iter().map(|d| d.rejection_rate()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Serialize sweep rows as the exportable dataset (stable field order;
+/// same seed ⇒ byte-identical output).
+pub fn cgn_sweep_json(rows: &[CgnSweepRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("serializable")
+}
+
+/// `cgn-sweep`: provider-shared CGN sizing — one gateway per pool size
+/// serving a whole subscriber cohort, bindings persisted across days, and
+/// the per-day rejection-rate CDF each pool size implies.
+pub fn cgn_sweep(ctx: &mut Ctx) {
+    print!(
+        "{}",
+        heading("CGN sweep — shared provider gateway: pool size vs rejection rate")
+    );
+    let days = ctx.days.min(12);
+    let subscribers = 12;
+    let capacities = [32usize, 64, 128, 256, 512];
+    let rows = cgn_sweep_rows(ctx, subscribers, days, &capacities);
+    let mut t = TextTable::new(vec![
+        "capacity",
+        "offered",
+        "granted",
+        "rejected",
+        "reject rate",
+        "peak active",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.capacity.to_string(),
+            r.offered.to_string(),
+            r.granted.to_string(),
+            r.rejected.to_string(),
+            format!("{:.3}", r.rejection_rate),
+            r.peak_active.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    for r in &rows {
+        if r.daily_rejection_rates.iter().any(|&x| x > 0.0) {
+            print!(
+                "{}",
+                render_cdf(
+                    &format!("daily rejection rate, pool {}", r.capacity),
+                    &Ecdf::new(r.daily_rejection_rates.clone()),
+                    5
+                )
+            );
+        }
+    }
+    println!(
+        "({} subscribers share each pool; unlike the per-residence lower bound,\n\
+         bindings persist across midnight, so long CGN timeouts keep yesterday's\n\
+         ports occupied — the sizing curve a provider actually faces)",
+        subscribers
     );
 }
 
@@ -165,5 +310,26 @@ mod tests {
         // The headline number: v6-only lines carry a real translated share.
         let nat64 = &analyses[2];
         assert!(nat64.translated_bytes > 0.02);
+    }
+
+    #[test]
+    fn cgn_sweep_export_is_byte_identical_and_monotone() {
+        let ctx = Ctx::new(400, 77, 6);
+        let rows = cgn_sweep_rows(&ctx, 4, 4, &[16, 256, 100_000]);
+        let a = cgn_sweep_json(&rows);
+        let b = cgn_sweep_json(&cgn_sweep_rows(&ctx, 4, 4, &[16, 256, 100_000]));
+        assert_eq!(a, b, "same seed must export byte-identical JSON");
+        // Identical demand across pool sizes; rejection falls as the pool
+        // grows and a practically-unbounded pool rejects nothing.
+        assert_eq!(rows[0].offered, rows[1].offered);
+        assert_eq!(rows[1].offered, rows[2].offered);
+        assert!(rows[0].rejection_rate >= rows[1].rejection_rate);
+        assert!(rows[1].rejection_rate >= rows[2].rejection_rate);
+        assert_eq!(rows[2].rejected, 0);
+        assert!(
+            rows[0].rejected > 0,
+            "a 16-binding pool under 4 subscribers × dense load must reject"
+        );
+        assert_eq!(rows[0].daily_rejection_rates.len(), 4);
     }
 }

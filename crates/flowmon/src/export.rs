@@ -38,7 +38,7 @@ impl AnonymizingExporter {
 
     /// Anonymize one record (both endpoints).
     pub fn anonymize(&self, record: &FlowRecord) -> FlowRecord {
-        let mut out = record.clone();
+        let mut out = *record;
         out.key = FlowKey {
             src: self.anonymizer.anon(record.key.src),
             dst: self.anonymizer.anon(record.key.dst),

@@ -7,7 +7,7 @@ use std::net::IpAddr;
 
 /// Transport protocol of a flow (the monitor tracks TCP, UDP and ICMP,
 /// like the paper's §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Proto {
     /// TCP.
     Tcp,
@@ -18,7 +18,7 @@ pub enum Proto {
 }
 
 /// ICMP metadata recorded in place of ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct IcmpMeta {
     /// ICMP type.
     pub icmp_type: u8,
@@ -29,7 +29,11 @@ pub struct IcmpMeta {
 }
 
 /// A flow key: the conntrack tuple as seen from the flow originator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Keys order lexicographically by (protocol, addresses, ports, ICMP
+/// metadata); the total order exists so eviction/export paths can sort
+/// key sets deterministically (a `HashMap` iteration order is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Transport protocol.
     pub proto: Proto,
@@ -125,7 +129,7 @@ pub enum Scope {
 }
 
 /// A completed flow, produced at `DESTROY` time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowRecord {
     /// The conntrack tuple.
     pub key: FlowKey,

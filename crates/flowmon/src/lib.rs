@@ -23,6 +23,10 @@
 //! * [`xlat`] — translated-vs-native grading: flows towards RFC 6052
 //!   prefixes are NAT64/464XLAT legacy traffic, external IPv4 on a DS-Lite
 //!   line rides the softwire; both are recognized from addresses alone.
+//! * [`sink`] — the streaming flow pipeline: [`FlowSink`] consumers that
+//!   aggregate the record stream (counters, distribution sketches,
+//!   translation tallies) without materializing it, plus the
+//!   [`sink::CollectSink`] compatibility buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +34,14 @@
 pub mod export;
 pub mod flow;
 pub mod router;
+pub mod sink;
 pub mod table;
 pub mod xlat;
 
 pub use export::{AnonymizingExporter, DailyLog};
 pub use flow::{Direction, FlowKey, FlowRecord, IcmpMeta, Proto, Scope};
 pub use router::RouterMonitor;
+pub use sink::{CollectSink, FlowSink, ScopeFamilyAgg};
 pub use table::FlowTable;
 pub use xlat::{Translation, TranslationMap};
 

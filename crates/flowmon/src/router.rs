@@ -86,6 +86,36 @@ impl RouterMonitor {
         &mut self.table
     }
 
+    /// Build the completed record `inject` would log — scope classification
+    /// plus the packet estimate — without buffering it. The streaming
+    /// pipeline observes flows this way and pushes them straight into a
+    /// [`crate::sink::FlowSink`]; `inject` remains for call sites that
+    /// want the table to hold the record until [`RouterMonitor::drain`].
+    pub fn observe(
+        &self,
+        key: FlowKey,
+        start: Timestamp,
+        end: Timestamp,
+        bytes_orig: u64,
+        bytes_reply: u64,
+    ) -> FlowRecord {
+        debug_assert!(end >= start);
+        let scope = self.scope_of(key.src, key.dst);
+        // Packet counts estimated from bytes at a nominal 1200 B/packet,
+        // minimum 1 — the analyses only use byte and flow counts.
+        let pkts = |b: u64| (b / 1200).max(1);
+        FlowRecord {
+            key,
+            start,
+            end,
+            bytes_orig,
+            bytes_reply,
+            packets_orig: pkts(bytes_orig),
+            packets_reply: pkts(bytes_reply),
+            scope,
+        }
+    }
+
     /// Inject a whole flow with automatic scoping (synthesis fast path).
     pub fn inject(
         &mut self,
@@ -95,19 +125,16 @@ impl RouterMonitor {
         bytes_orig: u64,
         bytes_reply: u64,
     ) {
-        let scope = self.scope_of(key.src, key.dst);
-        // Packet counts estimated from bytes at a nominal 1200 B/packet,
-        // minimum 1 — the analyses only use byte and flow counts.
-        let pkts = |b: u64| (b / 1200).max(1);
+        let r = self.observe(key, start, end, bytes_orig, bytes_reply);
         self.table.inject(
-            key,
-            start,
-            end,
-            bytes_orig,
-            bytes_reply,
-            pkts(bytes_orig),
-            pkts(bytes_reply),
-            scope,
+            r.key,
+            r.start,
+            r.end,
+            r.bytes_orig,
+            r.bytes_reply,
+            r.packets_orig,
+            r.packets_reply,
+            r.scope,
         );
     }
 

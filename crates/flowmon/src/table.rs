@@ -100,15 +100,22 @@ impl FlowTable {
 
     /// Evict flows idle since before `cutoff` (conntrack timeout). The
     /// records end at their last activity.
+    ///
+    /// Eviction order is deterministic: victims are emitted by
+    /// (last activity, flow start, key), never in `HashMap` iteration
+    /// order — two identically-fed tables drain identical record
+    /// sequences, which the streaming pipeline's reproducibility
+    /// guarantees rely on.
     pub fn evict_idle(&mut self, cutoff: Timestamp) -> usize {
-        let idle: Vec<FlowKey> = self
+        let mut idle: Vec<(Timestamp, Timestamp, FlowKey)> = self
             .active
             .iter()
             .filter(|(_, f)| f.last_seen < cutoff)
-            .map(|(k, _)| *k)
+            .map(|(k, f)| (f.last_seen, f.start, *k))
             .collect();
+        idle.sort_unstable();
         let n = idle.len();
-        for key in idle {
+        for (_, _, key) in idle {
             let f = self.active.remove(&key).expect("listed above");
             self.completed.push(FlowRecord {
                 key,
@@ -232,6 +239,37 @@ mod tests {
         let recs = t.drain();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].end, 100);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        // Two separately-constructed tables have differently-seeded
+        // HashMaps; identical event feeds must still drain identical
+        // record sequences (regression: eviction used to emit in map
+        // iteration order).
+        let feed = |t: &mut FlowTable| {
+            for i in 0..200u16 {
+                t.on_new(key(1000 + i), 50 + (i % 7) as u64, Scope::External);
+                t.on_packet(
+                    &key(1000 + i),
+                    60 + (i % 13) as u64,
+                    Direction::Original,
+                    10 + i as u64,
+                );
+            }
+            t.evict_idle(1_000);
+        };
+        let mut a = FlowTable::new();
+        let mut b = FlowTable::new();
+        feed(&mut a);
+        feed(&mut b);
+        let (ra, rb) = (a.drain(), b.drain());
+        assert_eq!(ra.len(), 200);
+        assert_eq!(ra, rb, "identically-fed tables must drain identically");
+        // And the order is (last_seen, start, key)-sorted.
+        let mut sorted = ra.clone();
+        sorted.sort_by_key(|r| (r.end, r.start, r.key));
+        assert_eq!(ra, sorted);
     }
 
     #[test]

@@ -24,15 +24,27 @@
 //!
 //! Everything is recorded through the real [`flowmon`] router monitor, so
 //! the analysis layer consumes exactly what the paper's pipeline consumed:
-//! anonymizable flow records with byte counts and timestamps.
+//! anonymizable flow records with byte counts and timestamps. Records are
+//! *streamed* — synthesis pushes each completed flow into a caller-chosen
+//! [`flowmon::FlowSink`] ([`synth::synthesize_profiles_with`]), so
+//! paper-scale runs aggregate in place instead of materializing months of
+//! records; [`provider`] layers the ISP-shared CGN gateway over the same
+//! stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod par;
 pub mod profile;
+pub mod provider;
 pub mod synth;
 
-pub use profile::{paper_residences, transition_residences, EventDayProfile, ResidenceProfile};
+pub use par::fan_out;
+pub use profile::{
+    isp_cohort, paper_residences, transition_residences, EventDayProfile, ResidenceProfile,
+};
+pub use provider::{synthesize_isp, synthesize_isps, IspRun, IspSpec, SubscriberStats};
 pub use synth::{
-    synthesize_all, synthesize_profiles, synthesize_residence, ResidenceDataset, TrafficConfig,
+    synthesize_all, synthesize_profiles, synthesize_profiles_with, synthesize_residence,
+    synthesize_residence_into, ResidenceDataset, ResidenceSummary, TrafficConfig,
 };

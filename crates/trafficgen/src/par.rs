@@ -1,0 +1,89 @@
+//! Deterministic fan-out over scoped worker threads.
+//!
+//! Every parallel axis of the suite — residences, days inside a residence,
+//! ISPs in a provider sweep — uses this one primitive instead of growing
+//! per-call-site thread pools. The determinism contract is the caller's:
+//! `f` must derive all randomness from its index argument alone, so the
+//! result vector is byte-identical at any thread count.
+
+/// Fan `items` out over up to `threads` scoped workers, returning results
+/// in input order. Assignment is round-robin (item `i` on worker
+/// `i % threads`) so heavy items spread; `threads <= 1` runs inline.
+/// Thread-count invariance is the *caller's* contract: `f` must derive all
+/// randomness from its index argument alone — every call site (residences,
+/// days, ISPs) seeds its RNG from exactly that.
+pub fn fan_out<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let mut per_worker: Vec<Vec<(usize, T, &mut Option<R>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, (x, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
+        per_worker[i % threads].push((i, x, slot));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for batch in per_worker {
+            scope.spawn(move || {
+                for (i, x, slot) in batch {
+                    *slot = Some(f(i, x));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 3, 7, 64] {
+            let out = fan_out((0..50).collect(), threads, |i, x: i32| (i, x * 2));
+            assert_eq!(out.len(), 50);
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*doubled, i as i32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        let out: Vec<u32> = fan_out(Vec::<u32>::new(), 8, |_, x| x);
+        assert!(out.is_empty());
+        let out = fan_out(vec![42], 8, |i, x: u32| x + i as u32);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let work = |i: usize, seed: u64| -> u64 {
+            // All "randomness" derives from the index — the contract.
+            let mut h = seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            h ^= h >> 31;
+            h
+        };
+        let items: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let seq = fan_out(items.clone(), 1, work);
+        for threads in [2, 5, 16] {
+            assert_eq!(fan_out(items.clone(), threads, work), seq);
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! The traffic synthesizer: profiles × diurnal activity × Happy Eyeballs →
-//! flow records.
+//! flow records, streamed into a [`FlowSink`].
 //!
 //! Synthesis is organized around *days*: each (residence, day) pair derives
 //! its own RNG stream from the master seed, so days are mutually independent
@@ -9,16 +9,30 @@
 //! device population) comes from a residence-level stream seeded without a
 //! day component.
 //!
+//! Records are *pushed*, not materialized: every completed flow goes
+//! straight into the caller's [`FlowSink`] in a deterministic order —
+//! records of one (residence, day) contiguously and in emission order, days
+//! ascending. [`synthesize_residence`] wraps the streaming core with a
+//! [`CollectSink`], reproducing the historical `Vec<FlowRecord>` dataset
+//! byte-for-byte; aggregate sinks run the same synthesis in O(aggregator)
+//! memory however many days are simulated.
+//!
 //! Residences whose [`ResidenceProfile::access_tech`] is not native
 //! dual-stack route their legacy traffic through the world's transition
 //! plant: IPv6-only lines resolve through DNS64 and reach IPv4-only
 //! services via the NAT64 gateway (flows towards the RFC 6052 prefix),
 //! 464XLAT lines additionally push v4-literal application traffic through
 //! the CLAT, and DS-Lite lines tunnel IPv4 to an AFTR whose NAT44 binding
-//! table — like the NAT64's — can run out of ports under load.
+//! table — like the NAT64's — can run out of ports under load. Those
+//! gateways come in two deployments: the historical *day-local* instances
+//! (one per residence-day), and the shared
+//! provider gateway of [`crate::provider`], which defers binding admission
+//! to a pool persisted across days and residences.
 
+use crate::par::fan_out;
 use crate::profile::ResidenceProfile;
 use dnssim::{Name, Resolver};
+use flowmon::sink::{CollectSink, FlowSink};
 use flowmon::{FlowKey, FlowRecord, RouterMonitor, TranslationMap};
 use happyeyeballs::{HappyEyeballs, HappyEyeballsConfig};
 use iputil::prefix::{Prefix4, Prefix6};
@@ -64,7 +78,9 @@ pub struct TrafficConfig {
     /// Worker threads fanning *days* out inside one residence
     /// (1 = sequential). Days derive independent RNGs from
     /// `(seed, residence, day)`, so output is identical at any thread
-    /// count; combined with `threads` the two levels multiply.
+    /// count; combined with `threads` the two levels multiply. With more
+    /// than one day worker each day buffers before flushing to the sink in
+    /// day order, so peak memory grows by O(in-flight days), not O(run).
     pub day_threads: usize,
     /// Binding-table limits of the NAT64/AFTR gateways serving translated
     /// residences (shrink to provoke the exhaustion scenario).
@@ -99,7 +115,9 @@ impl TrafficConfig {
     }
 }
 
-/// The synthesized dataset of one residence.
+/// The synthesized dataset of one residence (the materializing API:
+/// [`ResidenceSummary`] plus every flow record, collected via
+/// [`CollectSink`]).
 #[derive(Debug)]
 pub struct ResidenceDataset {
     /// The generating profile.
@@ -113,6 +131,22 @@ pub struct ResidenceDataset {
     /// Binding-table counters of the residence's translator (NAT64 for the
     /// IPv6-only techs, the AFTR's NAT44 for DS-Lite); `None` on lines that
     /// use no stateful gateway.
+    pub gateway: Option<GatewayStats>,
+}
+
+/// What a streaming synthesis returns: everything [`ResidenceDataset`]
+/// carries except the records themselves (those went to the sink).
+#[derive(Debug, Clone)]
+pub struct ResidenceSummary {
+    /// The generating profile.
+    pub profile: ResidenceProfile,
+    /// The sampling factor of the emitted stream.
+    pub scale: f64,
+    /// Days simulated.
+    pub num_days: u32,
+    /// Day-local gateway counters (`None` on lines without a stateful
+    /// gateway, and always `None` under a shared provider gateway — the
+    /// provider holds the pool then).
     pub gateway: Option<GatewayStats>,
 }
 
@@ -158,7 +192,8 @@ pub fn synthesize_all(world: &World, config: &TrafficConfig) -> Vec<ResidenceDat
 }
 
 /// Synthesize an arbitrary cohort of residences (the transition-technology
-/// cohort, ablations), fanning residences out over `config.threads`.
+/// cohort, ablations), fanning residences out over `config.threads` and
+/// materializing every record.
 ///
 /// Residence `i` derives all randomness from `(seed, i)` and, inside,
 /// `(seed, i, day)` alone, so output is byte-identical at any combination
@@ -173,185 +208,301 @@ pub fn synthesize_profiles(
     })
 }
 
-/// Fan `items` out over up to `threads` scoped workers, returning results
-/// in input order. Assignment is round-robin (item `i` on worker
-/// `i % threads`) so heavy items spread; `threads <= 1` runs inline.
-/// Thread-count invariance is the *caller's* contract: `f` must derive all
-/// randomness from its index argument alone — both call sites (residences,
-/// days) seed their RNG from exactly that.
-fn fan_out<T: Send, R: Send>(
-    items: Vec<T>,
-    threads: usize,
-    f: impl Fn(usize, T) -> R + Sync,
-) -> Vec<R> {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads == 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, x)| f(i, x))
+/// Streaming cohort synthesis: every residence gets its own sink (built by
+/// `make_sink` from the residence's index and profile) and streams into it
+/// while residences fan out over `config.threads`. Returns summaries and
+/// the filled sinks in input order.
+///
+/// This is the paper-scale entry point: with aggregator sinks the whole run
+/// completes in O(residences × aggregator) memory — no flow record outlives
+/// its push.
+pub fn synthesize_profiles_with<S, F>(
+    world: &World,
+    profiles: Vec<ResidenceProfile>,
+    config: &TrafficConfig,
+    make_sink: F,
+) -> Vec<(ResidenceSummary, S)>
+where
+    S: FlowSink + Send,
+    F: Fn(usize, &ResidenceProfile) -> S + Sync,
+{
+    fan_out(profiles, config.threads, |i, profile| {
+        let mut sink = make_sink(i, &profile);
+        let summary = synthesize_residence_into(world, profile, config, i as u64, &mut sink);
+        (summary, sink)
+    })
+}
+
+/// Per-residence state stable across days: LAN addressing, the device
+/// population and the calibrated service weights. Built once per residence
+/// from the residence-level RNG stream, then shared read-only by every day
+/// worker (and, in provider mode, across the whole run).
+pub(crate) struct ResidenceSetup {
+    pub(crate) profile: ResidenceProfile,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) base_weights: Vec<f64>,
+    pub(crate) residence_factor: f64,
+    pub(crate) dual_share: f64,
+    pub(crate) lan4: Prefix4,
+    pub(crate) lan6: Prefix6,
+    pub(crate) residence_index: u64,
+}
+
+impl ResidenceSetup {
+    pub(crate) fn build(
+        world: &World,
+        config: &TrafficConfig,
+        profile: ResidenceProfile,
+        residence_index: u64,
+    ) -> ResidenceSetup {
+        let mut rng = SmallRng::seed_from_u64(residence_seed(config.seed, residence_index));
+        let services = &world.client_services;
+
+        // LAN addressing: 192.168.<idx>.0/24 and a delegated /56 for the
+        // first 255 residences (the historical scheme, preserved so small
+        // cohorts stay byte-identical); larger cohorts — ISP-scale CGN
+        // studies — spill into 10.0.0.0/8 and deeper 2001:db8::/32
+        // subnets. The world allocates public space from 24.0.0.0/6,
+        // 100.64.0.0/10 and 198.18.0.0/15, so neither LAN pool collides
+        // with a service or translator address.
+        assert!(
+            residence_index < 65_000,
+            "residence_index {residence_index} exceeds the LAN addressing plan (max 64999)"
+        );
+        let (lan4, lan6): (Prefix4, Prefix6) = if residence_index < 255 {
+            (
+                format!("192.168.{}.0/24", residence_index + 1)
+                    .parse()
+                    .expect("valid LAN prefix"),
+                format!("2001:db8:{:x}00::/56", residence_index + 1)
+                    .parse()
+                    .expect("valid LAN prefix"),
+            )
+        } else {
+            let i = residence_index - 255;
+            (
+                format!("10.{}.{}.0/24", i >> 8, i & 0xff)
+                    .parse()
+                    .expect("valid LAN prefix"),
+                // Subnet id at the /56 boundary (bits 72..96). Small
+                // residences sit at multiples of 2^88, i.e. subnet ids
+                // that are multiples of 0x10000 at this scale — first
+                // possible collision at index 65535, above the assert.
+                Prefix6::new(
+                    std::net::Ipv6Addr::from(
+                        (0x2001_0db8u128 << 96) | ((residence_index as u128 + 1) << 72),
+                    ),
+                    56,
+                ),
+            )
+        };
+
+        // Devices: ~3 per resident; some broken-v6 at Residence C.
+        let n_devices = (profile.residents * 3).clamp(2, 24);
+        let devices: Vec<Device> = (0..n_devices)
+            .map(|i| Device {
+                v4: lan4.host(10 + i as u64).expect("device fits"),
+                v6: lan6.host(0x10 + i as u128).expect("device fits"),
+                dual_stack: rng.gen::<f64>() >= profile.broken_v6_share,
+            })
             .collect();
-    }
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let mut per_worker: Vec<Vec<(usize, T, &mut Option<R>)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    for (i, (x, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
-        per_worker[i % threads].push((i, x, slot));
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        for batch in per_worker {
-            scope.spawn(move || {
-                for (i, x, slot) in batch {
-                    *slot = Some(f(i, x));
-                }
-            });
+
+        // Base per-service weights (global × residence boosts).
+        let base_weights: Vec<f64> = services
+            .iter()
+            .map(|s| {
+                let boost = profile
+                    .mix_boosts
+                    .iter()
+                    .find(|(k, _)| *k == s.service.key)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(1.0);
+                s.service.weight * boost
+            })
+            .collect();
+
+        // Residence factor: scales every service's IPv6 propensity so the
+        // volume-weighted mix hits the residence target (the mechanism that
+        // caps per-AS fractions at Residence C).
+        let mix_v6: f64 = {
+            let num: f64 = services
+                .iter()
+                .zip(&base_weights)
+                .map(|(s, w)| w * s.service.v6_share)
+                .sum();
+            let den: f64 = base_weights.iter().sum();
+            num / den
+        };
+        let dual_share = devices.iter().filter(|d| d.dual_stack).count() as f64 / n_devices as f64;
+        let residence_factor = profile.target_ext_v6_bytes / (mix_v6 * dual_share).max(1e-9);
+
+        ResidenceSetup {
+            profile,
+            devices,
+            base_weights,
+            residence_factor,
+            dual_share,
+            lan4,
+            lan6,
+            residence_index,
         }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("worker filled every slot"))
-        .collect()
+    }
 }
 
-/// One day's synthesis output: its flow records plus the day-local
-/// gateway's counters (when the access technology uses one).
-type DayOutput = (Vec<FlowRecord>, Option<GatewayStats>);
-
-/// Per-residence state shared read-only by every day worker.
-struct ResidenceCtx<'a> {
-    world: &'a World,
-    profile: &'a ResidenceProfile,
-    config: &'a TrafficConfig,
-    devices: &'a [Device],
-    base_weights: &'a [f64],
-    residence_factor: f64,
-    dual_share: f64,
-    lan4: Prefix4,
-    lan6: Prefix6,
-    residence_index: u64,
+/// Read-only view a day worker gets: the world, the run configuration and
+/// the residence's stable setup.
+pub(crate) struct ResidenceCtx<'a> {
+    pub(crate) world: &'a World,
+    pub(crate) config: &'a TrafficConfig,
+    pub(crate) setup: &'a ResidenceSetup,
 }
 
-/// Synthesize one residence's dataset.
+/// How a day's translated traffic meets its stateful gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GatewayMode {
+    /// The historical model: a fresh NAT64/AFTR per (residence, day);
+    /// exhausted pools drop flows at emission time.
+    Local,
+    /// Shared provider gateway ([`crate::provider`]): addresses are mapped
+    /// statelessly here and *admission* happens later, when the provider
+    /// replays the day's stream against its persistent pool.
+    Provider,
+}
+
+/// Synthesize one residence's dataset, materializing every record
+/// (streaming core + [`CollectSink`]).
 pub fn synthesize_residence(
     world: &World,
     profile: ResidenceProfile,
     config: &TrafficConfig,
     residence_index: u64,
 ) -> ResidenceDataset {
-    let mut rng = SmallRng::seed_from_u64(residence_seed(config.seed, residence_index));
-    let services = &world.client_services;
+    let mut sink = CollectSink::new();
+    let summary = synthesize_residence_into(world, profile, config, residence_index, &mut sink);
+    ResidenceDataset {
+        profile: summary.profile,
+        flows: sink.into_records(),
+        scale: summary.scale,
+        num_days: summary.num_days,
+        gateway: summary.gateway,
+    }
+}
 
-    // LAN addressing: 192.168.<idx>.0/24 and a delegated /56.
-    let lan4: Prefix4 = format!("192.168.{}.0/24", residence_index + 1)
-        .parse()
-        .expect("valid LAN prefix");
-    let lan6: Prefix6 = format!("2001:db8:{:x}00::/56", residence_index + 1)
-        .parse()
-        .expect("valid LAN prefix");
-
-    // Devices: ~3 per resident; some broken-v6 at Residence C.
-    let n_devices = (profile.residents * 3).clamp(2, 24);
-    let devices: Vec<Device> = (0..n_devices)
-        .map(|i| Device {
-            v4: lan4.host(10 + i as u64).expect("device fits"),
-            v6: lan6.host(0x10 + i as u128).expect("device fits"),
-            dual_stack: rng.gen::<f64>() >= profile.broken_v6_share,
-        })
-        .collect();
-
-    // Base per-service weights (global × residence boosts).
-    let base_weights: Vec<f64> = services
-        .iter()
-        .map(|s| {
-            let boost = profile
-                .mix_boosts
-                .iter()
-                .find(|(k, _)| *k == s.service.key)
-                .map(|(_, b)| *b)
-                .unwrap_or(1.0);
-            s.service.weight * boost
-        })
-        .collect();
-
-    // Residence factor: scales every service's IPv6 propensity so the
-    // volume-weighted mix hits the residence target (the mechanism that
-    // caps per-AS fractions at Residence C).
-    let mix_v6: f64 = {
-        let num: f64 = services
-            .iter()
-            .zip(&base_weights)
-            .map(|(s, w)| w * s.service.v6_share)
-            .sum();
-        let den: f64 = base_weights.iter().sum();
-        num / den
-    };
-    let dual_share = devices.iter().filter(|d| d.dual_stack).count() as f64 / n_devices as f64;
-    let residence_factor = profile.target_ext_v6_bytes / (mix_v6 * dual_share).max(1e-9);
-
+/// Synthesize one residence, streaming every record into `sink`.
+///
+/// Emission order is deterministic — days ascending, records within a day
+/// in generation order — and independent of `config.day_threads` (day
+/// workers buffer their day and flush in order). A [`CollectSink`] here
+/// reproduces [`synthesize_residence`]'s `flows` byte-for-byte.
+pub fn synthesize_residence_into<S: FlowSink>(
+    world: &World,
+    profile: ResidenceProfile,
+    config: &TrafficConfig,
+    residence_index: u64,
+    sink: &mut S,
+) -> ResidenceSummary {
+    let setup = ResidenceSetup::build(world, config, profile, residence_index);
     let ctx = ResidenceCtx {
         world,
-        profile: &profile,
         config,
-        devices: &devices,
-        base_weights: &base_weights,
-        residence_factor,
-        dual_share,
-        lan4,
-        lan6,
-        residence_index,
+        setup: &setup,
     };
-
-    // Day fan-out: each day is an independent unit of work.
-    let day_results: Vec<DayOutput> = fan_out(
-        (0..config.num_days).collect(),
-        config.day_threads,
-        |_, day| synthesize_day(&ctx, day),
-    );
-
-    let mut flows: Vec<FlowRecord> = Vec::new();
-    let mut gateway: Option<GatewayStats> = None;
-    for (day_flows, day_gw) in day_results {
-        flows.extend(day_flows);
-        if let Some(stats) = day_gw {
-            gateway
-                .get_or_insert_with(GatewayStats::default)
-                .absorb(stats);
-        }
-    }
-
-    ResidenceDataset {
-        profile,
-        flows,
+    let gateway = run_days(&ctx, GatewayMode::Local, sink);
+    ResidenceSummary {
+        profile: setup.profile,
         scale: config.scale,
         num_days: config.num_days,
         gateway,
     }
 }
 
-/// Mutable per-day machinery: RNG, router, port counter and (for translated
-/// access technologies) the stateful gateways.
+/// Drive every day of one residence into `sink`, sequentially or over
+/// `day_threads` workers (buffered, flushed in day order).
+pub(crate) fn run_days<S: FlowSink>(
+    ctx: &ResidenceCtx<'_>,
+    mode: GatewayMode,
+    sink: &mut S,
+) -> Option<GatewayStats> {
+    let config = ctx.config;
+    let mut gateway: Option<GatewayStats> = None;
+    let absorb = |gateway: &mut Option<GatewayStats>, stats: Option<GatewayStats>| {
+        if let Some(stats) = stats {
+            gateway
+                .get_or_insert_with(GatewayStats::default)
+                .absorb(stats);
+        }
+    };
+    if config.day_threads.max(1) == 1 {
+        // Fully streaming: a day's records go straight to the sink.
+        for day in 0..config.num_days {
+            let stats = synthesize_day_into(ctx, day, mode, sink);
+            absorb(&mut gateway, stats);
+        }
+    } else {
+        // Day fan-out, chunked: each worker buffers its day, and only one
+        // chunk of days is in flight at a time — the chunk flushes to the
+        // sink in day order before the next begins, so the record sequence
+        // is identical to the sequential path and peak memory is bounded
+        // by O(chunk) day buffers, not O(run). Chunk size is a small
+        // multiple of the worker count (enough days per dispatch to
+        // amortize thread spawning; day seeds are chunk-oblivious, so the
+        // split cannot affect output).
+        let day_threads = config.day_threads;
+        let chunk = (day_threads * 2).max(1) as u32;
+        let mut start = 0u32;
+        while start < config.num_days {
+            let end = (start + chunk).min(config.num_days);
+            let day_results = fan_out((start..end).collect(), day_threads, |_, day| {
+                let mut buf = CollectSink::new();
+                let stats = synthesize_day_into(ctx, day, mode, &mut buf);
+                (buf.into_records(), stats)
+            });
+            for (records, stats) in day_results {
+                for r in &records {
+                    sink.accept(r);
+                }
+                absorb(&mut gateway, stats);
+            }
+            start = end;
+        }
+    }
+    gateway
+}
+
+/// Mutable per-day machinery: RNG, router, port counter, the output sink
+/// and (for translated access technologies in [`GatewayMode::Local`]) the
+/// stateful gateways.
 ///
-/// Gateways are instantiated per day — the price of day independence (and
-/// thus day-level parallelism). This is an *approximation*: bindings still
-/// held at midnight are dropped instead of carrying into the next day, so
-/// for binding timeouts that are a meaningful fraction of a day (the
-/// exhaustion experiments use 30–60 minutes) the pool pressure in the first
-/// timeout-window of each day is understated and reported rejection rates
-/// are a lower bound. At the default two-minute timeout the effect is
-/// negligible; a shared cross-day gateway would need a sequential pass (or
-/// a reconciliation step) and is noted in the ROADMAP as future work.
-struct DayRun<'a> {
+/// Local-mode gateways are instantiated per day — the price of day
+/// independence (and thus day-level parallelism). This is an
+/// *approximation*: bindings still held at midnight are dropped instead of
+/// carrying into the next day, so for binding timeouts that are a
+/// meaningful fraction of a day (the exhaustion experiments use 30–60
+/// minutes) the pool pressure in the first timeout-window of each day is
+/// understated and reported rejection rates are a lower bound. At the
+/// default two-minute timeout the effect is negligible; the shared
+/// cross-day pool is exactly what [`crate::provider`] adds.
+struct DayRun<'a, S: FlowSink> {
     ctx: &'a ResidenceCtx<'a>,
     rng: SmallRng,
     router: RouterMonitor,
     sport: u16,
+    mode: GatewayMode,
     nat64: Option<Nat64Gateway>,
     aftr: Option<Aftr>,
+    sink: &'a mut S,
 }
 
-impl DayRun<'_> {
+impl<S: FlowSink> DayRun<'_, S> {
+    /// Classify, finalize and push one record to the sink (the streaming
+    /// replacement for buffering in the router's flow table).
+    fn emit(&mut self, key: FlowKey, start: u64, end: u64, bytes_orig: u64, bytes_reply: u64) {
+        let record = self
+            .router
+            .observe(key, start, end, bytes_orig, bytes_reply);
+        self.sink.accept(&record);
+    }
+
     /// Emit one external service flow of `bytes` total volume. Returns
     /// `false` when the flow was refused (gateway exhausted / no path).
     #[allow(clippy::too_many_arguments)]
@@ -363,9 +514,11 @@ impl DayRun<'_> {
         day: u32,
         hour: u32,
     ) -> bool {
-        let tech = self.ctx.profile.access_tech;
+        let tech = self.ctx.setup.profile.access_tech;
+        let mode = self.mode;
+        let nat64_prefix = self.ctx.world.transition.nat64_prefix;
         let rng = &mut self.rng;
-        let devices = self.ctx.devices;
+        let devices = &self.ctx.setup.devices;
         let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
         let duration = match svc.service.kind {
             ServiceKind::Streaming | ServiceKind::LiveVideo => {
@@ -405,18 +558,33 @@ impl DayRun<'_> {
                 AccessTech::Ipv6OnlyNat64 | AccessTech::Xlat464 => {
                     // Legacy traffic crosses the wire as IPv6 towards the
                     // RFC 6052 mapping of the true destination; each flow
-                    // consumes a NAT64 binding.
-                    let gw = self.nat64.as_mut().expect("v6-only line has a NAT64");
-                    match gw.translate(dst4, start, start + duration) {
-                        Ok(dst6) => (IpAddr::V6(device.v6), IpAddr::V6(dst6), None),
-                        Err(_) => return false, // pool exhausted: flow dropped
-                    }
+                    // consumes a NAT64 binding (locally here, or at the
+                    // shared provider during its replay).
+                    let dst6 = match mode {
+                        GatewayMode::Local => {
+                            let gw = self.nat64.as_mut().expect("v6-only line has a NAT64");
+                            match gw.translate(dst4, start, start + duration) {
+                                Ok(d) => d,
+                                Err(_) => return false, // pool exhausted: flow dropped
+                            }
+                        }
+                        GatewayMode::Provider => nat64_prefix.embed(dst4),
+                    };
+                    (IpAddr::V6(device.v6), IpAddr::V6(dst6), None)
                 }
                 AccessTech::DsLite => {
                     // Inner IPv4 flow over the softwire; the AFTR's NAT44
                     // must grant a binding.
-                    let aftr = self.aftr.as_mut().expect("DS-Lite line has an AFTR");
-                    if aftr.admit(start, start + duration).is_err() {
+                    let admitted = match mode {
+                        GatewayMode::Local => self
+                            .aftr
+                            .as_mut()
+                            .expect("DS-Lite line has an AFTR")
+                            .admit(start, start + duration)
+                            .is_ok(),
+                        GatewayMode::Provider => true,
+                    };
+                    if !admitted {
                         return false;
                     }
                     (IpAddr::V4(device.v4), IpAddr::V4(dst4), None)
@@ -435,8 +603,7 @@ impl DayRun<'_> {
             FlowKey::tcp(src, self.sport, dst, 443)
         };
         // Download-heavy: most bytes flow from the server.
-        self.router
-            .inject(key, start, start + duration, bytes / 20, bytes);
+        self.emit(key, start, start + duration, bytes / 20, bytes);
 
         // Happy Eyeballs residue: on lines with an IPv4 socket (native or
         // DS-Lite) a winning IPv6 connection can leave the losing IPv4
@@ -446,12 +613,15 @@ impl DayRun<'_> {
             && self.rng.gen::<f64>() < self.ctx.config.he_both_flow_rate
         {
             let residue_ok = match tech {
-                AccessTech::DsLite => self
-                    .aftr
-                    .as_mut()
-                    .expect("DS-Lite line has an AFTR")
-                    .admit(start, start + 2_000_000)
-                    .is_ok(),
+                AccessTech::DsLite => match self.mode {
+                    GatewayMode::Local => self
+                        .aftr
+                        .as_mut()
+                        .expect("DS-Lite line has an AFTR")
+                        .admit(start, start + 2_000_000)
+                        .is_ok(),
+                    GatewayMode::Provider => true,
+                },
                 _ => true,
             };
             if residue_ok {
@@ -465,18 +635,25 @@ impl DayRun<'_> {
                     v4dst,
                     443,
                 );
-                self.router.inject(k, start, start + 2_000_000, 300, 300);
+                self.emit(k, start, start + 2_000_000, 300, 300);
             }
         }
         true
     }
 }
 
-/// Synthesize one day of one residence. Pure function of
-/// `(config.seed, residence_index, day)` plus the world.
-fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
+/// Synthesize one day of one residence into `sink`. Pure function of
+/// `(config.seed, residence_index, day)` plus the world; returns the
+/// day-local gateway counters when the technology and mode use one.
+pub(crate) fn synthesize_day_into<S: FlowSink>(
+    ctx: &ResidenceCtx<'_>,
+    day: u32,
+    mode: GatewayMode,
+    sink: &mut S,
+) -> Option<GatewayStats> {
     let config = ctx.config;
-    let profile = ctx.profile;
+    let setup = ctx.setup;
+    let profile = &setup.profile;
     let tech = profile.access_tech;
     let services = &ctx.world.client_services;
     let resolver = Resolver::new(&ctx.world.client_zone);
@@ -484,9 +661,9 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
     let dns64 = Dns64::new(resolver, nat64_prefix);
     let he = HappyEyeballs::new(config.he);
 
-    let mut rng = SmallRng::seed_from_u64(day_seed(config.seed, ctx.residence_index, day));
+    let mut rng = SmallRng::seed_from_u64(day_seed(config.seed, setup.residence_index, day));
 
-    let mut router = RouterMonitor::new(vec![ctx.lan4], vec![ctx.lan6]);
+    let mut router = RouterMonitor::new(vec![setup.lan4], vec![setup.lan6]);
     let mut xlat = TranslationMap::new();
     if tech.v6_only_wire() {
         xlat.add_nat64_prefix(nat64_prefix.prefix());
@@ -575,7 +752,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
         .collect();
 
     // Per-day service mix jitter (lognormal), plus event days.
-    let mut day_weights: Vec<f64> = ctx
+    let mut day_weights: Vec<f64> = setup
         .base_weights
         .iter()
         .zip(services.iter())
@@ -611,10 +788,12 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
         rng,
         router,
         sport: 10_000,
-        nat64: tech
-            .v6_only_wire()
+        mode,
+        nat64: (mode == GatewayMode::Local && tech.v6_only_wire())
             .then(|| Nat64Gateway::new(nat64_prefix, config.gateway)),
-        aftr: (tech == AccessTech::DsLite).then(|| Aftr::new(config.gateway)),
+        aftr: (mode == GatewayMode::Local && tech == AccessTech::DsLite)
+            .then(|| Aftr::new(config.gateway)),
+        sink,
     };
 
     // Byte/flow-mass accumulators per (service, family bucket): hours whose
@@ -678,7 +857,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
                 }
                 _ => {
                     if v6_usable[si] {
-                        (svc.service.v6_share * ctx.residence_factor).min(0.98) * ctx.dual_share
+                        (svc.service.v6_share * setup.residence_factor).min(0.98) * setup.dual_share
                     } else {
                         0.0
                     }
@@ -716,7 +895,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
         if !total_outage {
             let n_icmp = poisson(&mut run.rng, 6.0 * config.scale.min(1.0) * 50.0);
             for _ in 0..n_icmp {
-                let device = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
+                let device = &setup.devices[run.rng.gen_range(0..setup.devices.len())];
                 let svc = &services[run.rng.gen_range(0..services.len())];
                 let use_v6 = match tech {
                     AccessTech::V4Only => false,
@@ -733,10 +912,15 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
                         let IpAddr::V4(d4) = svc.v4[run.rng.gen_range(0..svc.v4.len())] else {
                             unreachable!("service v4 pool holds IPv4 addresses");
                         };
-                        let gw = run.nat64.as_mut().expect("v6-only line has a NAT64");
-                        match gw.translate(d4, start, start + 1_000_000) {
-                            Ok(d6) => IpAddr::V6(d6),
-                            Err(_) => continue, // pool exhausted: probe lost
+                        match run.mode {
+                            GatewayMode::Local => {
+                                let gw = run.nat64.as_mut().expect("v6-only line has a NAT64");
+                                match gw.translate(d4, start, start + 1_000_000) {
+                                    Ok(d6) => IpAddr::V6(d6),
+                                    Err(_) => continue, // pool exhausted: probe lost
+                                }
+                            }
+                            GatewayMode::Provider => IpAddr::V6(nat64_prefix.embed(d4)),
                         }
                     } else {
                         svc.v6[run.rng.gen_range(0..svc.v6.len())]
@@ -745,7 +929,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
                 } else {
                     // DS-Lite: the tunneled v4 probe needs an AFTR binding
                     // like any other softwire flow.
-                    if tech == AccessTech::DsLite {
+                    if tech == AccessTech::DsLite && run.mode == GatewayMode::Local {
                         let aftr = run.aftr.as_mut().expect("DS-Lite line has an AFTR");
                         if aftr.admit(start, start + 1_000_000).is_err() {
                             continue;
@@ -765,8 +949,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
                         icmp_id: run.rng.gen(),
                     },
                 );
-                run.router
-                    .inject(key, start, start + 1_000_000, 64 * 4, 64 * 4);
+                run.emit(key, start, start + 1_000_000, 64 * 4, 64 * 4);
             }
         }
 
@@ -780,8 +963,8 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
         // 2% bulk transfers around 300 kB.
         let n_int = poisson(&mut run.rng, int_bytes_hour / 11_000.0 * config.scale);
         for _ in 0..n_int {
-            let a = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
-            let b = &ctx.devices[run.rng.gen_range(0..ctx.devices.len())];
+            let a = &setup.devices[run.rng.gen_range(0..setup.devices.len())];
+            let b = &setup.devices[run.rng.gen_range(0..setup.devices.len())];
             let use_v6 = run.rng.gen::<f64>() < profile.internal_v6_share;
             let bulk = run.rng.gen::<f64>() < 0.02;
             let bytes = if bulk {
@@ -797,8 +980,7 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
                 (IpAddr::V4(a.v4), IpAddr::V4(b.v4))
             };
             let key = FlowKey::udp(src, run.sport, dst, 5353);
-            run.router
-                .inject(key, start, start + 1_000_000, bytes, bytes / 4);
+            run.emit(key, start, start + 1_000_000, bytes, bytes / 4);
         }
     }
 
@@ -819,18 +1001,16 @@ fn synthesize_day(ctx: &ResidenceCtx<'_>, day: u32) -> DayOutput {
         }
     }
 
-    let stats = run
-        .nat64
+    run.nat64
         .as_ref()
         .map(|g| g.stats())
-        .or_else(|| run.aftr.as_ref().map(|a| a.stats()));
-    (run.router.drain(), stats)
+        .or_else(|| run.aftr.as_ref().map(|a| a.stats()))
 }
 
-struct Device {
-    v4: Ipv4Addr,
-    v6: Ipv6Addr,
-    dual_stack: bool,
+pub(crate) struct Device {
+    pub(crate) v4: Ipv4Addr,
+    pub(crate) v6: Ipv6Addr,
+    pub(crate) dual_stack: bool,
 }
 
 fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
@@ -1158,5 +1338,67 @@ mod tests {
             ok.rejection_rate() < gw.rejection_rate(),
             "default pool rejects less than the tiny pool"
         );
+    }
+
+    #[test]
+    fn large_residence_indices_get_distinct_lans() {
+        // ISP-scale cohorts pass the 255-residence boundary of the
+        // historical 192.168.<idx> scheme; the spill plan must keep
+        // producing valid, mutually distinct LANs (regression: index 255+
+        // used to panic on an unparseable prefix).
+        let world = World::generate(&WorldConfig::small());
+        let profile = crate::profile::isp_cohort(1).remove(0);
+        let cfg = TrafficConfig {
+            num_days: 3,
+            scale: 1.0 / 100.0, // dense enough that internal flows appear
+            ..TrafficConfig::fast()
+        };
+        let mut lans = std::collections::BTreeSet::new();
+        for idx in [0u64, 254, 255, 256, 511, 4_000] {
+            let setup = ResidenceSetup::build(&world, &cfg, profile.clone(), idx);
+            assert!(
+                lans.insert((setup.lan4.to_string(), setup.lan6.to_string())),
+                "index {idx} reuses a LAN"
+            );
+        }
+        // And a past-the-boundary residence synthesizes end to end with
+        // internal (LAN↔LAN) traffic still scoped correctly.
+        let ds = synthesize_residence(&world, profile, &cfg, 300);
+        assert!(ds.flows.iter().any(|f| f.scope == Scope::Internal));
+        assert!(ds.flows.iter().any(|f| f.scope == Scope::External));
+    }
+
+    #[test]
+    fn streaming_collect_sink_matches_materialized() {
+        let world = World::generate(&WorldConfig::small());
+        let profiles = crate::profile::paper_residences();
+        let cfg = TrafficConfig {
+            num_days: 15,
+            ..TrafficConfig::fast()
+        };
+        let ds = synthesize_residence(&world, profiles[2].clone(), &cfg, 2);
+        let mut sink = CollectSink::new();
+        let summary = synthesize_residence_into(&world, profiles[2].clone(), &cfg, 2, &mut sink);
+        assert_eq!(sink.records, ds.flows);
+        assert_eq!(summary.num_days, ds.num_days);
+        assert_eq!(summary.profile.key, ds.profile.key);
+    }
+
+    #[test]
+    fn streaming_aggregates_match_recomputed() {
+        use flowmon::sink::{drain_into, ScopeFamilyAgg};
+        let world = World::generate(&WorldConfig::small());
+        let profiles = crate::profile::paper_residences();
+        let cfg = TrafficConfig {
+            num_days: 12,
+            ..TrafficConfig::fast()
+        };
+        let mut streamed = ScopeFamilyAgg::new(cfg.num_days);
+        synthesize_residence_into(&world, profiles[0].clone(), &cfg, 0, &mut streamed);
+        let ds = synthesize_residence(&world, profiles[0].clone(), &cfg, 0);
+        let mut recomputed = ScopeFamilyAgg::new(cfg.num_days);
+        drain_into(&ds.flows, &mut recomputed);
+        assert_eq!(streamed, recomputed);
+        assert!(streamed.overall(Scope::External).total_flows() > 0);
     }
 }

@@ -1,0 +1,116 @@
+//! Property tests of the streaming flow pipeline: the [`CollectSink`] path
+//! must reproduce the materialized dataset byte-for-byte, and streamed
+//! aggregates must equal aggregates recomputed from the collected records,
+//! at every `(threads, day_threads)` combination — the refactor's two
+//! load-bearing guarantees.
+
+use flowmon::sink::{drain_into, CollectSink, FlowStatsAgg, TranslationAgg};
+use flowmon::{ScopeFamilyAgg, TranslationMap};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use trafficgen::{
+    paper_residences, synthesize_profiles, synthesize_profiles_with, synthesize_residence,
+    synthesize_residence_into, transition_residences, TrafficConfig,
+};
+use worldgen::{World, WorldConfig};
+
+/// One shared world: generation is the expensive part and the properties
+/// vary seeds/threads, not the world.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(&WorldConfig::small()))
+}
+
+fn cfg(seed: u64, threads: usize, day_threads: usize) -> TrafficConfig {
+    TrafficConfig {
+        seed,
+        num_days: 10,
+        threads,
+        day_threads,
+        ..TrafficConfig::fast()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Streaming into a `CollectSink` is byte-identical to the
+    /// materializing API, whatever the worker layout, for both an
+    /// untranslated and a gateway-using residence.
+    #[test]
+    fn collect_sink_is_byte_identical(
+        seed in 0u64..1_000_000,
+        threads in 1usize..5,
+        day_threads in 1usize..4,
+    ) {
+        let world = world();
+        let baseline_cfg = cfg(seed, 1, 1);
+        let par_cfg = cfg(seed, threads, day_threads);
+        // Residence A (dual-stack) and the cohort's NAT64 line.
+        for (profile, idx) in [
+            (paper_residences()[0].clone(), 0u64),
+            (transition_residences()[2].clone(), 2u64),
+        ] {
+            let ds = synthesize_residence(world, profile.clone(), &baseline_cfg, idx);
+            let mut sink = CollectSink::new();
+            let summary =
+                synthesize_residence_into(world, profile, &par_cfg, idx, &mut sink);
+            prop_assert_eq!(&sink.records, &ds.flows);
+            prop_assert_eq!(summary.num_days, ds.num_days);
+            match (summary.gateway, ds.gateway) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.granted, b.granted);
+                    prop_assert_eq!(a.rejected, b.rejected);
+                    prop_assert_eq!(a.peak_active, b.peak_active);
+                }
+                other => prop_assert!(false, "gateway mismatch: {:?}", other),
+            }
+        }
+    }
+
+    /// Streamed aggregates equal aggregates recomputed from the collected
+    /// records — counters, distribution sketches and translation tallies
+    /// alike — at any worker layout.
+    #[test]
+    fn streamed_aggregates_equal_recomputed(
+        seed in 0u64..1_000_000,
+        threads in 1usize..5,
+        day_threads in 1usize..4,
+    ) {
+        let world = world();
+        let par_cfg = cfg(seed, threads, day_threads);
+        let nat64 = world.transition.nat64_prefix.prefix();
+        let make_map = || {
+            let mut map = TranslationMap::new();
+            map.add_nat64_prefix(nat64);
+            map
+        };
+        // Stream the transition cohort through composite aggregators...
+        let streamed = synthesize_profiles_with(
+            world,
+            transition_residences(),
+            &par_cfg,
+            |_, _| (
+                ScopeFamilyAgg::new(par_cfg.num_days),
+                (FlowStatsAgg::new(), TranslationAgg::new(make_map())),
+            ),
+        );
+        // ...and recompute the same aggregates from materialized records.
+        let datasets = synthesize_profiles(world, transition_residences(), &cfg(seed, 1, 1));
+        prop_assert_eq!(streamed.len(), datasets.len());
+        for ((summary, (scope, (stats, xlat))), ds) in streamed.iter().zip(&datasets) {
+            prop_assert_eq!(summary.profile.key, ds.profile.key);
+            let mut scope2 = ScopeFamilyAgg::new(par_cfg.num_days);
+            let mut stats2 = FlowStatsAgg::new();
+            let mut xlat2 = TranslationAgg::new(make_map());
+            drain_into(&ds.flows, &mut scope2);
+            drain_into(&ds.flows, &mut stats2);
+            drain_into(&ds.flows, &mut xlat2);
+            prop_assert_eq!(scope, &scope2);
+            prop_assert_eq!(stats, &stats2);
+            prop_assert_eq!(&xlat.bytes, &xlat2.bytes);
+            prop_assert_eq!(&xlat.flows, &xlat2.flows);
+        }
+    }
+}

@@ -28,6 +28,10 @@
 //!   with a capacity- and timeout-bounded binding table whose exhaustion is
 //!   an experiment scenario, the stateless [`nat64::Clat`] of 464XLAT, and
 //!   the DS-Lite [`nat64::Aftr`] running NAT44 on tunneled flows.
+//! * [`provider`] — the provider-shared deployment of those elements:
+//!   [`provider::ProviderGateway`] holds one NAT64 + AFTR pool pair per
+//!   ISP, persistent across days and shared by all subscribers, replayed
+//!   deterministically over the streaming flow pipeline.
 //! * [`tech`] — [`AccessTech`], the per-residence dimension `worldgen`/
 //!   `trafficgen` use to pick a provisioning, and the predicate helpers
 //!   (`v6_only_wire`, `uses_dns64`, `uses_gateway`) the synthesizer keys
@@ -52,10 +56,12 @@
 
 pub mod dns64;
 pub mod nat64;
+pub mod provider;
 pub mod rfc6052;
 pub mod tech;
 
 pub use dns64::Dns64;
 pub use nat64::{Aftr, BindError, BindingTable, Clat, GatewayConfig, GatewayStats, Nat64Gateway};
+pub use provider::{Admission, ProviderDayStats, ProviderGateway};
 pub use rfc6052::{Nat64Prefix, PrefixError, WELL_KNOWN_PREFIX};
 pub use tech::AccessTech;
