@@ -5,14 +5,18 @@
 //! iteration flow counts printed by the JSON notes).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use flowmon::sink::{CollectSink, FlowStatsAgg, NullSink, TranslationAgg};
+use flowmon::sink::{CollectSink, FlowStatsAgg, NullSink, ScopeCell, TranslationAgg};
 use flowmon::{FlowKey, FlowRecord, FlowSink, Scope, ScopeFamilyAgg, TranslationMap};
 use ipv6view_bench::bench_world;
+use ipv6view_core::client::AsAgg;
+use std::collections::HashMap;
 use trafficgen::{
-    isp_cohort, paper_residences, synthesize_isp, synthesize_residence_into, TrafficConfig,
+    isp_cohort, paper_residences, synthesize_isp, synthesize_long_tail_into,
+    synthesize_residence_into, LongTailTrafficConfig, TrafficConfig,
 };
 use transition::provider::ProviderGateway;
 use transition::GatewayConfig;
+use worldgen::{World, WorldConfig};
 
 fn bench_cfg() -> TrafficConfig {
     TrafficConfig {
@@ -148,5 +152,94 @@ fn bench_provider(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_synthesis, bench_sink_push, bench_provider);
+/// Per-AS aggregation at routing-table scale: 200k prebuilt records over a
+/// 100k-AS long-tail RIB, attributed via LPM into (a) the historical
+/// `HashMap<AsId, ScopeCell>` and (b) the interned dense `SymVec` path of
+/// [`AsAgg`]. The LPM cost is identical in both, so the delta is the map.
+fn bench_per_as_agg(c: &mut Criterion) {
+    let world = World::generate(
+        &WorldConfig {
+            num_sites: 200,
+            ..WorldConfig::small()
+        }
+        .with_long_tail(100_000),
+    );
+    let mut sink = CollectSink::new();
+    synthesize_long_tail_into(
+        &world,
+        &LongTailTrafficConfig {
+            num_days: 1,
+            flows_per_day: 200_000,
+            threads: 1,
+            ..LongTailTrafficConfig::default()
+        },
+        &mut sink,
+    );
+    let records = sink.into_records();
+    c.bench_function("per_as_agg_200k_flows_100k_ases_hashmap_baseline", |b| {
+        b.iter(|| {
+            // The pre-interning AsAgg, verbatim: sparse AsId keys hashed
+            // per record.
+            let mut per_as: HashMap<bgpsim::AsId, ScopeCell> = HashMap::new();
+            let mut total = 0u64;
+            for r in &records {
+                let Some(asn) = world.rib.origin_of(black_box(r).key.dst) else {
+                    continue;
+                };
+                per_as.entry(asn).or_default().add(r);
+                total += r.total_bytes();
+            }
+            black_box((per_as.len(), total))
+        })
+    });
+    c.bench_function("per_as_agg_200k_flows_100k_ases_interned_symvec", |b| {
+        b.iter(|| {
+            let mut agg = AsAgg::new(&world.rib, &world.registry);
+            for r in &records {
+                agg.accept(black_box(r));
+            }
+            black_box((agg.observed_as_count(), agg.total_bytes()))
+        })
+    });
+    // Map-only variants: origins pre-resolved, isolating the per-AS cell
+    // structure the interning refactor actually replaced.
+    let origins: Vec<bgpsim::AsId> = records
+        .iter()
+        .map(|r| {
+            world
+                .rib
+                .origin_of(r.key.dst)
+                .expect("tail is attributable")
+        })
+        .collect();
+    c.bench_function("per_as_cells_200k_flows_100k_ases_hashmap", |b| {
+        b.iter(|| {
+            let mut per_as: HashMap<bgpsim::AsId, ScopeCell> = HashMap::new();
+            for (r, asn) in records.iter().zip(&origins) {
+                per_as.entry(*asn).or_default().add(black_box(r));
+            }
+            black_box(per_as.len())
+        })
+    });
+    c.bench_function("per_as_cells_200k_flows_100k_ases_symvec", |b| {
+        let registry = &world.registry;
+        b.iter(|| {
+            let mut cells: iputil::sym::SymVec<ScopeCell> =
+                iputil::sym::SymVec::with_capacity(registry.as_count());
+            for (r, asn) in records.iter().zip(&origins) {
+                let sym = registry.as_sym(*asn).expect("registered");
+                cells.get_mut_or_default(sym).add(black_box(r));
+            }
+            black_box(cells.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_sink_push,
+    bench_provider,
+    bench_per_as_agg
+);
 criterion_main!(benches);

@@ -1,5 +1,12 @@
 //! AS numbers, organizations, and the AS→Org mapping.
+//!
+//! The registry doubles as the suite's AS *symbol authority*: every
+//! registered AS gets a dense `u32` symbol ([`Registry::as_sym`], assigned
+//! in registration order), so per-AS aggregation state can live in a dense
+//! [`iputil::sym::SymVec`] instead of a `HashMap<AsId, _>` — the unlock for
+//! per-AS flow-fraction analyses at 100k-AS scale.
 
+use iputil::sym::{Sym, SymbolTable};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -93,9 +100,17 @@ pub struct Organization {
 }
 
 /// The AS and organization registry (CAIDA AS2Org analogue).
+///
+/// AS metadata is stored densely: `add_as` interns the ASN into a
+/// [`SymbolTable`] and keeps the [`AsInfo`]s in a symbol-indexed vector,
+/// so [`Registry::as_sym`] is the one hash lookup an attribution hot path
+/// pays before switching to integer indexing.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    ases: HashMap<AsId, AsInfo>,
+    as_syms: SymbolTable<AsId>,
+    /// Indexed by the symbol of the AS at `as_syms` (every symbol has an
+    /// info: `add_as` assigns both together).
+    infos: Vec<AsInfo>,
     orgs: HashMap<OrgId, Organization>,
 }
 
@@ -116,7 +131,8 @@ impl Registry {
         );
     }
 
-    /// Register an AS.
+    /// Register an AS (idempotent by ASN; re-registration replaces the
+    /// metadata but keeps the dense symbol).
     ///
     /// # Panics
     /// Panics if the org has not been registered first — the generator must
@@ -126,25 +142,44 @@ impl Registry {
             self.orgs.contains_key(&org),
             "org {org} not registered before {asn}"
         );
-        self.ases.insert(
+        let info = AsInfo {
             asn,
-            AsInfo {
-                asn,
-                name: name.to_string(),
-                org,
-                category,
-            },
-        );
+            name: name.to_string(),
+            org,
+            category,
+        };
+        let (sym, new) = self.as_syms.intern_full(&asn);
+        if new {
+            debug_assert_eq!(sym.index(), self.infos.len());
+            self.infos.push(info);
+        } else {
+            self.infos[sym.index()] = info;
+        }
     }
 
     /// Metadata for an AS.
     pub fn as_info(&self, asn: AsId) -> Option<&AsInfo> {
-        self.ases.get(&asn)
+        self.as_syms.lookup(&asn).map(|s| &self.infos[s.index()])
+    }
+
+    /// The dense symbol of a registered AS: assigned in registration order,
+    /// contiguous in `0..as_count()`. Aggregators key dense
+    /// [`SymVec`](iputil::sym::SymVec)s by it.
+    pub fn as_sym(&self, asn: AsId) -> Option<Sym> {
+        self.as_syms.lookup(&asn)
+    }
+
+    /// Metadata behind a dense AS symbol.
+    ///
+    /// # Panics
+    /// Panics when the symbol did not come from this registry.
+    pub fn info_of_sym(&self, sym: Sym) -> &AsInfo {
+        &self.infos[sym.index()]
     }
 
     /// Organization for an AS (the AS2Org lookup).
     pub fn org_of(&self, asn: AsId) -> Option<&Organization> {
-        self.ases.get(&asn).and_then(|a| self.orgs.get(&a.org))
+        self.as_info(asn).and_then(|a| self.orgs.get(&a.org))
     }
 
     /// Organization by id.
@@ -152,9 +187,9 @@ impl Registry {
         self.orgs.get(id)
     }
 
-    /// All registered ASes (unordered).
+    /// All registered ASes, in registration (dense-symbol) order.
     pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
-        self.ases.values()
+        self.infos.iter()
     }
 
     /// All registered organizations (unordered).
@@ -162,9 +197,9 @@ impl Registry {
         self.orgs.values()
     }
 
-    /// Number of registered ASes.
+    /// Number of registered ASes (== the dense symbol space).
     pub fn as_count(&self) -> usize {
-        self.ases.len()
+        self.infos.len()
     }
 }
 
@@ -246,6 +281,27 @@ mod tests {
         let r = Registry::new();
         assert!(r.as_info(AsId(7)).is_none());
         assert!(r.org_of(AsId(7)).is_none());
+    }
+
+    #[test]
+    fn dense_symbols_follow_registration_order() {
+        let mut r = Registry::new();
+        r.add_org("org-a".into(), "A");
+        r.add_as(AsId(65010), "TEN", "org-a".into(), AsCategory::Other);
+        r.add_as(AsId(65001), "ONE", "org-a".into(), AsCategory::Isp);
+        let s10 = r.as_sym(AsId(65010)).unwrap();
+        let s1 = r.as_sym(AsId(65001)).unwrap();
+        assert_eq!((s10.index(), s1.index()), (0, 1));
+        assert_eq!(r.info_of_sym(s1).name, "ONE");
+        // Re-registration keeps the symbol, replaces the metadata.
+        r.add_as(AsId(65010), "TEN-NEW", "org-a".into(), AsCategory::Isp);
+        assert_eq!(r.as_sym(AsId(65010)), Some(s10));
+        assert_eq!(r.info_of_sym(s10).name, "TEN-NEW");
+        assert_eq!(r.as_count(), 2);
+        // Iteration is in dense-symbol order.
+        let names: Vec<&str> = r.ases().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["TEN-NEW", "ONE"]);
+        assert_eq!(r.as_sym(AsId(7)), None);
     }
 
     #[test]

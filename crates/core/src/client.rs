@@ -12,9 +12,10 @@
 //! through the streaming aggregators, so the two paths cannot drift.
 
 use bgpsim::{AsCategory, AsId, Registry, Rib};
-use dnssim::Name;
+use dnssim::{Name, NameId, NameTable};
 use flowmon::sink::{drain_into, ScopeCell};
 use flowmon::{FlowRecord, FlowSink, Scope, ScopeFamilyAgg};
+use iputil::sym::SymVec;
 use serde::Serialize;
 use std::collections::HashMap;
 use trafficgen::ResidenceDataset;
@@ -219,7 +220,8 @@ pub fn daily_fraction_series(analysis: &ResidenceAnalysis) -> Vec<f64> {
     out
 }
 
-/// Per-(AS, residence) IPv6 byte fraction (Fig 3/4 input).
+/// Per-(AS, residence) IPv6 byte fraction (Fig 3/4 input, and one row of
+/// the `as-fractions` per-AS flow-fraction table).
 #[derive(Debug, Clone, Serialize)]
 pub struct AsFraction {
     /// Origin AS.
@@ -234,55 +236,112 @@ pub struct AsFraction {
     pub fraction: f64,
     /// Total bytes (sampled scale).
     pub bytes: u64,
+    /// Total flow records (sampled scale).
+    pub flows: u64,
+    /// IPv6 flow fraction of this AS's traffic at this residence.
+    pub flow_fraction: f64,
+    /// This AS's share of the residence's attributed external bytes (the
+    /// quantity the `min_share` floor is applied to).
+    pub share: f64,
 }
 
 /// Streaming per-AS accumulator for one residence: every external record
 /// is attributed to its destination's origin AS while synthesis runs. The
-/// map is bounded by the AS catalog, not by traffic volume.
+/// state is bounded by the AS catalog, not by traffic volume.
+///
+/// Per-AS cells live in a dense [`SymVec`] keyed by the registry's AS
+/// symbols ([`Registry::as_sym`]): after the RIB lookup, attribution costs
+/// one `u32` hash and a vector index instead of hashing the sparse `AsId`
+/// into a `HashMap<AsId, ScopeCell>` — what makes streaming the 100k-AS
+/// long-tail world affordable (peak memory O(ASes), independent of days).
 #[derive(Debug, Clone)]
 pub struct AsAgg<'w> {
     rib: &'w Rib,
-    per_as: HashMap<AsId, ScopeCell>,
+    registry: &'w Registry,
+    per_as: SymVec<ScopeCell>,
+    /// Origins the RIB announces but the registry never registered.
+    /// Worldgen always registers before announcing, so this stays empty in
+    /// practice; it exists so an unregistered origin degrades to the old
+    /// sparse path instead of being dropped.
+    unregistered: HashMap<AsId, ScopeCell>,
     total_bytes: u64,
 }
 
 impl<'w> AsAgg<'w> {
-    /// An empty aggregate attributing through `rib`.
-    pub fn new(rib: &'w Rib) -> AsAgg<'w> {
+    /// An empty aggregate attributing through `rib`, keyed by the dense AS
+    /// symbols of `registry`.
+    pub fn new(rib: &'w Rib, registry: &'w Registry) -> AsAgg<'w> {
         AsAgg {
             rib,
-            per_as: HashMap::new(),
+            registry,
+            per_as: SymVec::with_capacity(registry.as_count()),
+            unregistered: HashMap::new(),
             total_bytes: 0,
         }
     }
 
+    /// Total attributed external bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of distinct ASes observed so far.
+    pub fn observed_as_count(&self) -> usize {
+        self.per_as
+            .iter()
+            .filter(|(_, c)| c.total_flows() > 0)
+            .count()
+            + self.unregistered.len()
+    }
+
     /// Extract this residence's [`AsFraction`] rows, keeping only ASes
-    /// carrying at least `min_share` of the residence's attributed
-    /// external bytes (paper: 0.01%). Rows are sorted by ASN.
-    pub fn fractions(
-        &self,
-        residence: char,
-        registry: &Registry,
-        min_share: f64,
-    ) -> Vec<AsFraction> {
+    /// carrying **at least** `min_share` of the residence's attributed
+    /// external bytes (paper: 0.01% — the floor is inclusive, an AS at
+    /// exactly the threshold is counted). Rows are sorted by ASN.
+    ///
+    /// The share is compared as `bytes / total >= min_share`: when the
+    /// AS's share *is* the rational behind `min_share`, the division
+    /// rounds to the same double and the row is kept, where the previous
+    /// `bytes < min_share * total` product could pick up a half-ulp and
+    /// silently drop the exact-boundary AS (51 bytes of 3 000 at a 1.7%
+    /// floor: `51 < 0.017 * 3000.0` is true in `f64`).
+    pub fn fractions(&self, residence: char, min_share: f64) -> Vec<AsFraction> {
+        let total = self.total_bytes;
+        let row = |asn: AsId, name: String, category: AsCategory, acc: &ScopeCell| {
+            let bytes = acc.total_bytes();
+            let share = if total == 0 {
+                0.0
+            } else {
+                bytes as f64 / total as f64
+            };
+            if share < min_share {
+                return None;
+            }
+            Some(AsFraction {
+                asn: asn.0,
+                as_name: name,
+                category,
+                residence,
+                fraction: acc.v6_byte_fraction().unwrap_or(0.0),
+                bytes,
+                flows: acc.total_flows(),
+                flow_fraction: acc.v6_flow_fraction().unwrap_or(0.0),
+                share,
+            })
+        };
         let mut out: Vec<AsFraction> = self
             .per_as
             .iter()
-            .filter_map(|(asn, acc)| {
-                let bytes = acc.total_bytes();
-                if (bytes as f64) < min_share * self.total_bytes as f64 {
-                    return None;
-                }
-                let info = registry.as_info(*asn);
-                Some(AsFraction {
-                    asn: asn.0,
-                    as_name: info.map(|i| i.name.clone()).unwrap_or_default(),
-                    category: info.map(|i| i.category).unwrap_or(AsCategory::Other),
-                    residence,
-                    fraction: acc.v6_byte_fraction().unwrap_or(0.0),
-                    bytes,
-                })
+            .filter(|(_, acc)| acc.total_flows() > 0)
+            .filter_map(|(sym, acc)| {
+                let info = self.registry.info_of_sym(sym);
+                row(info.asn, info.name.clone(), info.category, acc)
             })
+            .chain(
+                self.unregistered
+                    .iter()
+                    .filter_map(|(asn, acc)| row(*asn, String::new(), AsCategory::Other, acc)),
+            )
             .collect();
         out.sort_by_key(|f| f.asn);
         out
@@ -297,15 +356,19 @@ impl FlowSink for AsAgg<'_> {
         let Some(asn) = self.rib.origin_of(f.key.dst) else {
             return;
         };
-        self.per_as.entry(asn).or_default().add(f);
+        match self.registry.as_sym(asn) {
+            Some(sym) => self.per_as.get_mut_or_default(sym).add(f),
+            None => self.unregistered.entry(asn).or_default().add(f),
+        }
         self.total_bytes += f.total_bytes();
     }
 }
 
 /// Compute per-AS IPv6 byte fractions at each residence, keeping only ASes
-/// carrying at least `min_share` of the residence's external bytes
-/// (paper: 0.01%). Record-scanning wrapper around [`AsAgg`]; rows come out
-/// grouped by residence (dataset order) and sorted by ASN within one.
+/// carrying **at least** `min_share` of the residence's external bytes
+/// (paper: 0.01%, inclusive at the boundary). Record-scanning wrapper
+/// around [`AsAgg`]; rows come out grouped by residence (dataset order)
+/// and sorted by ASN within one.
 pub fn as_fractions(
     datasets: &[ResidenceDataset],
     rib: &Rib,
@@ -314,9 +377,9 @@ pub fn as_fractions(
 ) -> Vec<AsFraction> {
     let mut out = Vec::new();
     for ds in datasets {
-        let mut agg = AsAgg::new(rib);
+        let mut agg = AsAgg::new(rib, registry);
         drain_into(&ds.flows, &mut agg);
-        out.extend(agg.fractions(ds.profile.key, registry, min_share));
+        out.extend(agg.fractions(ds.profile.key, min_share));
     }
     out
 }
@@ -345,11 +408,24 @@ pub fn common_ases(
 
 /// Streaming per-domain accumulator for one residence: external records
 /// are reverse-resolved and folded into their eTLD+1 while synthesis runs.
+///
+/// Names are interned: the first record of a distinct FQDN pays one PSL
+/// fold and two [`NameTable`] interns; every later record of that FQDN is
+/// a string hash plus two dense-vector hops — no per-record `Name`
+/// allocation, no hashing of the eTLD+1, no `HashMap<Name, ScopeCell>`.
 #[derive(Debug, Clone)]
 pub struct DomainAgg<'w> {
     zone: &'w dnssim::ZoneDb,
     psl: &'w Psl,
-    per_domain: HashMap<Name, ScopeCell>,
+    /// Every FQDN seen in reverse DNS, interned.
+    fqdns: NameTable,
+    /// FQDN id → its domain's id (parallel to `fqdns`).
+    fqdn_domain: Vec<NameId>,
+    /// Every eTLD+1 observed, interned — iteration order is first-observed,
+    /// which [`domain_fractions_from`] re-sorts anyway.
+    domains: NameTable,
+    /// Per-domain counters, indexed by domain [`NameId`].
+    cells: Vec<ScopeCell>,
 }
 
 impl<'w> DomainAgg<'w> {
@@ -358,8 +434,19 @@ impl<'w> DomainAgg<'w> {
         DomainAgg {
             zone,
             psl,
-            per_domain: HashMap::new(),
+            fqdns: NameTable::new(),
+            fqdn_domain: Vec::new(),
+            domains: NameTable::new(),
+            cells: Vec::new(),
         }
+    }
+
+    /// Iterate `(domain, counters)` over every observed eTLD+1, in
+    /// first-observed order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &ScopeCell)> {
+        self.domains
+            .iter()
+            .map(|(id, name)| (name, &self.cells[id.index()]))
     }
 }
 
@@ -371,8 +458,19 @@ impl FlowSink for DomainAgg<'_> {
         let Some(name) = self.zone.reverse_lookup(f.key.dst) else {
             return;
         };
-        let domain = self.psl.etld_plus_one(name).unwrap_or_else(|| name.clone());
-        self.per_domain.entry(domain).or_default().add(f);
+        let (fid, new_fqdn) = self.fqdns.intern_full(name);
+        let did = if new_fqdn {
+            let domain = self.psl.etld_plus_one(name).unwrap_or_else(|| name.clone());
+            let did = self.domains.intern(&domain);
+            self.fqdn_domain.push(did);
+            if did.index() >= self.cells.len() {
+                self.cells.resize_with(did.index() + 1, ScopeCell::default);
+            }
+            did
+        } else {
+            self.fqdn_domain[fid.index()]
+        };
+        self.cells[did.index()].add(f);
     }
 }
 
@@ -387,7 +485,7 @@ pub fn domain_fractions_from(
 ) -> Vec<(Name, Vec<f64>)> {
     let mut merged: HashMap<&Name, Vec<&ScopeCell>> = HashMap::new();
     for agg in aggs {
-        for (domain, acc) in &agg.per_domain {
+        for (domain, acc) in agg.iter() {
             merged.entry(domain).or_default().push(acc);
         }
     }
@@ -521,6 +619,57 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn min_share_floor_is_inclusive_at_the_boundary() {
+        use flowmon::FlowKey;
+        // One AS carries exactly 0.01% of the attributed external bytes.
+        // The paper counts ASes carrying *at least* min_share, so the
+        // boundary-exact AS must be kept.
+        let mut registry = Registry::new();
+        registry.add_org("org-x".into(), "X");
+        registry.add_as(AsId(64500), "BIG", "org-x".into(), AsCategory::Hosting);
+        registry.add_as(AsId(64501), "TINY", "org-x".into(), AsCategory::Other);
+        let mut rib = Rib::new();
+        rib.announce("198.51.100.0/24".parse().unwrap(), AsId(64500));
+        rib.announce("203.0.113.0/24".parse().unwrap(), AsId(64501));
+        let rec = |dst: &str, bytes: u64| FlowRecord {
+            key: FlowKey::tcp(
+                "192.168.1.2".parse().unwrap(),
+                40_000,
+                dst.parse().unwrap(),
+                443,
+            ),
+            start: 0,
+            end: 1_000,
+            bytes_orig: 0,
+            bytes_reply: bytes,
+            packets_orig: 1,
+            packets_reply: 1,
+            scope: Scope::External,
+        };
+        let mut agg = AsAgg::new(&rib, &registry);
+        // 51 / 3_000 is exactly the rational behind min_share = 1.7%.
+        agg.accept(&rec("198.51.100.9", 2_949));
+        agg.accept(&rec("203.0.113.9", 51));
+        // The old `bytes < min_share * total` product comparison picks up a
+        // half-ulp and would have dropped the boundary AS — assert the
+        // float trap is real on this platform, then that the fix keeps it.
+        let (bytes, total, min_share) = (51u64, 3_000u64, 0.017f64);
+        assert!(
+            (bytes as f64) < min_share * total as f64,
+            "product comparison no longer exhibits the half-ulp trap"
+        );
+        let rows = agg.fractions('A', 0.017);
+        let tiny = rows.iter().find(|r| r.asn == 64501);
+        assert!(tiny.is_some(), "boundary-exact AS must be kept: {rows:?}");
+        assert!((tiny.unwrap().share - 0.017).abs() < 1e-15);
+        // Strictly-below stays excluded.
+        let mut agg2 = AsAgg::new(&rib, &registry);
+        agg2.accept(&rec("198.51.100.9", 2_950));
+        agg2.accept(&rec("203.0.113.9", 50));
+        assert!(agg2.fractions('A', 0.017).iter().all(|r| r.asn != 64501));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use bgpsim::{Registry, Rib};
 use cloudmodel::catalog::ServiceCatalog;
 use cloudmodel::Ipv6Policy;
 use crawlsim::CrawlReport;
-use dnssim::Name;
+use dnssim::{Name, NameTable};
 use netstats::{holm_bonferroni, spearman, wilcoxon_signed_rank};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -44,10 +44,14 @@ pub fn hosted_fqdns(report: &CrawlReport, rib: &Rib, registry: &Registry) -> Vec
         chain: &'a [Name],
         has_aaaa: bool,
     }
-    let mut seen: HashSet<Name> = HashSet::new();
+    // Interned dedup: each distinct FQDN is hashed once into the table
+    // (and `intern_full` says whether it was new) instead of cloning every
+    // candidate `Name` into a `HashSet` — resources repeat the same CDN
+    // FQDNs thousands of times across sites.
+    let mut seen = NameTable::new();
     let mut pending: Vec<Pending<'_>> = Vec::new();
     for s in report.sites.iter().filter_map(|s| s.outcome.as_ref().ok()) {
-        if seen.insert(s.final_fqdn.clone()) {
+        if seen.intern_full(&s.final_fqdn).1 {
             pending.push(Pending {
                 fqdn: &s.final_fqdn,
                 v4_addr: s.main_v4_addr,
@@ -57,7 +61,7 @@ pub fn hosted_fqdns(report: &CrawlReport, rib: &Rib, registry: &Registry) -> Vec
             });
         }
         for r in &s.resources {
-            if seen.insert(r.fqdn.clone()) {
+            if seen.intern_full(&r.fqdn).1 {
                 pending.push(Pending {
                     fqdn: &r.fqdn,
                     v4_addr: r.v4_addr,

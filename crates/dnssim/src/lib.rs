@@ -28,7 +28,7 @@ pub mod record;
 pub mod resolver;
 pub mod zone;
 
-pub use name::Name;
+pub use name::{Name, NameId, NameTable};
 pub use record::{QueryType, Record, RecordData};
 pub use resolver::{AddrAnswer, AddrsOutcome, LookupOutcome, ResolveAddrs, Resolver};
 pub use zone::{FailureMode, ZoneDb};

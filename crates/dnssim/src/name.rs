@@ -1,9 +1,17 @@
-//! Domain names: normalized, comparable, cheap to clone.
+//! Domain names: normalized, comparable, cheap to clone — and internable.
 //!
 //! Names are stored lowercase without a trailing dot. The type is used
 //! pervasively (every site, resource, CNAME target and reverse mapping), so
 //! it wraps an `Arc<str>` — clones are reference bumps.
+//!
+//! Comparing and hashing a [`Name`] still walks the whole string, which is
+//! what the hot attribution paths (crawl FQDN dedup, per-domain flow
+//! aggregation, top-list ranking) used to pay per record. A [`NameTable`]
+//! interns names into dense [`NameId`]s (`u32` symbols, first-seen order)
+//! so those paths hash each distinct string once and key everything else by
+//! integer.
 
+use iputil::sym::{Sym, SymbolTable};
 use std::fmt;
 use std::sync::Arc;
 
@@ -91,6 +99,92 @@ impl From<String> for Name {
     }
 }
 
+/// The interned id of a [`Name`] in a [`NameTable`]: a dense `u32` symbol,
+/// valid only against the table that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(Sym);
+
+impl NameId {
+    /// The dense index (0-based, first-interned order).
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+
+    /// Reconstruct an id from a dense index (caller asserts provenance).
+    pub fn from_index(index: usize) -> NameId {
+        NameId(Sym::from_index(index))
+    }
+}
+
+/// An interning table over [`Name`]s: each distinct name gets a dense
+/// [`NameId`] in first-seen order.
+///
+/// ```
+/// use dnssim::{Name, NameTable};
+/// let mut t = NameTable::new();
+/// let a = t.intern(&Name::new("example.com"));
+/// let b = t.intern(&Name::new("example.org"));
+/// assert_eq!(t.intern(&Name::new("example.com")), a);
+/// assert_ne!(a, b);
+/// assert_eq!(t.resolve(a).as_str(), "example.com");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    table: SymbolTable<Name>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> NameTable {
+        NameTable::default()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Intern a name (idempotent; the id is stable for the table's life).
+    pub fn intern(&mut self, name: &Name) -> NameId {
+        NameId(self.table.intern(name))
+    }
+
+    /// [`NameTable::intern`] plus whether the name was new — the interned
+    /// replacement for `HashSet<Name>::insert` dedup.
+    pub fn intern_full(&mut self, name: &Name) -> (NameId, bool) {
+        let (sym, new) = self.table.intern_full(name);
+        (NameId(sym), new)
+    }
+
+    /// The id of an already-interned name.
+    pub fn lookup(&self, name: &Name) -> Option<NameId> {
+        self.table.lookup(name).map(NameId)
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    /// Panics when the id did not come from this table.
+    pub fn resolve(&self, id: NameId) -> &Name {
+        self.table.resolve(id.0)
+    }
+
+    /// All interned names, in id order.
+    pub fn as_slice(&self) -> &[Name] {
+        self.table.as_slice()
+    }
+
+    /// Iterate `(id, name)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &Name)> {
+        self.table.iter().map(|(sym, name)| (NameId(sym), name))
+    }
+}
+
 impl serde::Serialize for Name {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_str(&self.0)
@@ -144,6 +238,24 @@ mod tests {
         let deep = Name::new("x.y.z.example.com");
         assert_eq!(deep.suffix(2).as_str(), "example.com");
         assert_eq!(deep.suffix(99).as_str(), "x.y.z.example.com");
+    }
+
+    #[test]
+    fn interning_is_dense_and_normalized() {
+        let mut t = NameTable::new();
+        let a = t.intern(&Name::new("WWW.Example.COM."));
+        let b = t.intern(&Name::new("other.test"));
+        // Normalized equal names share an id.
+        let (a2, new) = t.intern_full(&Name::new("www.example.com"));
+        assert_eq!(a, a2);
+        assert!(!new);
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a).as_str(), "www.example.com");
+        assert_eq!(t.lookup(&Name::new("other.test")), Some(b));
+        assert_eq!(t.lookup(&Name::new("absent.test")), None);
+        let order: Vec<&str> = t.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(order, vec!["www.example.com", "other.test"]);
     }
 
     #[test]

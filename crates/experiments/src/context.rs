@@ -82,6 +82,7 @@ impl Ctx {
             seed,
             num_sites: sites,
             num_epochs: 3,
+            long_tail_ases: 0,
             calibration: worldgen::Calibration::default(),
         };
         let world = World::generate(&config);
@@ -214,7 +215,7 @@ impl Ctx {
                 synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| ClientAggSink {
                     scope: ScopeFamilyAgg::new(cfg.num_days),
                     stats: FlowStatsAgg::new(),
-                    as_agg: AsAgg::new(&world.rib),
+                    as_agg: AsAgg::new(&world.rib, &world.registry),
                     domains: DomainAgg::new(&world.client_zone, &world.psl),
                 });
             let mut analyses = Vec::with_capacity(results.len());
@@ -224,7 +225,7 @@ impl Ctx {
             for (summary, sink) in results {
                 let key = summary.profile.key;
                 analyses.push(analyze_agg(key, summary.scale, &sink.scope));
-                as_rows.extend(sink.as_agg.fractions(key, &world.registry, 0.0001));
+                as_rows.extend(sink.as_agg.fractions(key, 0.0001));
                 sketches.push((key, sink.stats));
                 domain_aggs.push(sink.domains);
             }

@@ -86,6 +86,20 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
     std::fs::write(&path, crate::transition_exps::cgn_sweep_json(&sweep))?;
     eprintln!("[export] wrote {}", path.display());
 
+    // 4c. The per-AS flow-fraction table over a (shrunk) long-tail RIB —
+    //     the routing-table-scale dataset (deterministic: same seed ⇒
+    //     byte-identical file, invariant to thread counts).
+    let asfrac = crate::asfrac_exps::as_fractions_report(&crate::asfrac_exps::AsFractionsParams {
+        seed: ctx.world.config.seed,
+        ases: 300,
+        days: ctx.days.min(3),
+        flows_per_day: 10_000,
+        threads: ctx.threads.unwrap_or(1),
+    });
+    let path = out_dir.join("as_fractions.json");
+    std::fs::write(&path, crate::asfrac_exps::as_fractions_json(&asfrac))?;
+    eprintln!("[export] wrote {}", path.display());
+
     // 5. Client-side: per-residence aggregates plus ANONYMIZED daily logs
     //    (CryptoPAN'd addresses, like the paper's upload pipeline; the raw
     //    logs are deliberately not exported). The anonymized logs are the

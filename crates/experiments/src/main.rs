@@ -9,6 +9,7 @@
 //!   fig11 fig12 table2 table3 fig13 fig14 fig15 fig16 fig17 fig18
 //!   ablation-mainpage ablation-firstparty ablation-he ablation-policy
 //!   transition nat64-exhaustion cgn-sweep  (transition-technology scenarios)
+//!   as-fractions (per-AS flow fractions over a ~100k-AS long-tail RIB)
 //!   all          (everything above, in paper order)
 //! ```
 //!
@@ -22,6 +23,7 @@
 //! is byte-identical at any combination — the flags only trade memory
 //! (day buffers) for wall-clock.
 
+mod asfrac_exps;
 mod client_exps;
 mod cloud_exps;
 mod context;
@@ -103,7 +105,7 @@ fn usage(msg: &str) -> ! {
          \x20                      [--threads N] [--day-threads N]\n\
          experiments: table1 fig1..fig18 table2 table3 export robustness \
          ablation-mainpage ablation-firstparty ablation-he ablation-policy \
-         transition nat64-exhaustion cgn-sweep all\n\
+         transition nat64-exhaustion cgn-sweep as-fractions all\n\
          --threads fans residences/ISPs over N workers, --day-threads fans\n\
          days inside a residence; output is identical at any combination"
     );
@@ -137,6 +139,7 @@ fn run(ctx: &mut Ctx, experiment: &str) {
         "table2" => cloud_exps::table2(ctx),
         "table3" => cloud_exps::table3(ctx),
         "ablation-policy" => cloud_exps::ablation_policy(ctx),
+        "as-fractions" => asfrac_exps::as_fractions(ctx),
         "transition" => transition_exps::transition_report(ctx),
         "nat64-exhaustion" => transition_exps::nat64_exhaustion(ctx),
         "cgn-sweep" => transition_exps::cgn_sweep(ctx),
@@ -178,6 +181,7 @@ fn run(ctx: &mut Ctx, experiment: &str) {
                 "transition",
                 "nat64-exhaustion",
                 "cgn-sweep",
+                "as-fractions",
             ] {
                 run(ctx, e);
             }

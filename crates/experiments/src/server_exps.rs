@@ -500,6 +500,7 @@ pub fn robustness(sites: usize, base_seed: u64) {
             seed: base_seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15)),
             num_sites: sites,
             num_epochs: 3,
+            long_tail_ases: 0,
             calibration: worldgen::Calibration::default(),
         };
         let world = World::generate(&cfg);

@@ -16,6 +16,10 @@
 //!   addresses before flow logs leave the residence router.
 //! * [`alloc`] — deterministic subnet and host allocators used by the world
 //!   generator to hand out address space to ASes, clouds and residences.
+//! * [`sym`] — interned symbol tables ([`sym::SymbolTable`]) and dense
+//!   symbol-indexed maps ([`sym::SymVec`]): `u32` symbols replace repeated
+//!   hashing of sparse `AsId`s and full name strings on the per-flow
+//!   attribution hot paths.
 //!
 //! Everything here is deterministic: no ambient randomness, no system time.
 
@@ -26,12 +30,14 @@ pub mod alloc;
 pub mod anon;
 pub mod hash;
 pub mod prefix;
+pub mod sym;
 pub mod trie;
 
 pub use alloc::{HostAllocator4, HostAllocator6, SubnetAllocator4, SubnetAllocator6};
 pub use anon::{Anonymizer, AnonymizerConfig};
 pub use hash::SipHasher24;
 pub use prefix::{ParsePrefixError, Prefix, Prefix4, Prefix6};
+pub use sym::{Sym, SymVec, SymbolTable};
 pub use trie::{Bits, Lpm4, Lpm6, LpmTrie};
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};

@@ -127,7 +127,12 @@ impl LogHistogram {
             seen += n;
             if seen >= target {
                 if idx == 0 {
-                    return Some(0.0);
+                    // The zero bucket only ever holds recorded zeros, so
+                    // the observed min is 0 whenever this path is taken —
+                    // but clamp anyway so the bucket-0 answer can never
+                    // escape the [min, max] envelope every other bucket's
+                    // answer is held to.
+                    return Some(0.0f64.clamp(self.min as f64, self.max as f64));
                 }
                 let (lo, hi) = bucket_bounds(idx);
                 let mid = (lo * hi).sqrt();

@@ -4,7 +4,7 @@ use netstats::corr::{midranks, spearman};
 use netstats::desc::{quantile, Ecdf};
 use netstats::holm::holm_bonferroni;
 use netstats::wilcoxon::wilcoxon_on_diffs;
-use netstats::BoxplotStats;
+use netstats::{BoxplotStats, LogHistogram};
 use proptest::prelude::*;
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -102,6 +102,62 @@ proptest! {
             }
             prop_assert!((0.0..=1.0).contains(&o.p_adjusted));
         }
+    }
+
+    /// `LogHistogram::merge` with an empty operand is the identity — in
+    /// *both* orders. The empty sketch's sentinels (`min = u64::MAX`,
+    /// `max = 0`) must never leak into the merged min/max, and an empty
+    /// accumulator absorbing a filled sketch must adopt its stats exactly.
+    #[test]
+    fn loghistogram_merge_with_empty_is_identity(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut filled = LogHistogram::new();
+        for &v in &values {
+            filled.record(v);
+        }
+        let (min, max) = (filled.min(), filled.max());
+        // nonempty ⊕ empty: untouched.
+        let mut a = filled.clone();
+        a.merge(&LogHistogram::new());
+        prop_assert_eq!(&a, &filled);
+        prop_assert_eq!(a.min(), min);
+        prop_assert_eq!(a.max(), max);
+        prop_assert_eq!(a.quantile(0.5), filled.quantile(0.5));
+        // empty ⊕ nonempty: adopts the filled stats.
+        let mut b = LogHistogram::new();
+        b.merge(&filled);
+        prop_assert_eq!(&b, &filled);
+        prop_assert_eq!(b.min(), min);
+        prop_assert_eq!(b.max(), max);
+        // empty ⊕ empty stays empty (and keeps reporting None).
+        let mut e = LogHistogram::new();
+        e.merge(&LogHistogram::new());
+        prop_assert_eq!(e.count(), 0);
+        prop_assert_eq!(e.min(), None);
+        prop_assert_eq!(e.max(), None);
+        prop_assert_eq!(e.quantile(0.5), None);
+    }
+
+    /// Every `LogHistogram` quantile — including the zero-bucket path — is
+    /// clamped to the exact observed [min, max] and is monotone in q.
+    #[test]
+    fn loghistogram_quantiles_bounded_and_monotone(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (min, max) = (h.min().unwrap() as f64, h.max().unwrap() as f64);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = h.quantile(lo).unwrap();
+        let b = h.quantile(hi).unwrap();
+        prop_assert!(a <= b, "quantile not monotone: q{lo}={a} > q{hi}={b}");
+        prop_assert!((min..=max).contains(&a), "{a} outside [{min}, {max}]");
+        prop_assert!((min..=max).contains(&b), "{b} outside [{min}, {max}]");
     }
 
     /// Midranks are a permutation-with-ties of 1..=n (they sum to n(n+1)/2).

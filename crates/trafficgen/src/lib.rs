@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod longtail;
 pub mod par;
 pub mod profile;
 pub mod provider;
 pub mod synth;
 
+pub use longtail::{synthesize_long_tail_into, LongTailTrafficConfig};
 pub use par::fan_out;
 pub use profile::{
     isp_cohort, paper_residences, transition_residences, EventDayProfile, ResidenceProfile,
@@ -46,5 +48,5 @@ pub use profile::{
 pub use provider::{synthesize_isp, synthesize_isps, IspRun, IspSpec, SubscriberStats};
 pub use synth::{
     synthesize_all, synthesize_profiles, synthesize_profiles_with, synthesize_residence,
-    synthesize_residence_into, ResidenceDataset, ResidenceSummary, TrafficConfig,
+    synthesize_residence_into, ResidenceDataset, ResidenceSummary, SportAlloc, TrafficConfig,
 };

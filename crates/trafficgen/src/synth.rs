@@ -469,6 +469,104 @@ pub(crate) fn run_days<S: FlowSink>(
     gateway
 }
 
+/// Ephemeral source-port allocator for one (residence, day).
+///
+/// The historical allocator was a bare cursor (`sport.wrapping_add(1)
+/// .max(1024)`) over the 1024..=65535 ring. Within its first lap that
+/// issues distinct ports, but past 64 512 flows the cursor laps and blindly
+/// reissues a port that an earlier long-lived flow (streaming sessions run
+/// up to 1.5 h) may still hold — two distinct flows to the same service
+/// then share a 5-tuple and silently merge in any conntrack-style
+/// [`flowmon::FlowTable`]. This allocator keeps the identical cursor
+/// sequence (so every run that never laps stays byte-identical to the
+/// historical output) but records each issued port's busy horizon and
+/// skips ports whose previous flow is still alive at allocation time.
+///
+/// Horizons are stored in 2-second ticks relative to the day start
+/// (`⌈end/2s⌉`, conservative), so the whole table is one 128 KB `Vec<u16>`
+/// per day worker.
+pub struct SportAlloc {
+    cursor: u16,
+    day_base_us: u64,
+    /// Per-port busy horizon in day-relative 2-second ticks; port `p` is
+    /// free for a flow starting at tick `t` when `busy_until[p] <= t`.
+    busy_until: Vec<u16>,
+}
+
+/// Tick width of the [`SportAlloc`] busy table.
+const SPORT_TICK_US: u64 = 2_000_000;
+
+impl SportAlloc {
+    /// A fresh allocator whose first issued port is `start + 1` (the
+    /// historical cursor seed is 10 000).
+    pub fn new(start: u16, day_base_us: u64) -> SportAlloc {
+        SportAlloc {
+            cursor: start,
+            day_base_us,
+            busy_until: vec![0; 65_536],
+        }
+    }
+
+    fn tick(&self, us: u64) -> u64 {
+        us.saturating_sub(self.day_base_us) / SPORT_TICK_US
+    }
+
+    /// Allocate a source port for a flow spanning `[start_us, end_us]`
+    /// (absolute timestamps). Skips ports still held by an earlier flow;
+    /// when every port is held (> 64 512 simultaneously live flows) the
+    /// cursor port is reissued — a genuine collision no 16-bit port space
+    /// can avoid.
+    pub fn alloc(&mut self, start_us: u64, end_us: u64) -> u16 {
+        let start_tick = self.tick(start_us);
+        let end_tick = (self.tick(end_us) + 1).min(u16::MAX as u64) as u16;
+        let ring = 65_535u32 - 1_024 + 1;
+        for _ in 0..ring {
+            self.cursor = if self.cursor == 65_535 {
+                1_024
+            } else {
+                (self.cursor + 1).max(1_024)
+            };
+            if u64::from(self.busy_until[self.cursor as usize]) <= start_tick {
+                break;
+            }
+        }
+        let p = self.cursor;
+        let slot = &mut self.busy_until[p as usize];
+        *slot = (*slot).max(end_tick);
+        p
+    }
+
+    /// A side-channel port for a companion flow — the Happy-Eyeballs
+    /// losing IPv4 attempt that rides alongside a just-allocated flow.
+    /// Starts at the historical `cursor + 7` offset (ahead of the cursor,
+    /// so a run that never laps gets the exact pre-fix port) and skips
+    /// ports still held at `start_us`, so the residue can no longer share
+    /// a 5-tuple with a live long-lived flow after a lap.
+    ///
+    /// The chosen port is deliberately *not* recorded in the busy table:
+    /// marking it would perturb the main cursor's skip decisions seven
+    /// allocations later and break the non-lapping byte-identity
+    /// contract. The unmarked ~2-second residue is therefore the one
+    /// remaining window in which a later allocation can reuse its port.
+    pub fn companion_port(&self, start_us: u64) -> u16 {
+        let start_tick = self.tick(start_us);
+        let mut p = self.cursor.wrapping_add(7).max(1_024);
+        // Bounded scan: residue collisions are rare even post-lap; on a
+        // pathological all-busy day fall through to the last candidate.
+        for _ in 0..64 {
+            if u64::from(self.busy_until[p as usize]) <= start_tick {
+                break;
+            }
+            p = if p == 65_535 {
+                1_024
+            } else {
+                (p + 1).max(1_024)
+            };
+        }
+        p
+    }
+}
+
 /// Mutable per-day machinery: RNG, router, port counter, the output sink
 /// and (for translated access technologies in [`GatewayMode::Local`]) the
 /// stateful gateways.
@@ -486,7 +584,7 @@ struct DayRun<'a, S: FlowSink> {
     ctx: &'a ResidenceCtx<'a>,
     rng: SmallRng,
     router: RouterMonitor,
-    sport: u16,
+    sports: SportAlloc,
     mode: GatewayMode,
     nat64: Option<Nat64Gateway>,
     aftr: Option<Aftr>,
@@ -528,7 +626,7 @@ impl<S: FlowSink> DayRun<'_, S> {
             ServiceKind::Download => rng.gen_range(60..900) as u64 * 1_000_000,
             _ => rng.gen_range(1..120) as u64 * 1_000_000,
         };
-        self.sport = self.sport.wrapping_add(1).max(1024);
+        let sport = self.sports.alloc(start, start + duration);
 
         let (src, dst, src_v4) = if family_v6 {
             // Native IPv6 flow. On dual-stack/DS-Lite lines this needs a
@@ -598,9 +696,9 @@ impl<S: FlowSink> DayRun<'_, S> {
             ServiceKind::VideoConf | ServiceKind::Gaming
         ) || self.rng.gen::<f64>() < 0.05;
         let key = if proto_udp {
-            FlowKey::udp(src, self.sport, dst, 443)
+            FlowKey::udp(src, sport, dst, 443)
         } else {
-            FlowKey::tcp(src, self.sport, dst, 443)
+            FlowKey::tcp(src, sport, dst, 443)
         };
         // Download-heavy: most bytes flow from the server.
         self.emit(key, start, start + duration, bytes / 20, bytes);
@@ -631,7 +729,7 @@ impl<S: FlowSink> DayRun<'_, S> {
                 let v4dst = svc.v4[self.rng.gen_range(0..svc.v4.len())];
                 let k = FlowKey::tcp(
                     IpAddr::V4(src4),
-                    self.sport.wrapping_add(7).max(1024),
+                    self.sports.companion_port(start),
                     v4dst,
                     443,
                 );
@@ -787,7 +885,7 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         ctx,
         rng,
         router,
-        sport: 10_000,
+        sports: SportAlloc::new(10_000, day as u64 * DAY_US),
         mode,
         nat64: (mode == GatewayMode::Local && tech.v6_only_wire())
             .then(|| Nat64Gateway::new(nat64_prefix, config.gateway)),
@@ -973,13 +1071,13 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
                 run.rng.gen_range(120..2_500)
             };
             let start = day as u64 * DAY_US + hour as u64 * HOUR_US + run.rng.gen_range(0..HOUR_US);
-            run.sport = run.sport.wrapping_add(1).max(1024);
+            let sport = run.sports.alloc(start, start + 1_000_000);
             let (src, dst) = if use_v6 {
                 (IpAddr::V6(a.v6), IpAddr::V6(b.v6))
             } else {
                 (IpAddr::V4(a.v4), IpAddr::V4(b.v4))
             };
-            let key = FlowKey::udp(src, run.sport, dst, 5353);
+            let key = FlowKey::udp(src, sport, dst, 5353);
             run.emit(key, start, start + 1_000_000, bytes, bytes / 4);
         }
     }
@@ -1366,6 +1464,69 @@ mod tests {
         let ds = synthesize_residence(&world, profile, &cfg, 300);
         assert!(ds.flows.iter().any(|f| f.scope == Scope::Internal));
         assert!(ds.flows.iter().any(|f| f.scope == Scope::External));
+    }
+
+    #[test]
+    fn sport_alloc_skips_ports_held_across_a_wrap() {
+        // Regression: the historical cursor reissued a port after one lap
+        // of the 1024..=65535 ring even when the earlier flow on that port
+        // was still alive, merging two distinct flows' 5-tuples.
+        let ring = 65_535 - 1_024 + 1; // 64 512 ports
+        let mut a = SportAlloc::new(10_000, 0);
+        // A long-lived flow holds the first issued port for two hours.
+        let first = a.alloc(0, 2 * HOUR_US);
+        assert_eq!(first, 10_001, "cursor sequence must match the old seed");
+        // 64 511 short flows lap the rest of the ring.
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(first);
+        for i in 0..(ring - 1) as u64 {
+            let start = 10_000_000 + i;
+            let p = a.alloc(start, start + 1);
+            assert!(p >= 1_024);
+            assert!(seen.insert(p), "port {p} reissued within the first lap");
+        }
+        // The wrap: the next allocation lands while `first`'s flow is still
+        // alive — it must skip 10_001 (the old allocator reissued it).
+        let p = a.alloc(HOUR_US, HOUR_US + 1);
+        assert_ne!(p, first, "in-use port reissued after wrap");
+        assert_eq!(p, 10_002, "first *free* port after the held one");
+        // Once the long flow has ended its port is reusable again.
+        let mut b = SportAlloc::new(10_000, 0);
+        b.alloc(0, 1); // short flow on 10_001
+        for i in 0..(ring - 1) as u64 {
+            b.alloc(10_000_000 + i, 10_000_000 + i + 1);
+        }
+        assert_eq!(b.alloc(3 * HOUR_US, 3 * HOUR_US + 1), 10_001);
+    }
+
+    #[test]
+    fn companion_port_keeps_offset_but_skips_live_holders() {
+        let mut a = SportAlloc::new(10_000, 0);
+        let sport = a.alloc(0, 1_000_000);
+        // First lap, nothing ahead of the cursor is busy: the historical
+        // `sport + 7` offset is preserved exactly.
+        assert_eq!(a.companion_port(0), sport + 7);
+        // Simulate the post-lap state the fix targets: the offset port is
+        // still held by a long-lived flow from the previous lap. The
+        // companion must skip past it instead of sharing the 5-tuple.
+        a.busy_until[(sport + 7) as usize] = (3 * HOUR_US / SPORT_TICK_US + 1) as u16;
+        let companion = a.companion_port(2 * HOUR_US);
+        assert_ne!(companion, sport + 7, "companion shared a live port");
+        assert_eq!(companion, sport + 8, "first free port past the holder");
+        // Once the holder's flow has ended, the offset is reusable.
+        assert_eq!(a.companion_port(4 * HOUR_US), sport + 7);
+    }
+
+    #[test]
+    fn sport_alloc_first_lap_matches_historical_cursor() {
+        // Byte-identity guarantee: before any wrap the sequence is exactly
+        // the old `wrapping_add(1).max(1024)` cursor.
+        let mut a = SportAlloc::new(10_000, 0);
+        let mut old = 10_000u16;
+        for i in 0..60_000u64 {
+            old = old.wrapping_add(1).max(1024);
+            assert_eq!(a.alloc(i, i + 1), old);
+        }
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! load-bearing guarantees.
 
 use flowmon::sink::{drain_into, CollectSink, FlowStatsAgg, TranslationAgg};
-use flowmon::{ScopeFamilyAgg, TranslationMap};
+use flowmon::{Direction, FlowTable, ScopeFamilyAgg, TranslationMap};
+use ipv6view_core::client::AsAgg;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 use trafficgen::{
-    paper_residences, synthesize_profiles, synthesize_profiles_with, synthesize_residence,
-    synthesize_residence_into, transition_residences, TrafficConfig,
+    paper_residences, synthesize_long_tail_into, synthesize_profiles, synthesize_profiles_with,
+    synthesize_residence, synthesize_residence_into, transition_residences, LongTailTrafficConfig,
+    TrafficConfig,
 };
 use worldgen::{World, WorldConfig};
 
@@ -19,6 +21,23 @@ use worldgen::{World, WorldConfig};
 fn world() -> &'static World {
     static WORLD: OnceLock<World> = OnceLock::new();
     WORLD.get_or_init(|| World::generate(&WorldConfig::small()))
+}
+
+/// A shared long-tail world for the routing-table-scale properties
+/// (shrunk from the experiment's ~100k ASes to keep proptest cases fast —
+/// the mechanism under test, the `long_tail_ases` knob + dense AS
+/// symbols, is identical at every size).
+fn tailed_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::generate(
+            &WorldConfig {
+                num_sites: 200,
+                ..WorldConfig::small()
+            }
+            .with_long_tail(3_000),
+        )
+    })
 }
 
 fn cfg(seed: u64, threads: usize, day_threads: usize) -> TrafficConfig {
@@ -66,6 +85,104 @@ proptest! {
                 }
                 other => prop_assert!(false, "gateway mismatch: {:?}", other),
             }
+        }
+    }
+
+    /// At long-tail scale: the per-AS aggregates streamed through a dense
+    /// [`AsAgg`] are identical at every day-thread count, and identical to
+    /// aggregates recomputed from the collected record stream — the
+    /// `as-fractions` experiment's byte-identical-JSON guarantee.
+    #[test]
+    fn longtail_per_as_aggregates_identical_across_threads(
+        seed in 0u64..1_000_000,
+        threads in 2usize..5,
+    ) {
+        let world = tailed_world();
+        let cfg = |threads| LongTailTrafficConfig {
+            seed,
+            num_days: 4,
+            flows_per_day: 2_500,
+            threads,
+        };
+        let mut seq = (CollectSink::new(), AsAgg::new(&world.rib, &world.registry));
+        synthesize_long_tail_into(world, &cfg(1), &mut seq);
+        let mut par = AsAgg::new(&world.rib, &world.registry);
+        synthesize_long_tail_into(world, &cfg(threads), &mut par);
+        let (records, seq_agg) = (seq.0.records, seq.1);
+        // Thread-invariant...
+        prop_assert_eq!(seq_agg.total_bytes(), par.total_bytes());
+        let (a, b) = (seq_agg.fractions('T', 0.0001), par.fractions('T', 0.0001));
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.asn, y.asn);
+            prop_assert_eq!(x.bytes, y.bytes);
+            prop_assert_eq!(x.flows, y.flows);
+            prop_assert_eq!(x.fraction, y.fraction);
+        }
+        // ...and equal to a recomputation from the materialized stream.
+        let mut recomputed = AsAgg::new(&world.rib, &world.registry);
+        drain_into(&records, &mut recomputed);
+        prop_assert_eq!(recomputed.total_bytes(), seq_agg.total_bytes());
+        prop_assert_eq!(
+            recomputed.fractions('T', 0.0).len(),
+            seq_agg.fractions('T', 0.0).len()
+        );
+    }
+
+    /// At long-tail scale: two identically-fed conntrack tables evict in
+    /// the same deterministic order, and the per-AS aggregates built from
+    /// the evicted records equal the aggregates over the original stream —
+    /// eviction must never lose or reorder per-AS mass, whatever worker
+    /// layout produced the stream.
+    #[test]
+    fn longtail_eviction_order_and_per_as_aggregates_deterministic(
+        seed in 0u64..1_000_000,
+        threads in 1usize..5,
+    ) {
+        let world = tailed_world();
+        let cfg = LongTailTrafficConfig {
+            seed,
+            num_days: 2,
+            flows_per_day: 2_000,
+            threads,
+        };
+        let mut sink = CollectSink::new();
+        synthesize_long_tail_into(world, &cfg, &mut sink);
+        let records = sink.records;
+        // Feed each record's lifecycle into a conntrack table; never
+        // destroy, so every record leaves via idle eviction.
+        let feed = |table: &mut FlowTable| {
+            for r in &records {
+                table.on_new(r.key, r.start, r.scope);
+                table.on_packet(&r.key, r.end, Direction::Original, r.bytes_orig);
+                table.on_packet(&r.key, r.end, Direction::Reply, r.bytes_reply);
+            }
+            table.evict_idle(u64::MAX)
+        };
+        let mut t1 = FlowTable::new();
+        let mut t2 = FlowTable::new();
+        let e1 = feed(&mut t1);
+        let e2 = feed(&mut t2);
+        prop_assert_eq!(e1, t1.completed_count());
+        prop_assert_eq!(e1, e2);
+        let (d1, d2) = (t1.drain(), t2.drain());
+        prop_assert_eq!(&d1, &d2, "eviction order must be deterministic");
+        // Within one day the port allocator never reissues a live port, so
+        // the only possible key collisions are cross-day (the cycle
+        // restarts at midnight); a collision merges two records in the
+        // table but conserves their bytes, so the per-AS *byte* mass over
+        // the evicted stream must always equal the original stream's.
+        prop_assert!(d1.len() <= records.len());
+        let mut from_evicted = AsAgg::new(&world.rib, &world.registry);
+        drain_into(&d1, &mut from_evicted);
+        let mut from_stream = AsAgg::new(&world.rib, &world.registry);
+        drain_into(&records, &mut from_stream);
+        prop_assert_eq!(from_evicted.total_bytes(), from_stream.total_bytes());
+        let (a, b) = (from_evicted.fractions('T', 0.0), from_stream.fractions('T', 0.0));
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.asn, y.asn);
+            prop_assert_eq!(x.bytes, y.bytes);
         }
     }
 

@@ -1,15 +1,19 @@
 //! A Tranco-like ranked top list.
 
-use dnssim::Name;
+use dnssim::{Name, NameTable};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// A ranked list of websites (rank 1 = most popular), with Zipf popularity
 /// weights used by the traffic synthesizer to pick destinations.
+///
+/// The list *is* an interned [`NameTable`]: interning order is rank order,
+/// so a domain's dense [`NameId`](dnssim::NameId) index is its 0-based rank
+/// — one structure serves ranking, membership and storage where the old
+/// implementation kept the entries `Vec` plus a shadow
+/// `HashMap<Name, usize>` of every name.
 #[derive(Debug, Clone)]
 pub struct TopList {
-    entries: Vec<Name>,
-    rank_of: HashMap<Name, usize>,
+    names: NameTable,
     /// Zipf exponent for popularity sampling.
     pub zipf_s: f64,
 }
@@ -20,46 +24,43 @@ impl TopList {
     /// # Panics
     /// Panics on duplicate entries — a top list ranks each domain once.
     pub fn new(entries: Vec<Name>) -> TopList {
-        let mut rank_of = HashMap::with_capacity(entries.len());
-        for (i, n) in entries.iter().enumerate() {
-            let prev = rank_of.insert(n.clone(), i + 1);
-            assert!(prev.is_none(), "duplicate top-list entry: {n}");
+        let mut names = NameTable::new();
+        for n in &entries {
+            let (_, new) = names.intern_full(n);
+            assert!(new, "duplicate top-list entry: {n}");
         }
-        TopList {
-            entries,
-            rank_of,
-            zipf_s: 1.0,
-        }
+        TopList { names, zipf_s: 1.0 }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.names.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.names.is_empty()
     }
 
     /// The domain at a 1-based rank.
     pub fn at_rank(&self, rank: usize) -> Option<&Name> {
-        self.entries.get(rank.checked_sub(1)?)
+        self.names.as_slice().get(rank.checked_sub(1)?)
     }
 
     /// The 1-based rank of a domain.
     pub fn rank_of(&self, name: &Name) -> Option<usize> {
-        self.rank_of.get(name).copied()
+        self.names.lookup(name).map(|id| id.index() + 1)
     }
 
     /// Iterate entries in rank order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Name)> {
-        self.entries.iter().enumerate().map(|(i, n)| (i + 1, n))
+        self.names.iter().map(|(id, n)| (id.index() + 1, n))
     }
 
     /// The top `n` entries (or fewer).
     pub fn top(&self, n: usize) -> &[Name] {
-        &self.entries[..n.min(self.entries.len())]
+        let all = self.names.as_slice();
+        &all[..n.min(all.len())]
     }
 
     /// Sample a rank with a (truncated) Zipf distribution via inverse
@@ -67,18 +68,18 @@ impl TopList {
     /// lazy table build is avoided by using the standard approximation for
     /// s = 1: rank ≈ exp(U · ln(n+1)).
     pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let n = self.entries.len().max(1) as f64;
+        let n = self.names.len().max(1) as f64;
         if (self.zipf_s - 1.0).abs() < 1e-9 {
             let u: f64 = rng.gen();
             let r = ((n + 1.0).powf(u)).floor() as usize;
-            r.clamp(1, self.entries.len().max(1))
+            r.clamp(1, self.names.len().max(1))
         } else {
             // General s: inverse-CDF on the continuous approximation.
             let s = self.zipf_s;
             let u: f64 = rng.gen();
             let max_cdf = (n.powf(1.0 - s) - 1.0) / (1.0 - s);
             let x = (1.0 + u * max_cdf * (1.0 - s)).powf(1.0 / (1.0 - s));
-            (x.floor() as usize).clamp(1, self.entries.len().max(1))
+            (x.floor() as usize).clamp(1, self.names.len().max(1))
         }
     }
 }

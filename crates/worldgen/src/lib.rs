@@ -30,6 +30,7 @@
 pub mod calibration;
 pub mod clientsvc;
 pub mod clouds;
+pub mod longtail;
 pub mod web;
 pub mod world;
 pub mod xlat;
@@ -37,6 +38,7 @@ pub mod xlat;
 pub use calibration::Calibration;
 pub use clientsvc::{ClientService, ServiceKind, CLIENT_AS_CATALOG};
 pub use clouds::CloudRuntime;
+pub use longtail::{LongTail, LongTailAs};
 pub use web::{EpochState, HttpFailure, SiteClassTruth, ThirdParty};
 pub use world::{World, WorldConfig};
 pub use xlat::TransitionRuntime;

@@ -21,6 +21,12 @@ pub struct WorldConfig {
     pub num_sites: usize,
     /// Number of measurement epochs (the paper has 3).
     pub num_epochs: usize,
+    /// Long-tail origin ASes to synthesize beyond the head catalog
+    /// (0 = head-only, the historical world; ~100 000 = a routing-table-
+    /// scale RIB for the per-AS flow-fraction analyses). Registration is
+    /// seeded independently of every other knob, so enabling the tail
+    /// never perturbs the head world.
+    pub long_tail_ases: usize,
     /// Calibration targets.
     pub calibration: Calibration,
 }
@@ -32,6 +38,7 @@ impl WorldConfig {
             seed: 0x1f6_ad0b,
             num_sites: 2_000,
             num_epochs: 3,
+            long_tail_ases: 0,
             calibration: Calibration::default(),
         }
     }
@@ -55,6 +62,12 @@ impl WorldConfig {
     /// Override the seed (for multi-seed robustness runs).
     pub fn with_seed(mut self, seed: u64) -> WorldConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Enable a long-tail AS population of `n` origin ASes.
+    pub fn with_long_tail(mut self, n: usize) -> WorldConfig {
+        self.long_tail_ases = n;
         self
     }
 }
@@ -82,6 +95,8 @@ pub struct World {
     pub client_zone: ZoneDb,
     /// Provider-side transition plant (NAT64/DNS64 prefix, CGN pools).
     pub transition: crate::xlat::TransitionRuntime,
+    /// Long-tail AS population (empty unless `config.long_tail_ases > 0`).
+    pub long_tail: crate::longtail::LongTail,
 }
 
 impl World {
@@ -117,6 +132,17 @@ impl World {
             "2a00::/16".parse().expect("static prefix"),
         );
 
+        let long_tail = if config.long_tail_ases > 0 {
+            crate::longtail::register_long_tail(
+                &mut registry,
+                &mut rib,
+                config.seed,
+                config.long_tail_ases,
+            )
+        } else {
+            crate::longtail::LongTail::default()
+        };
+
         let web = generate_web(
             &mut rng,
             &config.calibration,
@@ -139,6 +165,7 @@ impl World {
             client_services,
             client_zone,
             transition,
+            long_tail,
         }
     }
 
@@ -190,6 +217,33 @@ mod tests {
             a.web.sites[0].domain, c.web.sites[0].domain,
             "different seed, different world"
         );
+    }
+
+    #[test]
+    fn long_tail_knob_scales_the_rib_without_perturbing_the_head() {
+        let plain = World::generate(&WorldConfig::small());
+        let tailed = World::generate(&WorldConfig::small().with_long_tail(2_000));
+        assert_eq!(tailed.long_tail.len(), 2_000);
+        assert_eq!(
+            tailed.registry.as_count(),
+            plain.registry.as_count() + 2_000
+        );
+        assert!(tailed.rib.len() > plain.rib.len() + 2_000);
+        // The head world is untouched: same sites, same service endpoints,
+        // same head-AS symbols (the tail registers after the head).
+        assert_eq!(plain.web.sites[0].domain, tailed.web.sites[0].domain);
+        for (a, b) in plain.client_services.iter().zip(&tailed.client_services) {
+            assert_eq!(a.v4, b.v4);
+            assert_eq!(a.v6, b.v6);
+        }
+        for info in plain.registry.ases() {
+            assert_eq!(
+                plain.registry.as_sym(info.asn),
+                tailed.registry.as_sym(info.asn),
+                "head symbol moved for {}",
+                info.asn
+            );
+        }
     }
 
     #[test]
