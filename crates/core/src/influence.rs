@@ -201,7 +201,10 @@ impl InfluenceReport {
             *counts.entry(cat).or_default() += 1;
         }
         let mut out: Vec<_> = counts.into_iter().collect();
-        out.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        // Tie-break equal counts in the enum's Fig 9 order: the input comes
+        // out of a `HashMap` (random iteration order), so count alone would
+        // make the rendered table flap between runs.
+        out.sort_by_key(|(cat, n)| (std::cmp::Reverse(*n), *cat));
         out
     }
 }

@@ -5,10 +5,12 @@
 //! consistent, diffable textual form (bench logs capture the same output).
 
 use netstats::{BoxplotStats, Ecdf};
+use serde::Serialize;
 use std::fmt::Write as _;
 
-/// A simple aligned text table.
-#[derive(Debug, Clone, Default)]
+/// A simple aligned text table. Serializes as `{header, rows}` so
+/// structured reports can carry tables as data, not pre-rendered text.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct TextTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -29,6 +31,16 @@ impl TextTable {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
         self.rows.push(cells);
         self
+    }
+
+    /// The header cells.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Render with column alignment.

@@ -11,9 +11,10 @@
 //! of `--days`, and the emitted table is byte-identical at any
 //! `--threads` count.
 
-use crate::context::Ctx;
+use crate::report::Report;
+use crate::session::Session;
 use ipv6view_core::client::{AsAgg, AsFraction};
-use ipv6view_core::report::{heading, render_cdf, TextTable};
+use ipv6view_core::report::{render_cdf, TextTable};
 use netstats::Ecdf;
 use serde::Serialize;
 use trafficgen::{synthesize_long_tail_into, LongTailTrafficConfig};
@@ -93,38 +94,24 @@ pub fn as_fractions_json(report: &AsFractionsReport) -> String {
     serde_json::to_string_pretty(report).expect("serializable")
 }
 
-/// `as-fractions`: stream a long-tail world through the per-AS pipeline
-/// and print the Table 1-shaped per-AS fraction table plus the floor and
-/// adoption CDFs.
-pub fn as_fractions(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("AS fractions — per-AS IPv6 flow fractions at routing-table scale")
-    );
-    // `--sites` doubles as the tail-scale knob (100k sites = the paper's
-    // crawl scale = a full routing table's origin-AS count).
-    let ases = ctx.world.web.sites.len();
-    let params = AsFractionsParams {
-        seed: ctx.world.config.seed,
-        ases,
-        days: ctx.days.min(30),
-        flows_per_day: (ases * 10).clamp(20_000, 600_000),
-        threads: ctx.threads.unwrap_or(1),
-    };
+/// Build the `as-fractions` scenario report from explicit params.
+fn as_fractions_report_for(params: &AsFractionsParams) -> Report {
+    let mut r = Report::new("as-fractions");
+    r.heading("AS fractions — per-AS IPv6 flow fractions at routing-table scale");
     let t0 = std::time::Instant::now();
-    let report = as_fractions_report(&params);
+    let report = as_fractions_report(params);
     eprintln!(
         "[repro] streamed {} flows over {} tail ASes in {:.1}s (per-AS state: dense SymVec, O(ASes))",
         report.flows,
         params.ases,
         t0.elapsed().as_secs_f64()
     );
-    println!(
+    r.line(format!(
         "{} ASes observed, {} at or above the {:.2}% floor (inclusive)",
         report.observed_ases,
         report.rows.len(),
         report.min_share * 100.0
-    );
+    ));
 
     // The Table 1 shape, per AS: volume, share, byte and flow fractions.
     let mut top: Vec<&AsFraction> = report.rows.iter().collect();
@@ -132,37 +119,71 @@ pub fn as_fractions(ctx: &mut Ctx) {
     let mut t = TextTable::new(vec![
         "ASN", "category", "GB", "share", "v6 bytes", "v6 flows",
     ]);
-    for r in top.iter().take(15) {
+    for row in top.iter().take(15) {
         t.row(vec![
-            format!("AS{}", r.asn),
-            format!("{:?}", r.category),
-            format!("{:.2}", r.bytes as f64 / 1e9),
-            format!("{:.4}", r.share),
-            format!("{:.3}", r.fraction),
-            format!("{:.3}", r.flow_fraction),
+            format!("AS{}", row.asn),
+            format!("{:?}", row.category),
+            format!("{:.2}", row.bytes as f64 / 1e9),
+            format!("{:.4}", row.share),
+            format!("{:.3}", row.fraction),
+            format!("{:.3}", row.flow_fraction),
         ]);
     }
-    print!("{}", t.render());
+    r.table(t);
 
     // The floor CDF: how per-AS traffic shares distribute — what moving
     // `min_share` would keep or drop.
-    let shares: Vec<f64> = report.rows.iter().map(|r| r.share).collect();
-    print!(
-        "{}",
-        render_cdf("per-AS share of attributed bytes", &Ecdf::new(shares), 5)
-    );
+    let shares: Vec<f64> = report.rows.iter().map(|row| row.share).collect();
+    r.raw(render_cdf(
+        "per-AS share of attributed bytes",
+        &Ecdf::new(shares),
+        5,
+    ));
     // The non-binary adoption view over the kept population.
-    let fracs: Vec<f64> = report.rows.iter().map(|r| r.fraction).collect();
+    let fracs: Vec<f64> = report.rows.iter().map(|row| row.fraction).collect();
     let v4_only = fracs.iter().filter(|&&f| f == 0.0).count();
-    print!(
-        "{}",
-        render_cdf("per-AS IPv6 byte fraction", &Ecdf::new(fracs), 5)
-    );
-    println!(
+    r.raw(render_cdf(
+        "per-AS IPv6 byte fraction",
+        &Ecdf::new(fracs),
+        5,
+    ));
+    r.line(format!(
         "{v4_only} of {} kept ASes are IPv4-only; the rest spread over (0, 1) — \n\
          the long tail is where fraction-of-traffic diverges from binary adoption",
         report.rows.len()
-    );
+    ));
+    r.dataset("as_fractions.json", as_fractions_json(&report));
+    r
+}
+
+/// `as-fractions`: stream a long-tail world through the per-AS pipeline
+/// and print the Table 1-shaped per-AS fraction table plus the floor and
+/// adoption CDFs.
+pub fn as_fractions(s: &mut Session) -> Report {
+    // `--sites` doubles as the tail-scale knob (100k sites = the paper's
+    // crawl scale = a full routing table's origin-AS count).
+    let ases = s.world.web.sites.len();
+    let params = AsFractionsParams {
+        seed: s.world.config.seed,
+        ases,
+        days: s.config.days.min(30),
+        flows_per_day: (ases * 10).clamp(20_000, 600_000),
+        threads: s.config.threads.unwrap_or(1),
+    };
+    as_fractions_report_for(&params)
+}
+
+/// The export-scale `as-fractions` report (300-AS tail, 3-day cap,
+/// matching the published dataset's parameters).
+pub fn as_fractions_export_report(s: &mut Session) -> Report {
+    let params = AsFractionsParams {
+        seed: s.world.config.seed,
+        ases: 300,
+        days: s.config.days.min(3),
+        flows_per_day: 10_000,
+        threads: s.config.threads.unwrap_or(1),
+    };
+    as_fractions_report_for(&params)
 }
 
 #[cfg(test)]

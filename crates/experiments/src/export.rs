@@ -2,8 +2,15 @@
 //! (`https://ant.isi.edu/datasets/ipv6`): server-side and cloud data are
 //! exportable; client-side flow logs are exported only in anonymized form,
 //! mirroring the paper's IRB constraint.
+//!
+//! Scenario-owned datasets are not rebuilt here: every registered
+//! [`Scenario`](crate::Scenario) with an `export_report` contributes the
+//! [`Dataset`](crate::report::Dataset) elements of that report, so the
+//! export path consumes the same [`Report`](crate::Report) values that
+//! `repro <scenario> --json` emits — one code path, shrunk parameters.
 
-use crate::context::Ctx;
+use crate::scenario::registry;
+use crate::session::Session;
 use flowmon::AnonymizingExporter;
 use iputil::anon::{Anonymizer, AnonymizerConfig};
 use ipv6view_core::classify::{classify_site, ClassCounts};
@@ -22,7 +29,7 @@ struct SiteRow {
 }
 
 /// Write all exportable datasets as JSON files under `out_dir`.
-pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
+pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(out_dir)?;
     let write = |name: &str, value: &dyn erased_ser::Ser| -> std::io::Result<()> {
         let path = out_dir.join(name);
@@ -33,9 +40,9 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
     };
 
     // 1. Per-site graded classification (the paper's server-side dataset).
-    let e = ctx.world.latest_epoch();
-    ctx.crawl(e);
-    let report = ctx.crawl_ref(e);
+    let e = session.world.latest_epoch();
+    session.crawl(e);
+    let report = session.crawl_ref(e);
     let sites: Vec<SiteRow> = report
         .sites
         .iter()
@@ -61,44 +68,31 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
     write("class_counts.json", &ClassCounts::from_report(report))?;
 
     // 2. Influence metrics (span / median contribution).
-    let influence = InfluenceReport::compute(report, &ctx.world.psl);
+    let influence = InfluenceReport::compute(report, &session.world.psl);
     write("influence_domains.json", &influence.domains)?;
 
     // 3. Cloud datasets.
-    let fqdns = hosted_fqdns(report, &ctx.world.rib, &ctx.world.registry);
+    let fqdns = hosted_fqdns(report, &session.world.rib, &session.world.registry);
     write("cloud_org_readiness.json", &org_readiness(&fqdns))?;
     write(
         "cloud_service_adoption.json",
         &service_adoption(&fqdns, &cloudmodel::catalog::ServiceCatalog::paper()),
     )?;
 
-    // 4. The transition-technology cohort: translated vs native shares per
-    //    access tech (deterministic: same seed ⇒ byte-identical file).
-    let cohort = crate::transition_exps::cohort_analyses(ctx, ctx.days.min(30));
-    let path = out_dir.join("transition_report.json");
-    std::fs::write(&path, crate::transition_exps::cohort_json(&cohort))?;
-    eprintln!("[export] wrote {}", path.display());
-
-    // 4b. The provider-shared CGN pool sweep (small deterministic cohort;
-    //     same seed ⇒ byte-identical file).
-    let sweep = crate::transition_exps::cgn_sweep_rows(ctx, 6, ctx.days.min(8), &[32, 128, 512]);
-    let path = out_dir.join("cgn_sweep.json");
-    std::fs::write(&path, crate::transition_exps::cgn_sweep_json(&sweep))?;
-    eprintln!("[export] wrote {}", path.display());
-
-    // 4c. The per-AS flow-fraction table over a (shrunk) long-tail RIB —
-    //     the routing-table-scale dataset (deterministic: same seed ⇒
-    //     byte-identical file, invariant to thread counts).
-    let asfrac = crate::asfrac_exps::as_fractions_report(&crate::asfrac_exps::AsFractionsParams {
-        seed: ctx.world.config.seed,
-        ases: 300,
-        days: ctx.days.min(3),
-        flows_per_day: 10_000,
-        threads: ctx.threads.unwrap_or(1),
-    });
-    let path = out_dir.join("as_fractions.json");
-    std::fs::write(&path, crate::asfrac_exps::as_fractions_json(&asfrac))?;
-    eprintln!("[export] wrote {}", path.display());
+    // 4. Scenario-owned datasets, registry-driven: each scenario's
+    //    export-scale Report carries pre-serialized Dataset elements
+    //    (deterministic: same seed ⇒ byte-identical files). Currently:
+    //    transition_report.json, cgn_sweep.json, as_fractions.json.
+    for scenario in registry() {
+        let Some(rep) = scenario.export_report(session) else {
+            continue;
+        };
+        for dataset in rep.datasets() {
+            let path = out_dir.join(&dataset.name);
+            std::fs::write(&path, &dataset.json)?;
+            eprintln!("[export] wrote {}", path.display());
+        }
+    }
 
     // 5. Client-side: per-residence aggregates plus ANONYMIZED daily logs
     //    (CryptoPAN'd addresses, like the paper's upload pipeline; the raw
@@ -106,8 +100,8 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
     //    one dataset that genuinely needs materialized records, so this
     //    step synthesizes once and derives the aggregates from the same
     //    records instead of paying for a second streaming pass.
-    ctx.traffic();
-    let analyses: Vec<_> = ctx
+    session.traffic();
+    let analyses: Vec<_> = session
         .traffic_ref()
         .iter()
         .map(ipv6view_core::client::analyze_residence)
@@ -117,7 +111,7 @@ pub fn export_all(ctx: &mut Ctx, out_dir: &Path) -> std::io::Result<()> {
         *b"dataset-release!",
         AnonymizerConfig::paper(),
     ));
-    for ds in ctx.traffic_ref() {
+    for ds in session.traffic_ref() {
         let logs = exporter.export(&ds.flows);
         let sample: Vec<_> = logs
             .iter()
@@ -148,14 +142,14 @@ mod erased_ser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Ctx;
+    use crate::session::{RunConfig, Session};
 
     #[test]
     fn exports_valid_json() {
-        let mut ctx = Ctx::new(500, 77, 10);
+        let mut session = Session::new(RunConfig::default().sites(500).seed(77).days(10));
         let dir = std::env::temp_dir().join("ipv6view-export-test");
         let _ = std::fs::remove_dir_all(&dir);
-        export_all(&mut ctx, &dir).expect("export succeeds");
+        export_all(&mut session, &dir).expect("export succeeds");
         // Every file parses as JSON and the headline files are non-trivial.
         let mut found = 0;
         for entry in std::fs::read_dir(&dir).expect("dir exists") {

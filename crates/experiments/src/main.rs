@@ -1,19 +1,20 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--sites N] [--seed S] [--days D] [--full]
-//!                    [--threads N] [--day-threads N]
-//!
-//! experiments:
-//!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!   fig11 fig12 table2 table3 fig13 fig14 fig15 fig16 fig17 fig18
-//!   ablation-mainpage ablation-firstparty ablation-he ablation-policy
-//!   transition nat64-exhaustion cgn-sweep  (transition-technology scenarios)
-//!   as-fractions (per-AS flow fractions over a ~100k-AS long-tail RIB)
-//!   all          (everything above, in paper order)
+//! repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]
+//!                  [--threads N] [--day-threads N]
+//! repro list       # enumerate the scenario registry (name<TAB>description)
+//! repro all        # every registered scenario, in paper order
+//! repro export     # write every exportable dataset as JSON
 //! ```
 //!
-//! Every experiment prints the paper's reported value next to the measured
+//! The binary is a thin CLI over the `experiments` library: scenarios come
+//! from [`experiments::registry`], run against one shared
+//! [`experiments::Session`], and return structured
+//! [`experiments::Report`]s — rendered as text by default, emitted as JSON
+//! with `--json`.
+//!
+//! Every scenario prints the paper's reported value next to the measured
 //! reproduction and the relative error. Defaults run a 20k-site world
 //! (1/5th of the paper's 100k) and scale rank-dependent thresholds
 //! accordingly; `--full` switches to the paper's full scale.
@@ -21,67 +22,48 @@
 //! `--threads` fans residences (and ISPs in sweeps) over worker threads;
 //! `--day-threads` additionally fans the days inside one residence. Output
 //! is byte-identical at any combination — the flags only trade memory
-//! (day buffers) for wall-clock.
+//! (day buffers) for wall-clock. Numeric flags accept both `--sites N`
+//! and `--sites=N`.
 
-mod asfrac_exps;
-mod client_exps;
-mod cloud_exps;
-mod context;
-mod export;
-mod server_exps;
-mod transition_exps;
-
-use context::Ctx;
+use experiments::{export_all, find, registry, Report, RunConfig, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
-    let mut sites = 20_000usize;
-    let mut seed = 0x1f6_ad0bu64;
-    let mut days = 273u32;
-    let mut threads: Option<usize> = None;
-    let mut day_threads: Option<usize> = None;
+    let mut config = RunConfig::default();
+    let mut json = false;
     let mut positional_seen = false;
 
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--sites" => {
-                sites = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--sites needs a number"));
+        // One parsing path for every numeric flag: `--flag N` and
+        // `--flag=N` are both accepted. The `=` split only applies to
+        // flags — a positional like `list=x` must stay an error, and
+        // value-less flags reject an inline value instead of dropping it.
+        let (flag, inline) = match (arg.starts_with("--"), arg.split_once('=')) {
+            (true, Some((flag, value))) => (flag, Some(value)),
+            _ => (arg.as_str(), None),
+        };
+        let no_value = |flag: &str| {
+            if inline.is_some() {
+                usage(&format!("{flag} takes no value"));
             }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
+        };
+        match flag {
+            "--sites" => config.sites = num_value(flag, inline, &mut it),
+            "--seed" => config.seed = num_value(flag, inline, &mut it),
+            "--days" => config.days = num_value(flag, inline, &mut it),
+            "--threads" => config.threads = Some(num_value(flag, inline, &mut it)),
+            "--day-threads" => config.day_threads = Some(num_value(flag, inline, &mut it)),
+            "--full" => {
+                no_value("--full");
+                config = config.full();
             }
-            "--days" => {
-                days = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--days needs a number"));
+            "--json" => {
+                no_value("--json");
+                json = true;
             }
-            "--threads" => {
-                threads = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--threads needs a number")),
-                );
-            }
-            "--day-threads" => {
-                day_threads = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--day-threads needs a number")),
-                );
-            }
-            "--full" => sites = 100_000,
-            "--help" | "-h" => {
-                usage("");
-            }
+            "--help" | "-h" => usage(""),
             other if !other.starts_with('-') && !positional_seen => {
                 experiment = other.to_string();
                 positional_seen = true;
@@ -90,10 +72,65 @@ fn main() {
         }
     }
 
-    let mut ctx = Ctx::new(sites, seed, days);
-    ctx.threads = threads;
-    ctx.day_threads = day_threads;
-    run(&mut ctx, &experiment);
+    match experiment.as_str() {
+        // `list` never generates a world: the registry is static.
+        "list" => {
+            for scenario in registry() {
+                println!("{}\t{}", scenario.name(), scenario.describe());
+            }
+        }
+        "export" => {
+            let mut session = Session::new(config);
+            let dir = std::path::PathBuf::from("datasets");
+            export_all(&mut session, &dir).expect("dataset export");
+        }
+        "all" => {
+            let mut session = Session::new(config);
+            // Text mode renders and drops each report as it completes;
+            // only --json (one array of every report) needs them retained.
+            let mut reports: Vec<Report> = Vec::new();
+            for scenario in registry().iter().filter(|s| s.in_all()) {
+                let report = scenario.run(&mut session);
+                if json {
+                    reports.push(report);
+                } else {
+                    print!("{}", report.render());
+                }
+            }
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&reports).expect("serializable")
+                );
+            }
+        }
+        name => match find(name) {
+            Some(scenario) => {
+                let mut session = Session::new(config);
+                let report = scenario.run(&mut session);
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+            }
+            None => unknown_experiment(name),
+        },
+    }
+}
+
+/// Parse one numeric flag value, taken inline (`--flag=N`) or from the next
+/// argument (`--flag N`).
+fn num_value<'a, T: std::str::FromStr>(
+    flag: &str,
+    inline: Option<&str>,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> T {
+    inline
+        .map(str::to_string)
+        .or_else(|| it.next().cloned())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
 }
 
 fn usage(msg: &str) -> ! {
@@ -101,91 +138,27 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: repro <experiment> [--sites N] [--seed S] [--days D] [--full]\n\
-         \x20                      [--threads N] [--day-threads N]\n\
-         experiments: table1 fig1..fig18 table2 table3 export robustness \
-         ablation-mainpage ablation-firstparty ablation-he ablation-policy \
-         transition nat64-exhaustion cgn-sweep as-fractions all\n\
-         --threads fans residences/ISPs over N workers, --day-threads fans\n\
-         days inside a residence; output is identical at any combination"
+        "usage: repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]\n\
+         \x20                    [--threads N] [--day-threads N]\n\
+         \x20      repro list | all | export\n\
+         `repro list` prints every registered scenario; `all` runs them in\n\
+         paper order; `export` writes the JSON datasets. Numeric flags accept\n\
+         `--flag N` and `--flag=N`. --threads fans residences/ISPs over N\n\
+         workers, --day-threads fans days inside a residence; output is\n\
+         identical at any combination. --json emits the structured report."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
-fn run(ctx: &mut Ctx, experiment: &str) {
-    match experiment {
-        "table1" => client_exps::table1(ctx),
-        "fig1" => client_exps::fig1(ctx),
-        "fig2" => client_exps::fig2(ctx),
-        "fig3" => client_exps::fig3(ctx),
-        "fig4" => client_exps::fig4(ctx),
-        "fig13" => client_exps::fig13(ctx),
-        "fig14" => client_exps::fig14(ctx),
-        "fig15" => client_exps::fig15(ctx),
-        "fig16" => client_exps::fig16(ctx),
-        "fig17" => client_exps::fig17(ctx),
-        "fig5" => server_exps::fig5(ctx),
-        "fig6" => server_exps::fig6(ctx),
-        "fig7" => server_exps::fig7(ctx),
-        "fig8" => server_exps::fig8(ctx),
-        "fig9" => server_exps::fig9(ctx),
-        "fig10" => server_exps::fig10(ctx),
-        "fig18" => server_exps::fig18(ctx),
-        "ablation-mainpage" => server_exps::ablation_mainpage(ctx),
-        "ablation-firstparty" => server_exps::ablation_firstparty(ctx),
-        "ablation-he" => server_exps::ablation_he(ctx),
-        "fig11" => cloud_exps::fig11(ctx),
-        "fig12" => cloud_exps::fig12(ctx),
-        "table2" => cloud_exps::table2(ctx),
-        "table3" => cloud_exps::table3(ctx),
-        "ablation-policy" => cloud_exps::ablation_policy(ctx),
-        "as-fractions" => asfrac_exps::as_fractions(ctx),
-        "transition" => transition_exps::transition_report(ctx),
-        "nat64-exhaustion" => transition_exps::nat64_exhaustion(ctx),
-        "cgn-sweep" => transition_exps::cgn_sweep(ctx),
-        "robustness" => {
-            let sites = ctx.world.web.sites.len().min(5_000);
-            server_exps::robustness(sites, ctx.world.config.seed);
-        }
-        "export" => {
-            let dir = std::path::PathBuf::from("datasets");
-            export::export_all(ctx, &dir).expect("dataset export");
-        }
-        "all" => {
-            for e in [
-                "table1",
-                "fig1",
-                "fig2",
-                "fig3",
-                "fig4",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig8",
-                "fig9",
-                "fig10",
-                "fig11",
-                "fig12",
-                "table2",
-                "table3",
-                "fig13",
-                "fig14",
-                "fig15",
-                "fig16",
-                "fig17",
-                "fig18",
-                "ablation-mainpage",
-                "ablation-firstparty",
-                "ablation-he",
-                "ablation-policy",
-                "transition",
-                "nat64-exhaustion",
-                "cgn-sweep",
-                "as-fractions",
-            ] {
-                run(ctx, e);
-            }
-        }
-        other => usage(&format!("unknown experiment: {other}")),
+/// An unknown scenario name prints the registry so the valid names are
+/// always discoverable from the error itself.
+fn unknown_experiment(name: &str) -> ! {
+    eprintln!("error: unknown experiment: {name}\n\nregistered scenarios:");
+    for scenario in registry() {
+        eprintln!("  {:<20} {}", scenario.name(), scenario.describe());
     }
+    eprintln!("  {:<20} every scenario above, in paper order", "all");
+    eprintln!("  {:<20} print the scenario registry", "list");
+    eprintln!("  {:<20} write every exportable dataset as JSON", "export");
+    std::process::exit(2);
 }

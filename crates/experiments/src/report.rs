@@ -1,0 +1,219 @@
+//! Structured experiment output: [`Report`] and its [`Element`]s.
+//!
+//! Every [`Scenario`](crate::Scenario) returns one `Report` — an ordered
+//! list of typed elements (headings, tables, paper-vs-measured comparison
+//! rows, free text, exportable datasets). The three output paths all
+//! consume the same value:
+//!
+//! * **stdout** — [`Report::render`] produces exactly the text the
+//!   pre-library `repro` binary printed (byte-identical; verified against
+//!   pre-refactor digests),
+//! * **`--json`** — the report is `Serialize`, so `repro <scenario> --json`
+//!   emits the structure itself,
+//! * **`repro export`** — [`Element::Dataset`] members carry pre-serialized
+//!   JSON datasets that [`export_all`](crate::export::export_all) writes to
+//!   disk.
+//!
+//! Elements that have a natural data shape (tables, comparisons, datasets)
+//! are structured; rendered-once artifacts like CDF sparklines stay as
+//! [`Element::Raw`] blocks so the text form remains the stable contract.
+
+use ipv6view_core::report::{compare, heading, TextTable};
+use serde::Serialize;
+
+/// One paper-vs-measured comparison row with relative error.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub label: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// The reproduction's measured value.
+    pub measured: f64,
+}
+
+/// A named exportable dataset: pre-serialized JSON with a stable file name.
+/// Not rendered to stdout; written by `repro export` / read by `--json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Dataset {
+    /// File name under the export directory (e.g. `cgn_sweep.json`).
+    pub name: String,
+    /// The dataset body, already serialized (stable field order; same seed
+    /// ⇒ byte-identical).
+    pub json: String,
+}
+
+/// One ordered piece of a [`Report`].
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// A section heading (`\n=== title ===\n`).
+    Heading(String),
+    /// A pre-rendered block, printed verbatim (CDF curves, boxplot rows —
+    /// artifacts whose textual form is the contract).
+    Raw(String),
+    /// One line of text (rendered with a trailing newline).
+    Line(String),
+    /// A paper-vs-measured comparison row.
+    Compare(Comparison),
+    /// An aligned table, carried as data and rendered on demand.
+    Table(TextTable),
+    /// An exportable dataset (skipped by stdout rendering).
+    Dataset(Dataset),
+}
+
+// The vendored serde_derive only handles unit-variant enums, so the
+// data-carrying variants serialize by hand as externally-tagged objects
+// (`{"heading": ...}`), matching real serde's derive output.
+impl Serialize for Element {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Element::Heading(t) => serializer.serialize_newtype_variant("Element", 0, "heading", t),
+            Element::Raw(t) => serializer.serialize_newtype_variant("Element", 1, "raw", t),
+            Element::Line(t) => serializer.serialize_newtype_variant("Element", 2, "line", t),
+            Element::Compare(c) => serializer.serialize_newtype_variant("Element", 3, "compare", c),
+            Element::Table(t) => serializer.serialize_newtype_variant("Element", 4, "table", t),
+            Element::Dataset(d) => serializer.serialize_newtype_variant("Element", 5, "dataset", d),
+        }
+    }
+}
+
+/// The structured result of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// Ordered output elements.
+    pub elements: Vec<Element>,
+}
+
+impl Report {
+    /// An empty report for `scenario`.
+    pub fn new(scenario: impl Into<String>) -> Report {
+        Report {
+            scenario: scenario.into(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Append a section heading.
+    pub fn heading(&mut self, title: impl Into<String>) -> &mut Self {
+        self.elements.push(Element::Heading(title.into()));
+        self
+    }
+
+    /// Append a pre-rendered block (printed verbatim; must carry its own
+    /// trailing newline, as the `render_*` helpers do).
+    pub fn raw(&mut self, block: impl Into<String>) -> &mut Self {
+        self.elements.push(Element::Raw(block.into()));
+        self
+    }
+
+    /// Append one line of text.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.elements.push(Element::Line(text.into()));
+        self
+    }
+
+    /// Append a paper-vs-measured comparison row.
+    pub fn compare(&mut self, label: impl Into<String>, paper: f64, measured: f64) -> &mut Self {
+        self.elements.push(Element::Compare(Comparison {
+            label: label.into(),
+            paper,
+            measured,
+        }));
+        self
+    }
+
+    /// Append a table.
+    pub fn table(&mut self, table: TextTable) -> &mut Self {
+        self.elements.push(Element::Table(table));
+        self
+    }
+
+    /// Attach an exportable dataset.
+    pub fn dataset(&mut self, name: impl Into<String>, json: impl Into<String>) -> &mut Self {
+        self.elements.push(Element::Dataset(Dataset {
+            name: name.into(),
+            json: json.into(),
+        }));
+        self
+    }
+
+    /// The attached datasets, in order.
+    pub fn datasets(&self) -> impl Iterator<Item = &Dataset> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Dataset(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// Render to the diffable text form (datasets are skipped).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for element in &self.elements {
+            match element {
+                Element::Heading(title) => out.push_str(&heading(title)),
+                Element::Raw(block) => out.push_str(block),
+                Element::Line(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+                Element::Compare(c) => out.push_str(&compare(&c.label, c.paper, c.measured)),
+                Element::Table(t) => out.push_str(&t.render()),
+                Element::Dataset(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Serialize the whole report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports are serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_legacy_print_forms() {
+        let mut r = Report::new("demo");
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        r.heading("Demo")
+            .table(t.clone())
+            .compare("metric", 1.0, 1.1)
+            .line("trailing note")
+            .raw("raw block\n")
+            .dataset("demo.json", "{}");
+        let expected = format!(
+            "{}{}{}trailing note\nraw block\n",
+            heading("Demo"),
+            t.render(),
+            compare("metric", 1.0, 1.1)
+        );
+        assert_eq!(r.render(), expected, "datasets must not render");
+    }
+
+    #[test]
+    fn json_carries_structure_and_datasets() {
+        let mut r = Report::new("demo");
+        r.heading("H")
+            .compare("m", 2.0, 3.0)
+            .dataset("d.json", "[1]");
+        let json = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v.get("scenario").and_then(|s| s.as_str()), Some("demo"));
+        let elements = v.get("elements").and_then(|e| e.as_array()).expect("array");
+        assert_eq!(elements.len(), 3);
+        assert_eq!(
+            elements[0].get("heading").and_then(|h| h.as_str()),
+            Some("H")
+        );
+        let cmp = elements[1].get("compare").expect("tagged compare");
+        assert_eq!(cmp.get("paper").and_then(|p| p.as_f64()), Some(2.0));
+        assert_eq!(r.datasets().count(), 1);
+        assert_eq!(r.datasets().next().unwrap().name, "d.json");
+    }
+}

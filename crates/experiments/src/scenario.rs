@@ -1,0 +1,323 @@
+//! The [`Scenario`] trait and the static scenario registry.
+//!
+//! A scenario is a first-class value: it has a stable registry name, a
+//! one-line description, and a `run` that turns a [`Session`] into a
+//! structured [`Report`]. The registry is the single source of truth for
+//! dispatch — `repro <name>`, `repro list`, `repro all`, the CI smoke loop
+//! and the registry tests all iterate the same static slice, so adding a
+//! scenario is one `scenarios!` macro entry and nothing else.
+
+use crate::report::Report;
+use crate::session::Session;
+
+/// A named, describable, runnable experiment.
+///
+/// Implementations are registered in [`registry`]; embedding applications
+/// can also implement the trait for their own scenarios and drive them with
+/// the same [`Session`].
+pub trait Scenario: Sync {
+    /// Stable registry name (`repro <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `repro list` and error messages.
+    fn describe(&self) -> &'static str;
+
+    /// Run against a session, producing the structured report.
+    fn run(&self, session: &mut Session) -> Report;
+
+    /// The shrunk-scale report whose datasets `repro export` writes
+    /// (`None` when the scenario exports nothing). Kept separate from
+    /// [`Scenario::run`] because exports deliberately shrink the run so the
+    /// published datasets stay deterministic and cheap at any `--days`.
+    fn export_report(&self, _session: &mut Session) -> Option<Report> {
+        None
+    }
+
+    /// Whether `repro all` includes this scenario (multi-world sweeps like
+    /// `robustness` opt out).
+    fn in_all(&self) -> bool {
+        true
+    }
+}
+
+/// Define scenario unit structs, implement [`Scenario`] for each, and build
+/// the static registry in declaration order (= the paper's figure order).
+macro_rules! scenarios {
+    ($(
+        $(#[$meta:meta])*
+        $ty:ident {
+            name: $name:literal,
+            describe: $desc:literal,
+            run: $run:path
+            $(, export: $export:path)?
+            $(, in_all: $in_all:literal)?
+        }
+    ),+ $(,)?) => {
+        $(
+            $(#[$meta])*
+            #[derive(Debug, Clone, Copy)]
+            pub struct $ty;
+
+            impl Scenario for $ty {
+                fn name(&self) -> &'static str {
+                    $name
+                }
+                fn describe(&self) -> &'static str {
+                    $desc
+                }
+                fn run(&self, session: &mut Session) -> Report {
+                    $run(session)
+                }
+                $(
+                    fn export_report(&self, session: &mut Session) -> Option<Report> {
+                        Some($export(session))
+                    }
+                )?
+                $(
+                    fn in_all(&self) -> bool {
+                        $in_all
+                    }
+                )?
+            }
+        )+
+
+        static REGISTRY: &[&dyn Scenario] = &[$(&$ty),+];
+    };
+}
+
+scenarios! {
+    /// Table 1: per-residence traffic volumes and IPv6 fractions.
+    Table1 {
+        name: "table1",
+        describe: "per-residence IPv6 traffic volumes and fractions (external & internal)",
+        run: crate::client_exps::table1
+    },
+    /// Fig 1: daily IPv6 fraction CDFs at residences A–C.
+    Fig1 {
+        name: "fig1",
+        describe: "daily IPv6 fraction CDFs at residences A, B, C",
+        run: crate::client_exps::fig1
+    },
+    /// Fig 2: MSTL of the hourly IPv6 byte fraction at residence A.
+    Fig2 {
+        name: "fig2",
+        describe: "MSTL decomposition of hourly IPv6 byte fraction, residence A",
+        run: crate::client_exps::fig2
+    },
+    /// Fig 3: per-AS IPv6 byte-fraction CDFs for common ASes.
+    Fig3 {
+        name: "fig3",
+        describe: "CDF of per-AS IPv6 byte fractions (ASes seen at 3+ residences)",
+        run: crate::client_exps::fig3
+    },
+    /// Fig 4: per-category AS boxplots.
+    Fig4 {
+        name: "fig4",
+        describe: "IPv6 byte fraction by AS, grouped by category",
+        run: crate::client_exps::fig4
+    },
+    /// Fig 5: graded classification across epochs.
+    Fig5 {
+        name: "fig5",
+        describe: "graded server-side classification across the three epochs",
+        run: crate::server_exps::fig5
+    },
+    /// Fig 6: readiness by popularity bucket.
+    Fig6 {
+        name: "fig6",
+        describe: "IPv6 readiness of top-N sites by popularity bucket",
+        run: crate::server_exps::fig6
+    },
+    /// Fig 7: IPv4-only resources per IPv6-partial site.
+    Fig7 {
+        name: "fig7",
+        describe: "IPv4-only resource counts and fractions per IPv6-partial site",
+        run: crate::server_exps::fig7
+    },
+    /// Fig 8: span and median contribution of IPv4-only domains.
+    Fig8 {
+        name: "fig8",
+        describe: "span & median contribution of IPv4-only third-party domains",
+        run: crate::server_exps::fig8
+    },
+    /// Fig 9: categories of heavy-hitter IPv4-only domains.
+    Fig9 {
+        name: "fig9",
+        describe: "categories of high-span IPv4-only domains",
+        run: crate::server_exps::fig9
+    },
+    /// Fig 10: the what-if adoption curve.
+    Fig10 {
+        name: "fig10",
+        describe: "what-if curve: enabling IPv6 on IPv4-only domains by span",
+        run: crate::server_exps::fig10
+    },
+    /// Fig 11: readiness of the top 15 clouds.
+    Fig11 {
+        name: "fig11",
+        describe: "IPv6 readiness of the top 15 clouds",
+        run: crate::cloud_exps::fig11
+    },
+    /// Fig 12: pairwise cloud comparison over multi-cloud tenants.
+    Fig12 {
+        name: "fig12",
+        describe: "pairwise cloud comparison (Wilcoxon, Holm-Bonferroni)",
+        run: crate::cloud_exps::fig12
+    },
+    /// Table 2: service-level adoption via CNAME identification.
+    Table2 {
+        name: "table2",
+        describe: "IPv6 adoption by cloud service (CNAME identification)",
+        run: crate::cloud_exps::table2
+    },
+    /// Table 3: full per-cloud breakdown.
+    Table3 {
+        name: "table3",
+        describe: "per-cloud domain counts, full breakdown (appendix F)",
+        run: crate::cloud_exps::table3
+    },
+    /// Fig 13: MSTL of the hourly IPv6 flow fraction at residence A.
+    Fig13 {
+        name: "fig13",
+        describe: "MSTL decomposition of hourly IPv6 flow fraction, residence A",
+        run: crate::client_exps::fig13
+    },
+    /// Fig 14: MSTL of daily byte fractions at residence B.
+    Fig14 {
+        name: "fig14",
+        describe: "MSTL decomposition of daily IPv6 byte fraction, residence B",
+        run: crate::client_exps::fig14
+    },
+    /// Fig 15: MSTL of daily byte fractions at residence C.
+    Fig15 {
+        name: "fig15",
+        describe: "MSTL decomposition of daily IPv6 byte fraction, residence C",
+        run: crate::client_exps::fig15
+    },
+    /// Fig 16: daily fraction CDFs at residences D and E.
+    Fig16 {
+        name: "fig16",
+        describe: "daily IPv6 fraction CDFs at residences D, E",
+        run: crate::client_exps::fig16
+    },
+    /// Fig 17: per-domain IPv6 fractions via reverse DNS.
+    Fig17 {
+        name: "fig17",
+        describe: "per-domain (eTLD+1) IPv6 fractions via reverse DNS",
+        run: crate::client_exps::fig17
+    },
+    /// Fig 18: heatmap of top IPv4-only domains by resource type.
+    Fig18 {
+        name: "fig18",
+        describe: "top-20 IPv4-only domains by resource type",
+        run: crate::server_exps::fig18
+    },
+    /// Ablation: main-page-only crawling.
+    AblationMainpage {
+        name: "ablation-mainpage",
+        describe: "ablation: main-page-only crawl vs link-click crawl",
+        run: crate::server_exps::ablation_mainpage
+    },
+    /// Ablation: first-party-only analysis.
+    AblationFirstparty {
+        name: "ablation-firstparty",
+        describe: "ablation: first-party-only resource analysis",
+        run: crate::server_exps::ablation_firstparty
+    },
+    /// Ablation: Happy Eyeballs parameters.
+    AblationHe {
+        name: "ablation-he",
+        describe: "ablation: Happy Eyeballs degradation vs IPv4 race wins",
+        run: crate::server_exps::ablation_he
+    },
+    /// Ablation: default-on policy counterfactual.
+    AblationPolicy {
+        name: "ablation-policy",
+        describe: "ablation: default-on IPv6 policy for every cloud service",
+        run: crate::cloud_exps::ablation_policy
+    },
+    /// Transition-technology cohort report.
+    Transition {
+        name: "transition",
+        describe: "translated vs native traffic by access technology (5-line cohort)",
+        run: crate::transition_exps::transition_report,
+        export: crate::transition_exps::transition_export_report
+    },
+    /// NAT64 binding-pool exhaustion sweep.
+    Nat64Exhaustion {
+        name: "nat64-exhaustion",
+        describe: "NAT64 binding-pool exhaustion under residential load",
+        run: crate::transition_exps::nat64_exhaustion
+    },
+    /// Provider-shared CGN pool-size sweep.
+    CgnSweep {
+        name: "cgn-sweep",
+        describe: "shared provider CGN gateway: pool size vs rejection rate",
+        run: crate::transition_exps::cgn_sweep,
+        export: crate::transition_exps::cgn_sweep_export_report
+    },
+    /// Per-AS flow fractions over a long-tail RIB.
+    AsFractions {
+        name: "as-fractions",
+        describe: "per-AS IPv6 flow fractions over a routing-table-scale long-tail RIB",
+        run: crate::asfrac_exps::as_fractions,
+        export: crate::asfrac_exps::as_fractions_export_report
+    },
+    /// Seed-robustness of the headline shares (excluded from `all`).
+    Robustness {
+        name: "robustness",
+        describe: "headline shares across 5 seeds (excluded from `all`)",
+        run: crate::server_exps::robustness,
+        in_all: false
+    },
+}
+
+/// Every registered scenario, in paper order.
+pub fn registry() -> &'static [&'static dyn Scenario] {
+    REGISTRY
+}
+
+/// Look up a scenario by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Scenario> {
+    registry().iter().copied().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_described() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in registry() {
+            assert!(seen.insert(s.name()), "duplicate scenario {}", s.name());
+            assert!(!s.describe().is_empty(), "{} lacks a description", s.name());
+            assert!(
+                s.name()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{} is not a CLI-safe name",
+                s.name()
+            );
+        }
+        assert!(seen.len() >= 30, "registry shrank to {}", seen.len());
+    }
+
+    #[test]
+    fn find_resolves_registered_names_only() {
+        assert_eq!(find("table1").map(|s| s.name()), Some("table1"));
+        assert_eq!(find("as-fractions").map(|s| s.name()), Some("as-fractions"));
+        assert!(find("fig99").is_none());
+        assert!(find("").is_none());
+    }
+
+    #[test]
+    fn all_excludes_only_multiworld_sweeps() {
+        let excluded: Vec<&str> = registry()
+            .iter()
+            .filter(|s| !s.in_all())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(excluded, ["robustness"]);
+    }
+}

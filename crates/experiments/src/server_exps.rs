@@ -1,24 +1,27 @@
-//! Server-side experiments: Fig 5–10, Fig 18 and the §4 ablations.
+//! Server-side scenarios: Fig 5–10, Fig 18, the §4 ablations and the
+//! seed-robustness sweep.
 
-use crate::context::Ctx;
+use crate::report::Report;
+use crate::session::Session;
 use dnssim::Name;
 use ipv6view_core::classify::{classify_site, ClassCounts, SiteClass};
 use ipv6view_core::influence::{InfluenceReport, TypeHeatmap};
 use ipv6view_core::readiness::ReadinessBuckets;
-use ipv6view_core::report::{compare, heading, render_cdf, TextTable};
+use ipv6view_core::report::{render_cdf, TextTable};
 use ipv6view_core::whatif::WhatIfCurve;
 use netstats::Ecdf;
 use std::collections::HashMap;
 use webmodel::resource::DomainCategory;
 
 /// Fig 5: classification of the top list across the three epochs.
-pub fn fig5(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 5 — graded classification across epochs"));
-    let scale = ctx.site_scale();
-    let epochs = ctx.world.web.epochs.len();
+pub fn fig5(s: &mut Session) -> Report {
+    let mut r = Report::new("fig5");
+    r.heading("Fig 5 — graded classification across epochs");
+    let scale = s.site_scale();
+    let epochs = s.world.web.epochs.len();
     let mut counts = Vec::new();
     for e in 0..epochs {
-        counts.push(ClassCounts::from_report(ctx.crawl(e)));
+        counts.push(ClassCounts::from_report(s.crawl(e)));
     }
     let mut t = TextTable::new(vec![
         "Category",
@@ -74,15 +77,15 @@ pub fn fig5(ctx: &mut Ctx) {
         &|c| c.browser_used_v6_only,
         9_088.0,
     );
-    print!("{}", t.render());
+    r.table(t);
 
     let last = &counts[epochs - 1];
     // A top-N crawl with N < 100k is *genuinely* more IPv6-ready than the
     // paper's full list (popular sites adopt more — Fig 6), so the fair
     // paper target integrates the Fig 6 rank profile over this crawl size.
     let (paper_v4, paper_full) = {
-        let cal = &ctx.world.config.calibration;
-        let n = ctx.world.web.sites.len();
+        let cal = &s.world.config.calibration;
+        let n = s.world.web.sites.len();
         let (mut v4, mut full) = (0.0, 0.0);
         for rank in 1..=n {
             let (pv4, pfull) = cal.class_point_probs(rank);
@@ -91,55 +94,45 @@ pub fn fig5(ctx: &mut Ctx) {
         }
         (100.0 * v4 / n as f64, 100.0 * full / n as f64)
     };
-    print!(
-        "{}",
-        compare(
-            &format!("IPv4-only % of connected (paper @ top-{})", last.total),
-            paper_v4,
-            last.pct_of_connected(last.v4_only),
-        )
+    r.compare(
+        format!("IPv4-only % of connected (paper @ top-{})", last.total),
+        paper_v4,
+        last.pct_of_connected(last.v4_only),
     );
-    print!(
-        "{}",
-        compare(
-            &format!("IPv6-partial % of connected (paper @ top-{})", last.total),
-            100.0 - paper_v4 - paper_full,
-            last.pct_of_connected(last.partial),
-        )
+    r.compare(
+        format!("IPv6-partial % of connected (paper @ top-{})", last.total),
+        100.0 - paper_v4 - paper_full,
+        last.pct_of_connected(last.partial),
     );
-    print!(
-        "{}",
-        compare(
-            &format!("IPv6-full % of connected (paper @ top-{})", last.total),
-            paper_full,
-            last.pct_of_connected(last.full),
-        )
+    r.compare(
+        format!("IPv6-full % of connected (paper @ top-{})", last.total),
+        paper_full,
+        last.pct_of_connected(last.full),
     );
-    println!(
-        "(paper @ 100k: 57.6% v4-only / 29.8% partial / 12.6% full — run with --full to compare)"
+    r.line(
+        "(paper @ 100k: 57.6% v4-only / 29.8% partial / 12.6% full — run with --full to compare)",
     );
-    print!(
-        "{}",
-        compare(
-            "binary metric (has AAAA) % — the baseline view",
-            100.0 - paper_v4,
-            last.binary_adoption_pct(),
-        )
+    r.compare(
+        "binary metric (has AAAA) % — the baseline view",
+        100.0 - paper_v4,
+        last.binary_adoption_pct(),
     );
     let drift = counts[epochs - 1].pct_of_connected(counts[epochs - 1].full)
         - counts[0].pct_of_connected(counts[0].full);
-    print!("{}", compare("IPv6-full drift Oct→Jul (pp)", 0.6, drift));
+    r.compare("IPv6-full drift Oct→Jul (pp)", 0.6, drift);
+    r
 }
 
 /// Fig 6: readiness by popularity bucket.
-pub fn fig6(ctx: &mut Ctx) {
-    print!("{}", heading("Fig 6 — readiness of top-N sites"));
-    let n = ctx.world.web.sites.len();
+pub fn fig6(s: &mut Session) -> Report {
+    let mut r = Report::new("fig6");
+    r.heading("Fig 6 — readiness of top-N sites");
+    let n = s.world.web.sites.len();
     let bounds: Vec<usize> = [100usize, 1_000, 10_000, 100_000]
         .iter()
         .map(|b| (*b).min(n))
         .collect();
-    let report = ctx.latest_crawl();
+    let report = s.latest_crawl();
     let buckets = ReadinessBuckets::compute(report, &bounds);
     let mut t = TextTable::new(vec![
         "Top N",
@@ -155,139 +148,116 @@ pub fn fig6(ctx: &mut Ctx) {
             format!("{:.1}", b.pct_full),
         ]);
     }
-    print!("{}", t.render());
-    print!(
-        "{}",
-        compare("top-100 IPv6-full %", 30.1, buckets.buckets[0].pct_full)
+    r.table(t);
+    r.compare("top-100 IPv6-full %", 30.1, buckets.buckets[0].pct_full);
+    r.compare(
+        "tail IPv6-full %",
+        12.6,
+        buckets.buckets.last().expect("buckets").pct_full,
     );
-    print!(
-        "{}",
-        compare(
-            "tail IPv6-full %",
-            12.6,
-            buckets.buckets.last().expect("buckets").pct_full,
-        )
-    );
+    r
 }
 
 /// Fig 7: per-partial-site IPv4-only counts and fractions.
-pub fn fig7(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Fig 7 — IPv4-only resources per IPv6-partial site")
-    );
-    let psl = ctx.world.psl.clone();
-    let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
+pub fn fig7(s: &mut Session) -> Report {
+    let mut r = Report::new("fig7");
+    r.heading("Fig 7 — IPv4-only resources per IPv6-partial site");
+    let psl = s.world.psl.clone();
+    let inf = InfluenceReport::compute(s.latest_crawl(), &psl);
     let (c25, c50, c75) = inf.count_quantiles().expect("partial sites exist");
     let (f25, f50, f75) = inf.fraction_quantiles().expect("partial sites exist");
-    print!("{}", compare("count p25", 3.0, c25));
-    print!("{}", compare("count p50", 7.0, c50));
-    print!("{}", compare("count p75", 21.0, c75));
-    print!("{}", compare("fraction p25", 0.09, f25));
-    print!("{}", compare("fraction p50", 0.21, f50));
-    print!("{}", compare("fraction p75", 0.41, f75));
-    let counts: Vec<f64> = inf.sites.iter().map(|s| s.v4only_count as f64).collect();
-    let fracs: Vec<f64> = inf.sites.iter().map(|s| s.v4only_fraction).collect();
-    print!(
-        "{}",
-        render_cdf("IPv4-only resource count", &Ecdf::new(counts), 6)
-    );
-    print!(
-        "{}",
-        render_cdf("IPv4-only resource fraction", &Ecdf::new(fracs), 6)
-    );
+    r.compare("count p25", 3.0, c25);
+    r.compare("count p50", 7.0, c50);
+    r.compare("count p75", 21.0, c75);
+    r.compare("fraction p25", 0.09, f25);
+    r.compare("fraction p50", 0.21, f50);
+    r.compare("fraction p75", 0.41, f75);
+    let counts: Vec<f64> = inf.sites.iter().map(|x| x.v4only_count as f64).collect();
+    let fracs: Vec<f64> = inf.sites.iter().map(|x| x.v4only_fraction).collect();
+    r.raw(render_cdf(
+        "IPv4-only resource count",
+        &Ecdf::new(counts),
+        6,
+    ));
+    r.raw(render_cdf(
+        "IPv4-only resource fraction",
+        &Ecdf::new(fracs),
+        6,
+    ));
+    r
 }
 
 /// Fig 8: span and median contribution of IPv4-only domains.
-pub fn fig8(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Fig 8 — span & median contribution of IPv4-only domains")
-    );
-    let psl = ctx.world.psl.clone();
-    let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
+pub fn fig8(s: &mut Session) -> Report {
+    let mut r = Report::new("fig8");
+    r.heading("Fig 8 — span & median contribution of IPv4-only domains");
+    let psl = s.world.psl.clone();
+    let inf = InfluenceReport::compute(s.latest_crawl(), &psl);
     let spans: Vec<f64> = inf.domains.iter().map(|d| d.span as f64).collect();
     let contribs: Vec<f64> = inf.domains.iter().map(|d| d.median_contribution).collect();
-    println!(
+    r.line(format!(
         "{} IPv4-only domains used by partial sites",
         inf.domains.len()
+    ));
+    r.compare(
+        "span p75",
+        2.0,
+        netstats::quantile(&spans, 0.75).expect("spans"),
     );
-    print!(
-        "{}",
-        compare(
-            "span p75",
-            2.0,
-            netstats::quantile(&spans, 0.75).expect("spans")
-        )
+    r.compare(
+        "span p95",
+        20.0,
+        netstats::quantile(&spans, 0.95).expect("spans"),
     );
-    print!(
-        "{}",
-        compare(
-            "span p95",
-            20.0,
-            netstats::quantile(&spans, 0.95).expect("spans")
-        )
+    r.compare(
+        "top span as fraction of partial sites",
+        6_666.0 / 24_384.0,
+        spans[0] / inf.sites.len() as f64,
     );
-    print!(
-        "{}",
-        compare(
-            "top span as fraction of partial sites",
-            6_666.0 / 24_384.0,
-            spans[0] / inf.sites.len() as f64,
-        )
+    r.compare(
+        "median contribution p50",
+        0.04,
+        netstats::quantile(&contribs, 0.5).expect("contribs"),
     );
-    print!(
-        "{}",
-        compare(
-            "median contribution p50",
-            0.04,
-            netstats::quantile(&contribs, 0.5).expect("contribs"),
-        )
+    r.compare(
+        "median contribution p95",
+        0.72,
+        netstats::quantile(&contribs, 0.95).expect("contribs"),
     );
-    print!(
-        "{}",
-        compare(
-            "median contribution p95",
-            0.72,
-            netstats::quantile(&contribs, 0.95).expect("contribs"),
-        )
-    );
-    print!("{}", render_cdf("span", &Ecdf::new(spans), 6));
-    print!(
-        "{}",
-        render_cdf("median contribution", &Ecdf::new(contribs), 6)
-    );
-    println!("top 5 spans:");
+    r.raw(render_cdf("span", &Ecdf::new(spans), 6));
+    r.raw(render_cdf("median contribution", &Ecdf::new(contribs), 6));
+    r.line("top 5 spans:");
     for d in inf.domains.iter().take(5) {
-        println!(
+        r.line(format!(
             "    {:<28} span {:>6}  median contribution {:.2}",
             d.domain.to_string(),
             d.span,
             d.median_contribution
-        );
+        ));
     }
+    r
 }
 
 /// Fig 9: categories of heavy-hitter IPv4-only domains.
-pub fn fig9(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Fig 9 — categories of high-span IPv4-only domains")
-    );
-    let scale = ctx.site_scale();
-    let psl = ctx.world.psl.clone();
-    let category_of: HashMap<Name, DomainCategory> = ctx
+pub fn fig9(s: &mut Session) -> Report {
+    let mut r = Report::new("fig9");
+    r.heading("Fig 9 — categories of high-span IPv4-only domains");
+    let scale = s.site_scale();
+    let psl = s.world.psl.clone();
+    let category_of: HashMap<Name, DomainCategory> = s
         .world
         .web
         .third_parties
         .iter()
         .map(|t| (t.domain.clone(), t.category))
         .collect();
-    let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
+    let inf = InfluenceReport::compute(s.latest_crawl(), &psl);
     let min_span = ((100.0 * scale).ceil() as usize).max(2);
     let hh_count = inf.heavy_hitters(min_span).count();
     let cats = inf.heavy_hitter_categories(min_span, &category_of);
-    println!("{hh_count} domains with span ≥ {min_span} (paper: 396 with span ≥ 100 at 100k)");
+    r.line(format!(
+        "{hh_count} domains with span ≥ {min_span} (paper: 396 with span ≥ 100 at 100k)"
+    ));
     let total: usize = cats.iter().map(|(_, n)| n).sum();
     let mut t = TextTable::new(vec!["Category", "Count", "Share %", "paper share %"]);
     let paper_share = |c: DomainCategory| match c {
@@ -306,36 +276,32 @@ pub fn fig9(ctx: &mut Ctx) {
             format!("{:.0}", paper_share(*cat)),
         ]);
     }
-    print!("{}", t.render());
+    r.table(t);
+    r
 }
 
 /// Fig 10: the what-if adoption curve.
-pub fn fig10(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Fig 10 — what-if: enabling IPv6 on IPv4-only domains by span")
-    );
-    let psl = ctx.world.psl.clone();
-    let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
+pub fn fig10(s: &mut Session) -> Report {
+    let mut r = Report::new("fig10");
+    r.heading("Fig 10 — what-if: enabling IPv6 on IPv4-only domains by span");
+    let psl = s.world.psl.clone();
+    let inf = InfluenceReport::compute(s.latest_crawl(), &psl);
     let curve = WhatIfCurve::compute(&inf);
-    let scale = ctx.site_scale();
+    let scale = s.site_scale();
     let top500 = ((500.0 * scale).ceil() as usize).max(1);
-    print!(
-        "{}",
-        compare(
-            &format!("fraction full after top {top500} domains (paper: top 500)"),
-            0.25,
-            curve.fraction_after(top500),
-        )
+    r.compare(
+        format!("fraction full after top {top500} domains (paper: top 500)"),
+        0.25,
+        curve.fraction_after(top500),
     );
-    println!(
+    r.line(format!(
         "domains needed for ALL partial sites: {} of {} (paper: >15,000 of ~37.5k)",
         curve
             .domains_for_all
             .map(|d| d.to_string())
             .unwrap_or_else(|| "unreachable".into()),
         inf.domains.len()
-    );
+    ));
     // Print the curve at decile steps.
     let mut t = TextTable::new(vec!["domains enabled", "sites full", "fraction"]);
     for i in 1..=10 {
@@ -346,17 +312,16 @@ pub fn fig10(ctx: &mut Ctx) {
             format!("{:.3}", curve.fraction_after(k)),
         ]);
     }
-    print!("{}", t.render());
+    r.table(t);
+    r
 }
 
 /// Fig 18: heatmap of top IPv4-only domains by resource type.
-pub fn fig18(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Fig 18 — top-20 IPv4-only domains × resource type")
-    );
-    let psl = ctx.world.psl.clone();
-    let hm = TypeHeatmap::compute(ctx.latest_crawl(), &psl, 20);
+pub fn fig18(s: &mut Session) -> Report {
+    let mut r = Report::new("fig18");
+    r.heading("Fig 18 — top-20 IPv4-only domains × resource type");
+    let psl = s.world.psl.clone();
+    let hm = TypeHeatmap::compute(s.latest_crawl(), &psl, 20);
     let mut header = vec!["domain".to_string(), "(any)".to_string()];
     header.extend(hm.types.iter().map(|t| t.label().to_string()));
     let mut t = TextTable::new(header);
@@ -365,66 +330,55 @@ pub fn fig18(ctx: &mut Ctx) {
         cells.extend(hm.matrix[row].iter().map(|c| c.to_string()));
         t.row(cells);
     }
-    print!("{}", t.render());
-    println!("(paper: doubleclick.net leads; images are the dominant type)");
+    r.table(t);
+    r.line("(paper: doubleclick.net leads; images are the dominant type)");
+    r
 }
 
 /// Ablation: main-page-only crawling (Bajpai & Schönwälder style).
-pub fn ablation_mainpage(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Ablation — main-page-only crawl vs link-click crawl")
+pub fn ablation_mainpage(s: &mut Session) -> Report {
+    let mut r = Report::new("ablation-mainpage");
+    r.heading("Ablation — main-page-only crawl vs link-click crawl");
+    let full = ClassCounts::from_report(s.latest_crawl());
+    let main_only = ClassCounts::from_report(s.mainpage_crawl());
+    r.compare(
+        "IPv6-full % with link clicks (paper Apr: 12.5)",
+        12.5,
+        full.pct_of_connected(full.full),
     );
-    let full = ClassCounts::from_report(ctx.latest_crawl());
-    let main_only = ClassCounts::from_report(ctx.mainpage_crawl());
-    print!(
-        "{}",
-        compare(
-            "IPv6-full % with link clicks (paper Apr: 12.5)",
-            12.5,
-            full.pct_of_connected(full.full),
-        )
-    );
-    print!(
-        "{}",
-        compare(
-            "IPv6-full % main page only (paper: 14.1)",
-            14.1,
-            main_only.pct_of_connected(main_only.full),
-        )
+    r.compare(
+        "IPv6-full % main page only (paper: 14.1)",
+        14.1,
+        main_only.pct_of_connected(main_only.full),
     );
     let jump = main_only.pct_of_connected(main_only.full) - full.pct_of_connected(full.full);
-    print!(
-        "{}",
-        compare("inflation from skipping clicks (pp)", 1.6, jump)
-    );
-    println!("(the paper notes this inflation is ~2.7× the real 9-month growth)");
+    r.compare("inflation from skipping clicks (pp)", 1.6, jump);
+    r.line("(the paper notes this inflation is ~2.7× the real 9-month growth)");
+    r
 }
 
 /// Ablation: first-party-only analysis (Dhamdhere et al. style).
-pub fn ablation_firstparty(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Ablation — first-party-only resource analysis")
-    );
-    let report = ctx.latest_crawl();
+pub fn ablation_firstparty(s: &mut Session) -> Report {
+    let mut r = Report::new("ablation-firstparty");
+    r.heading("Ablation — first-party-only resource analysis");
+    let report = s.latest_crawl();
     let mut connected = 0usize;
     let mut full_grade = 0usize;
     let mut full_first_party_only = 0usize;
-    for s in &report.sites {
-        match classify_site(s) {
+    for site in &report.sites {
+        match classify_site(site) {
             SiteClass::V4Only | SiteClass::UnknownPrimary => connected += 1,
             SiteClass::Partial | SiteClass::Full => {
                 connected += 1;
-                let ok = s.outcome.as_ref().expect("classified success");
-                if classify_site(s) == SiteClass::Full {
+                let ok = site.outcome.as_ref().expect("classified success");
+                if classify_site(site) == SiteClass::Full {
                     full_grade += 1;
                 }
                 let fp_v4only = ok
                     .resources
                     .iter()
-                    .filter(|r| r.first_party && (r.has_a || r.has_aaaa))
-                    .any(|r| !r.has_aaaa);
+                    .filter(|x| x.first_party && (x.has_a || x.has_aaaa))
+                    .any(|x| !x.has_aaaa);
                 if !fp_v4only {
                     full_first_party_only += 1;
                 }
@@ -434,32 +388,32 @@ pub fn ablation_firstparty(ctx: &mut Ctx) {
     }
     let graded = 100.0 * full_grade as f64 / connected as f64;
     let fp_only = 100.0 * full_first_party_only as f64 / connected as f64;
-    println!("graded IPv6-full:            {graded:.1}% of connected");
-    println!("first-party-only 'full':     {fp_only:.1}% of connected");
-    println!(
+    r.line(format!(
+        "graded IPv6-full:            {graded:.1}% of connected"
+    ));
+    r.line(format!(
+        "first-party-only 'full':     {fp_only:.1}% of connected"
+    ));
+    r.line(format!(
         "→ ignoring third-party resources overstates full readiness {:.1}×",
         fp_only / graded
+    ));
+    let psl = s.world.psl.clone();
+    let inf = InfluenceReport::compute(s.latest_crawl(), &psl);
+    r.compare(
+        "% of partial sites partial due to first-party only",
+        2.3,
+        100.0 * inf.first_party_only_partial as f64 / inf.sites.len() as f64,
     );
-    let psl = ctx.world.psl.clone();
-    let inf = InfluenceReport::compute(ctx.latest_crawl(), &psl);
-    print!(
-        "{}",
-        compare(
-            "% of partial sites partial due to first-party only",
-            2.3,
-            100.0 * inf.first_party_only_partial as f64 / inf.sites.len() as f64,
-        )
-    );
+    r
 }
 
 /// Ablation: Happy Eyeballs parameters vs the "Browser Used IPv4" rate.
-pub fn ablation_he(ctx: &mut Ctx) {
-    print!(
-        "{}",
-        heading("Ablation — Happy Eyeballs degradation vs IPv4 race wins")
-    );
+pub fn ablation_he(s: &mut Session) -> Report {
+    let mut r = Report::new("ablation-he");
+    r.heading("Ablation — Happy Eyeballs degradation vs IPv4 race wins");
     use crawlsim::{crawl_epoch, CrawlConfig};
-    let epoch = ctx.world.latest_epoch();
+    let epoch = s.world.latest_epoch();
     let mut t = TextTable::new(vec![
         "v6 degraded rate",
         "browser used IPv4 %",
@@ -470,7 +424,7 @@ pub fn ablation_he(ctx: &mut Ctx) {
             v6_degraded_rate: rate,
             ..CrawlConfig::default()
         };
-        let report = crawl_epoch(&ctx.world, epoch, &cfg);
+        let report = crawl_epoch(&s.world, epoch, &cfg);
         let c = ClassCounts::from_report(&report);
         let used_v4 = 100.0 * c.browser_used_v4 as f64 / c.full.max(1) as f64;
         t.row(vec![
@@ -479,19 +433,23 @@ pub fn ablation_he(ctx: &mut Ctx) {
             format!("{:.1}", c.pct_of_connected(c.full)),
         ]);
     }
-    print!("{}", t.render());
-    println!(
+    r.table(t);
+    r.line(
         "(classification is invariant to the race outcome — only 'Browser Used IPv4' moves;\n\
-         paper: 1,189/10,277 = 11.6% of full sites used IPv4 somewhere)"
+         paper: 1,189/10,277 = 11.6% of full sites used IPv4 somewhere)",
     );
+    r
 }
 
 /// Robustness: re-derive the headline shares across several seeds and show
 /// mean ± sd — the qualitative findings must be properties of the
 /// calibrated distributions, not of one lucky world.
-pub fn robustness(sites: usize, base_seed: u64) {
+pub fn robustness(s: &mut Session) -> Report {
     use worldgen::{World, WorldConfig};
-    print!("{}", heading("Robustness — headline shares across 5 seeds"));
+    let sites = s.world.web.sites.len().min(5_000);
+    let base_seed = s.world.config.seed;
+    let mut r = Report::new("robustness");
+    r.heading("Robustness — headline shares across 5 seeds");
     let mut v4 = Vec::new();
     let mut partial = Vec::new();
     let mut full = Vec::new();
@@ -513,13 +471,13 @@ pub fn robustness(sites: usize, base_seed: u64) {
         v4.push(c.pct_of_connected(c.v4_only));
         partial.push(c.pct_of_connected(c.partial));
         full.push(c.pct_of_connected(c.full));
-        println!(
+        r.line(format!(
             "seed {:>2}: v4-only {:.1}%  partial {:.1}%  full {:.1}%",
             i,
             v4.last().unwrap(),
             partial.last().unwrap(),
             full.last().unwrap()
-        );
+        ));
     }
     let stat = |xs: &[f64]| {
         (
@@ -530,6 +488,9 @@ pub fn robustness(sites: usize, base_seed: u64) {
     let (mv, sv) = stat(&v4);
     let (mp, sp) = stat(&partial);
     let (mf, sf) = stat(&full);
-    println!("v4-only: {mv:.1} ± {sv:.2}   partial: {mp:.1} ± {sp:.2}   full: {mf:.1} ± {sf:.2}");
-    println!("(qualitative ordering v4-only > partial > full must hold for every seed)");
+    r.line(format!(
+        "v4-only: {mv:.1} ± {sv:.2}   partial: {mp:.1} ± {sp:.2}   full: {mf:.1} ± {sf:.2}"
+    ));
+    r.line("(qualitative ordering v4-only > partial > full must hold for every seed)");
+    r
 }

@@ -1,18 +1,25 @@
-//! Shared experiment context: the world, cached crawls and traffic runs.
+//! [`RunConfig`] and [`Session`]: the shared state every scenario runs in.
+//!
+//! A `Session` owns the synthetic world plus lazily-built caches of the
+//! expensive derived artifacts (crawls, traffic runs, streaming aggregate
+//! passes), so a sequence of scenarios — `repro all`, a registry sweep in a
+//! test, or an embedding application — pays for each artifact once.
 //!
 //! Flow-derived experiments come in two flavors. The *streaming* caches
-//! ([`Ctx::client_analyses`], [`Ctx::as_rows`], [`Ctx::domain_rows`],
-//! [`Ctx::hourly_aggs`], [`Ctx::flow_sketches`]) run one synthesis pass
-//! with composite [`FlowSink`] aggregators — peak memory is
-//! O(residences × aggregator), independent of `--days`, which is what lets
-//! `--full` runs scale. [`Ctx::traffic`] still materializes every record,
-//! but only the anonymized-log export needs it (raw flow logs are the one
-//! artifact that *is* the records).
+//! ([`Session::client_analyses`], [`Session::as_rows`],
+//! [`Session::domain_rows`], [`Session::hourly_aggs`],
+//! [`Session::flow_sketches`]) run one synthesis pass with composite
+//! [`FlowSink`](flowmon::FlowSink) aggregators — peak memory is
+//! O(residences × aggregator),
+//! independent of `days`, which is what lets `--full` runs scale.
+//! [`Session::traffic`] still materializes every record, but only the
+//! anonymized-log export needs it (raw flow logs are the one artifact that
+//! *is* the records).
 
 use crawlsim::{crawl_epoch, CrawlConfig, CrawlReport};
 use dnssim::Name;
-use flowmon::sink::{FlowSink, FlowStatsAgg};
-use flowmon::{FlowRecord, Scope, ScopeFamilyAgg};
+use flowmon::sink::FlowStatsAgg;
+use flowmon::{Scope, ScopeFamilyAgg};
 use ipv6view_core::client::{
     analyze_agg, domain_fractions_from, AsAgg, AsFraction, DomainAgg, HourlyAgg, ResidenceAnalysis,
 };
@@ -20,6 +27,81 @@ use trafficgen::{
     paper_residences, synthesize_all, synthesize_profiles_with, ResidenceDataset, TrafficConfig,
 };
 use worldgen::{World, WorldConfig};
+
+/// Typed run parameters: what the `repro` flags used to thread positionally.
+///
+/// Build one with the chainable setters and hand it to [`Session::new`]:
+///
+/// ```
+/// use experiments::{RunConfig, Session};
+/// let session = Session::new(RunConfig::default().sites(200).seed(7).days(2));
+/// assert_eq!(session.world.web.sites.len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Crawl-list size (the paper's full scale is 100 000).
+    pub sites: usize,
+    /// World seed; every derived artifact is a pure function of it.
+    pub seed: u64,
+    /// Traffic duration in days (the paper observes ~273).
+    pub days: u32,
+    /// `--threads` override for every synthesis pass (`None` = default).
+    pub threads: Option<usize>,
+    /// `--day-threads` override (`None` = default).
+    pub day_threads: Option<usize>,
+}
+
+impl Default for RunConfig {
+    /// The `repro` defaults: a 20k-site world (1/5th of the paper's scale),
+    /// the reference seed, and the paper's nine-month duration.
+    fn default() -> RunConfig {
+        RunConfig {
+            sites: 20_000,
+            seed: 0x1f6_ad0b,
+            days: 273,
+            threads: None,
+            day_threads: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Set the crawl-list size.
+    pub fn sites(mut self, sites: usize) -> RunConfig {
+        self.sites = sites;
+        self
+    }
+
+    /// Set the world seed.
+    pub fn seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the traffic duration in days.
+    pub fn days(mut self, days: u32) -> RunConfig {
+        self.days = days;
+        self
+    }
+
+    /// Fan synthesis passes over `threads` workers (output-invariant).
+    pub fn threads(mut self, threads: usize) -> RunConfig {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Additionally fan the days inside one residence (output-invariant).
+    pub fn day_threads(mut self, day_threads: usize) -> RunConfig {
+        self.day_threads = Some(day_threads);
+        self
+    }
+
+    /// The paper's full 100k-site scale.
+    pub fn full(mut self) -> RunConfig {
+        self.sites = 100_000;
+        self
+    }
+}
 
 /// Everything the client-side figures read, computed in one streaming
 /// synthesis pass (no flow record survives its push).
@@ -37,34 +119,12 @@ pub struct StreamedClient {
     pub sketches: Vec<(char, FlowStatsAgg)>,
 }
 
-/// The composite per-residence sink of the streaming client pass: one
-/// record push feeds all four aggregators.
-struct ClientAggSink<'w> {
-    scope: ScopeFamilyAgg,
-    stats: FlowStatsAgg,
-    as_agg: AsAgg<'w>,
-    domains: DomainAgg<'w>,
-}
-
-impl FlowSink for ClientAggSink<'_> {
-    fn accept(&mut self, record: &FlowRecord) {
-        self.scope.accept(record);
-        self.stats.accept(record);
-        self.as_agg.accept(record);
-        self.domains.accept(record);
-    }
-}
-
-/// Lazily-built shared state for all experiments of one invocation.
-pub struct Ctx {
+/// Lazily-built shared state for all scenarios of one invocation.
+pub struct Session {
     /// The synthetic Internet.
     pub world: World,
-    /// Requested traffic duration (days).
-    pub days: u32,
-    /// `--threads` override for every synthesis pass (None = default).
-    pub threads: Option<usize>,
-    /// `--day-threads` override (None = default).
-    pub day_threads: Option<usize>,
+    /// The run parameters this session was built with.
+    pub config: RunConfig,
     crawls: Vec<Option<CrawlReport>>,
     crawl_mainpage_only: Option<CrawlReport>,
     traffic: Option<Vec<ResidenceDataset>>,
@@ -72,20 +132,21 @@ pub struct Ctx {
     hourly: Option<Vec<(char, HourlyAgg)>>,
 }
 
-impl Ctx {
+impl Session {
     /// Generate the world (this is the expensive step, done eagerly so the
     /// user sees progress immediately).
-    pub fn new(sites: usize, seed: u64, days: u32) -> Ctx {
+    pub fn new(config: RunConfig) -> Session {
+        let (sites, seed) = (config.sites, config.seed);
         eprintln!("[repro] generating world: {sites} sites, seed {seed:#x} ...");
         let t0 = std::time::Instant::now();
-        let config = WorldConfig {
+        let world_config = WorldConfig {
             seed,
             num_sites: sites,
             num_epochs: 3,
             long_tail_ases: 0,
             calibration: worldgen::Calibration::default(),
         };
-        let world = World::generate(&config);
+        let world = World::generate(&world_config);
         eprintln!(
             "[repro] world ready in {:.1}s ({} third-party domains, {} zone names in Jul 2025)",
             t0.elapsed().as_secs_f64(),
@@ -93,11 +154,9 @@ impl Ctx {
             world.zone(world.latest_epoch()).name_count(),
         );
         let epochs = world.web.epochs.len();
-        Ctx {
+        Session {
             world,
-            days,
-            threads: None,
-            day_threads: None,
+            config,
             crawls: (0..epochs).map(|_| None).collect(),
             crawl_mainpage_only: None,
             traffic: None,
@@ -112,18 +171,18 @@ impl Ctx {
         self.world.web.sites.len() as f64 / 100_000.0
     }
 
-    /// The base synthesis configuration of this invocation: `--days` plus
-    /// the `--threads` / `--day-threads` overrides. Experiments that need
-    /// different seeds/scales start from this and override fields.
+    /// The base synthesis configuration of this session: `days` plus the
+    /// `threads` / `day_threads` overrides. Scenarios that need different
+    /// seeds/scales start from this and override fields.
     pub fn traffic_config(&self) -> TrafficConfig {
         let mut cfg = TrafficConfig {
-            num_days: self.days,
+            num_days: self.config.days,
             ..TrafficConfig::default()
         };
-        if let Some(t) = self.threads {
+        if let Some(t) = self.config.threads {
             cfg.threads = t.max(1);
         }
-        if let Some(t) = self.day_threads {
+        if let Some(t) = self.config.day_threads {
             cfg.day_threads = t.max(1);
         }
         cfg
@@ -148,8 +207,9 @@ impl Ctx {
     }
 
     /// Shared-reference accessor for an already-run crawl (panics if the
-    /// epoch has not been crawled yet — call [`Ctx::crawl`] first). Exists
-    /// so call sites can borrow the crawl and `world` fields together.
+    /// epoch has not been crawled yet — call [`Session::crawl`] first).
+    /// Exists so call sites can borrow the crawl and `world` fields
+    /// together.
     pub fn crawl_ref(&self, epoch: usize) -> &CrawlReport {
         self.crawls[epoch]
             .as_ref()
@@ -184,7 +244,7 @@ impl Ctx {
         if self.traffic.is_none() {
             eprintln!(
                 "[repro] synthesizing {}-day traffic for 5 residences (materialized) ...",
-                self.days
+                self.config.days
             );
             let t0 = std::time::Instant::now();
             let cfg = self.traffic_config();
@@ -200,34 +260,39 @@ impl Ctx {
     }
 
     /// The streaming client pass: same seed and sampling as
-    /// [`Ctx::traffic`], but every record dies in its aggregators. One
+    /// [`Session::traffic`], but every record dies in its aggregators. One
     /// pass feeds Table 1, Fig 1/3/4/14–17 and the flow-shape sketches.
+    ///
+    /// The composite per-residence sink is a plain 4-tuple of aggregators —
+    /// the [`FlowSink`](flowmon::FlowSink) tuple combinators replace the
+    /// bespoke struct this pass once needed.
     pub fn streamed(&mut self) -> &StreamedClient {
         if self.streamed.is_none() {
             eprintln!(
                 "[repro] synthesizing {}-day traffic for 5 residences (streaming aggregators) ...",
-                self.days
+                self.config.days
             );
             let t0 = std::time::Instant::now();
             let cfg = self.traffic_config();
             let world = &self.world;
-            let results =
-                synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| ClientAggSink {
-                    scope: ScopeFamilyAgg::new(cfg.num_days),
-                    stats: FlowStatsAgg::new(),
-                    as_agg: AsAgg::new(&world.rib, &world.registry),
-                    domains: DomainAgg::new(&world.client_zone, &world.psl),
-                });
+            let results = synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| {
+                (
+                    ScopeFamilyAgg::new(cfg.num_days),
+                    FlowStatsAgg::new(),
+                    AsAgg::new(&world.rib, &world.registry),
+                    DomainAgg::new(&world.client_zone, &world.psl),
+                )
+            });
             let mut analyses = Vec::with_capacity(results.len());
             let mut as_rows = Vec::new();
             let mut sketches = Vec::with_capacity(results.len());
             let mut domain_aggs = Vec::with_capacity(results.len());
-            for (summary, sink) in results {
+            for (summary, (scope, stats, as_agg, domains)) in results {
                 let key = summary.profile.key;
-                analyses.push(analyze_agg(key, summary.scale, &sink.scope));
-                as_rows.extend(sink.as_agg.fractions(key, 0.0001));
-                sketches.push((key, sink.stats));
-                domain_aggs.push(sink.domains);
+                analyses.push(analyze_agg(key, summary.scale, &scope));
+                as_rows.extend(as_agg.fractions(key, 0.0001));
+                sketches.push((key, stats));
+                domain_aggs.push(domains);
             }
             let domains = domain_fractions_from(&domain_aggs, 10_000, 3);
             eprintln!(
@@ -272,7 +337,7 @@ impl Ctx {
         if self.hourly.is_none() {
             eprintln!("[repro] synthesizing dense traffic (hourly analyses, streaming) ...");
             let cfg = TrafficConfig {
-                num_days: self.days.min(63),
+                num_days: self.config.days.min(63),
                 scale: 1.0 / 20.0,
                 ..self.traffic_config()
             };

@@ -25,8 +25,10 @@
 //!   line rides the softwire; both are recognized from addresses alone.
 //! * [`sink`] — the streaming flow pipeline: [`FlowSink`] consumers that
 //!   aggregate the record stream (counters, distribution sketches,
-//!   translation tallies) without materializing it, plus the
-//!   [`sink::CollectSink`] compatibility buffer.
+//!   translation tallies) without materializing it, the
+//!   [`sink::CollectSink`] compatibility buffer, and the composition
+//!   combinators (sink tuples, [`sink::Tee`], [`sink::Fanout`]) that feed
+//!   one stream to many aggregators in a single pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +43,9 @@ pub mod xlat;
 pub use export::{AnonymizingExporter, DailyLog};
 pub use flow::{Direction, FlowKey, FlowRecord, IcmpMeta, Proto, Scope};
 pub use router::RouterMonitor;
-pub use sink::{CollectSink, FlowSink, ScopeFamilyAgg};
+pub use sink::{
+    CollectSink, Fanout, FlowSink, FlowStatsAgg, NullSink, ScopeFamilyAgg, Tee, TranslationAgg,
+};
 pub use table::FlowTable;
 pub use xlat::{Translation, TranslationMap};
 

@@ -25,9 +25,11 @@
 //! * [`NullSink`] — counts and discards (throughput benchmarking, gateway
 //!   sweeps that only need the translator's counters).
 //!
-//! Sinks compose: a 2-tuple of sinks is a sink (each member sees every
-//! record), and `&mut S` is a sink, so one pass over the synthesis can feed
-//! any number of aggregators. Aggregators with a `merge` operation combine
+//! Sinks compose without per-experiment structs: tuples of up to four sinks
+//! are sinks (each member sees every record), [`Tee`] fans one stream into
+//! two named halves, [`Fanout`] broadcasts into a homogeneous collection,
+//! and `&mut S` is a sink — so one pass over the synthesis can feed any
+//! number of aggregators. Aggregators with a `merge` operation combine
 //! exactly, so per-worker instances can be folded in deterministic order.
 
 use crate::day_of;
@@ -55,10 +57,83 @@ impl<S: FlowSink + ?Sized> FlowSink for &mut S {
     }
 }
 
-impl<A: FlowSink, B: FlowSink> FlowSink for (A, B) {
+macro_rules! impl_sink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: FlowSink),+> FlowSink for ($($name,)+) {
+            fn accept(&mut self, record: &FlowRecord) {
+                $(self.$idx.accept(record);)+
+            }
+        }
+    )*}
+}
+impl_sink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Two sinks fed from one stream, with named halves — the heterogeneous
+/// combinator for call sites that outgrow positional tuple indexing.
+///
+/// `Tee::new(a, b)` is behaviorally identical to the tuple `(a, b)`; it
+/// exists so composed pipelines read as `tee.first` / `tee.second` instead
+/// of `.0` / `.1`, and so both halves can be recovered via
+/// [`Tee::into_inner`]. Nest `Tee`s (or use wider tuples) for more than two.
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B> {
+    /// The first sink; sees every record before `second`.
+    pub first: A,
+    /// The second sink.
+    pub second: B,
+}
+
+impl<A: FlowSink, B: FlowSink> Tee<A, B> {
+    /// Combine two sinks into one.
+    pub fn new(first: A, second: B) -> Tee<A, B> {
+        Tee { first, second }
+    }
+
+    /// Consume the tee, returning both sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: FlowSink, B: FlowSink> FlowSink for Tee<A, B> {
     fn accept(&mut self, record: &FlowRecord) {
-        self.0.accept(record);
-        self.1.accept(record);
+        self.first.accept(record);
+        self.second.accept(record);
+    }
+}
+
+/// Broadcast into a homogeneous collection of sinks: every record reaches
+/// every member, in index order. The dynamic-width counterpart of the tuple
+/// impls — e.g. one aggregator per capacity step of a sweep, built at
+/// runtime.
+#[derive(Debug, Clone, Default)]
+pub struct Fanout<S> {
+    /// Member sinks, broadcast order.
+    pub sinks: Vec<S>,
+}
+
+impl<S: FlowSink> Fanout<S> {
+    /// A fanout over `sinks`.
+    pub fn new(sinks: Vec<S>) -> Fanout<S> {
+        Fanout { sinks }
+    }
+
+    /// Consume the fanout, returning the member sinks.
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: FlowSink> FlowSink for Fanout<S> {
+    fn accept(&mut self, record: &FlowRecord) {
+        for sink in &mut self.sinks {
+            sink.accept(record);
+        }
     }
 }
 
@@ -448,6 +523,59 @@ mod tests {
         assert_eq!(pair.0.records.len(), 1);
         assert_eq!(pair.1.flows, 1);
         assert_eq!(pair.1.bytes, 100);
+    }
+
+    #[test]
+    fn wide_tuples_feed_every_member() {
+        let mut quad = (
+            CollectSink::new(),
+            NullSink::default(),
+            FlowStatsAgg::new(),
+            ScopeFamilyAgg::new(1),
+        );
+        drain_into(
+            &[
+                rec(0, 1, 100, true, Scope::External),
+                rec(0, 2, 50, false, Scope::Internal),
+            ],
+            &mut quad,
+        );
+        assert_eq!(quad.0.records.len(), 2);
+        assert_eq!(quad.1.flows, 2);
+        assert_eq!(quad.2.size_bytes.count(), 2);
+        assert_eq!(quad.3.overall(Scope::External).total_flows(), 1);
+    }
+
+    #[test]
+    fn tee_matches_tuple_and_returns_both_halves() {
+        let records = vec![
+            rec(0, 10, 100, true, Scope::External),
+            rec(5, 20, 200, false, Scope::Internal),
+        ];
+        let mut tee = Tee::new(CollectSink::new(), NullSink::default());
+        let mut tuple = (CollectSink::new(), NullSink::default());
+        drain_into(&records, &mut tee);
+        drain_into(&records, &mut tuple);
+        let (collected, counted) = tee.into_inner();
+        assert_eq!(collected.records, tuple.0.records);
+        assert_eq!(counted.flows, tuple.1.flows);
+        assert_eq!(counted.bytes, tuple.1.bytes);
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_every_member() {
+        let mut fan = Fanout::new(vec![NullSink::default(); 3]);
+        drain_into(
+            &[
+                rec(0, 1, 100, true, Scope::External),
+                rec(0, 2, 23, false, Scope::External),
+            ],
+            &mut fan,
+        );
+        for sink in fan.into_inner() {
+            assert_eq!(sink.flows, 2);
+            assert_eq!(sink.bytes, 123);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use ipv6view::core::cloud::{
     org_readiness, pairwise_comparison, service_adoption,
 };
 use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
-use ipv6view::worldgen::{World, WorldConfig};
+use ipv6view::prelude::{World, WorldConfig};
 
 fn main() {
     let world = World::generate(&WorldConfig::small());

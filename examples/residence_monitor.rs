@@ -10,8 +10,8 @@
 use ipv6view::core::client::analyze_residence;
 use ipv6view::flowmon::{AnonymizingExporter, Scope};
 use ipv6view::iputil::anon::{Anonymizer, AnonymizerConfig};
-use ipv6view::trafficgen::{paper_residences, synthesize_residence, TrafficConfig};
-use ipv6view::worldgen::{World, WorldConfig};
+use ipv6view::prelude::{TrafficConfig, World, WorldConfig};
+use ipv6view::trafficgen::{paper_residences, synthesize_residence};
 
 fn main() {
     let world = World::generate(&WorldConfig::small());

@@ -8,7 +8,7 @@
 
 use ipv6view::core::classify::{classify_site, SiteClass};
 use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
-use ipv6view::worldgen::{World, WorldConfig};
+use ipv6view::prelude::{World, WorldConfig};
 use std::collections::BTreeMap;
 
 fn main() {

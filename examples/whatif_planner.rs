@@ -2,19 +2,22 @@
 //! convince IPv4-only third-party domains to enable IPv6, which ones first,
 //! and how far does each step move the web?
 //!
+//! Uses the library-first API: a [`Session`] owns the world and caches the
+//! crawl, so the influence analysis here and any registered scenario run
+//! afterwards share one crawl pass.
+//!
 //! ```sh
 //! cargo run --release --example whatif_planner
 //! ```
 
 use ipv6view::core::influence::InfluenceReport;
 use ipv6view::core::whatif::WhatIfCurve;
-use ipv6view::crawlsim::{crawl_epoch, CrawlConfig};
-use ipv6view::worldgen::{World, WorldConfig};
+use ipv6view::prelude::{RunConfig, Session};
 
 fn main() {
-    let world = World::generate(&WorldConfig::small());
-    let report = crawl_epoch(&world, world.latest_epoch(), &CrawlConfig::default());
-    let influence = InfluenceReport::compute(&report, &world.psl);
+    let mut session = Session::new(RunConfig::default().sites(2_000).days(30));
+    let psl = session.world.psl.clone();
+    let influence = InfluenceReport::compute(session.latest_crawl(), &psl);
     let curve = WhatIfCurve::compute(&influence);
 
     println!(

@@ -4,7 +4,31 @@
 //! reproduction of *"Towards a Non-Binary View of IPv6 Adoption"* (IMC 2025).
 //!
 //! This crate re-exports every workspace member so downstream users can depend
-//! on a single crate:
+//! on a single crate. The fastest way in is the [`prelude`] and the
+//! experiment engine: build a [`prelude::Session`] from a typed
+//! [`prelude::RunConfig`], then run any [`prelude::Scenario`] from the
+//! static registry — every paper table and figure is a scenario, and each
+//! returns a structured, serializable [`prelude::Report`]:
+//!
+//! ```
+//! use ipv6view::prelude::{registry, RunConfig, Scenario, Session};
+//!
+//! // Scenarios are first-class values: enumerate, pick, run.
+//! let fig6 = registry()
+//!     .iter()
+//!     .find(|s| s.name() == "fig6")
+//!     .expect("registered");
+//!
+//! // A tiny world for the doc test; `RunConfig::default().full()` is the
+//! // paper's 100k-site scale.
+//! let mut session = Session::new(RunConfig::default().sites(200).seed(7).days(2));
+//! let report = fig6.run(&mut session);
+//! assert_eq!(report.scenario, "fig6");
+//! assert!(report.render().contains("readiness of top-N sites"));
+//! ```
+//!
+//! Lower-level entry points remain available through the re-exported
+//! crates:
 //!
 //! ```
 //! use ipv6view::worldgen::{World, WorldConfig};
@@ -19,6 +43,9 @@ pub use bgpsim;
 pub use cloudmodel;
 pub use crawlsim;
 pub use dnssim;
+/// The experiment engine: `Session`/`Scenario`/`Report` plus the registry
+/// behind the `repro` binary.
+pub use experiments;
 pub use flowmon;
 pub use happyeyeballs;
 pub use iputil;
@@ -27,5 +54,20 @@ pub use mstl;
 pub use netsim;
 pub use netstats;
 pub use trafficgen;
+/// Transition technologies: NAT64/DNS64, 464XLAT, DS-Lite and the shared
+/// provider CGN gateway.
+pub use transition;
 pub use webmodel;
 pub use worldgen;
+
+/// The one-import surface for experiment-driven use: the engine types, the
+/// scenario registry, and the world/traffic configuration they run over.
+pub mod prelude {
+    pub use experiments::{
+        export_all, find, registry, Comparison, Dataset, Element, Report, RunConfig, Scenario,
+        Session,
+    };
+    pub use flowmon::sink::{Fanout, FlowSink, Tee};
+    pub use trafficgen::TrafficConfig;
+    pub use worldgen::{World, WorldConfig};
+}

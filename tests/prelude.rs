@@ -1,0 +1,30 @@
+//! Integration: the facade's `prelude` drives the experiment engine — the
+//! embedding path the library-first redesign exists for: one import, a
+//! typed config, scenarios as values, structured reports.
+
+use ipv6view::prelude::{find, registry, RunConfig, Scenario, Session};
+
+#[test]
+fn prelude_runs_a_scenario_end_to_end() {
+    let mut session = Session::new(RunConfig::default().sites(200).seed(7).days(2));
+    let scenario: &dyn Scenario = find("fig6").expect("fig6 is registered");
+    assert_eq!(scenario.name(), "fig6");
+    assert!(!scenario.describe().is_empty());
+    let report = scenario.run(&mut session);
+    assert_eq!(report.scenario, "fig6");
+    let text = report.render();
+    assert!(text.contains("readiness of top-N sites"), "{text}");
+    // The structured form carries the same content as JSON.
+    assert!(report.to_json().contains("\"scenario\": \"fig6\""));
+}
+
+#[test]
+fn registry_spans_all_four_vantage_points() {
+    let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+    for expect in ["table1", "fig5", "fig11", "transition", "as-fractions"] {
+        assert!(names.contains(&expect), "missing {expect}");
+    }
+    // The facade also re-exports the transition crate itself (the one
+    // workspace member the facade previously omitted).
+    let _ = ipv6view::transition::AccessTech::Ipv6OnlyNat64;
+}
