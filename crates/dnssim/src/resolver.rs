@@ -98,6 +98,43 @@ impl AddrsOutcome {
     }
 }
 
+/// Timing and retry parameters of a stub resolver.
+///
+/// Historically the "a timed-out query takes 5 s to come back" constant was
+/// hard-coded inside the Happy Eyeballs race; moving it here gives fault
+/// schedules and Happy Eyeballs a single shared source of truth. The default
+/// reproduces the historical behaviour exactly: a 5 s timeout and a single
+/// attempt (no retries).
+///
+/// All durations are microseconds, matching the `netsim`/`flowmon` clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverConfig {
+    /// How long a [`AddrsOutcome::Timeout`] answer takes to "arrive".
+    pub timeout: u64,
+    /// Total query attempts (1 = no retries, the historical behaviour).
+    /// Only failure-aware resolvers (the fault plane's retrying wrapper)
+    /// make more than one attempt; the default timed path reports the
+    /// outcome of a single query.
+    pub attempts: u32,
+    /// Delay before the first retry; doubles on each further retry
+    /// (exponential backoff).
+    pub backoff_base: u64,
+    /// Upper bound on the deterministic jitter a retrying resolver may add
+    /// to each backoff delay.
+    pub backoff_jitter: u64,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            timeout: 5_000_000,
+            attempts: 1,
+            backoff_base: 250_000,
+            backoff_jitter: 50_000,
+        }
+    }
+}
+
 /// Anything that can resolve a name to addresses of one family.
 ///
 /// The plain [`Resolver`] implements this over a [`ZoneDb`]; translation
@@ -108,6 +145,44 @@ impl AddrsOutcome {
 pub trait ResolveAddrs {
     /// Resolve `name` to addresses of `family` (chainless fast path).
     fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome;
+
+    /// Resolve `name` and report how long the answer took to arrive.
+    ///
+    /// `base_latency` is the round-trip a healthy answer takes; a
+    /// [`AddrsOutcome::Timeout`] instead takes [`ResolverConfig::timeout`].
+    /// The default implementation performs a single query; failure-aware
+    /// wrappers (the fault plane's retrying resolver) override this to model
+    /// bounded retries with backoff, accumulating the elapsed time.
+    fn resolve_addrs_timed(
+        &self,
+        name: &Name,
+        family: Family,
+        base_latency: u64,
+        config: &ResolverConfig,
+    ) -> (AddrsOutcome, u64) {
+        let outcome = self.resolve_addrs(name, family);
+        let latency = match outcome {
+            AddrsOutcome::Timeout => config.timeout,
+            _ => base_latency,
+        };
+        (outcome, latency)
+    }
+}
+
+impl<T: ResolveAddrs + ?Sized> ResolveAddrs for &T {
+    fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome {
+        (**self).resolve_addrs(name, family)
+    }
+
+    fn resolve_addrs_timed(
+        &self,
+        name: &Name,
+        family: Family,
+        base_latency: u64,
+        config: &ResolverConfig,
+    ) -> (AddrsOutcome, u64) {
+        (**self).resolve_addrs_timed(name, family, base_latency, config)
+    }
 }
 
 /// A stub resolver over a [`ZoneDb`].
@@ -416,6 +491,29 @@ mod tests {
                 assert!(same_kind, "{name} {family}: {full:?} vs {fast:?}");
             }
         }
+    }
+
+    #[test]
+    fn timed_default_single_query_uses_config_timeout() {
+        let mut db = db();
+        db.inject_failure("slow.test".into(), FailureMode::Timeout);
+        let r = Resolver::new(&db);
+        let cfg = ResolverConfig::default();
+        let (ok, lat) = r.resolve_addrs_timed(&"dual.test".into(), Family::V4, 20_000, &cfg);
+        assert!(ok.is_success());
+        assert_eq!(lat, 20_000, "healthy answers arrive at base latency");
+        let (to, lat) = r.resolve_addrs_timed(&"slow.test".into(), Family::V4, 20_000, &cfg);
+        assert_eq!(to, AddrsOutcome::Timeout);
+        assert_eq!(
+            lat, cfg.timeout,
+            "timeouts arrive after the configured timeout"
+        );
+        let short = ResolverConfig {
+            timeout: 123,
+            ..ResolverConfig::default()
+        };
+        let (_, lat) = r.resolve_addrs_timed(&"slow.test".into(), Family::V4, 20_000, &short);
+        assert_eq!(lat, 123);
     }
 
     #[test]

@@ -89,12 +89,27 @@ fn main() {
             // Text mode renders and drops each report as it completes;
             // only --json (one array of every report) needs them retained.
             let mut reports: Vec<Report> = Vec::new();
+            // One panicking scenario must not cost the rest of the run:
+            // catch it, keep going, and report every failure at the end
+            // (the session is only reused on success — a scenario that
+            // panicked mid-cache-fill could leave it torn).
+            let mut failed: Vec<&str> = Vec::new();
             for scenario in registry().iter().filter(|s| s.in_all()) {
-                let report = scenario.run(&mut session);
-                if json {
-                    reports.push(report);
-                } else {
-                    print!("{}", report.render());
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    scenario.run(&mut session)
+                }));
+                match result {
+                    Ok(report) => {
+                        if json {
+                            reports.push(report);
+                        } else {
+                            print!("{}", report.render());
+                        }
+                    }
+                    Err(_) => {
+                        eprintln!("[repro] scenario {} panicked; continuing", scenario.name());
+                        failed.push(scenario.name());
+                    }
                 }
             }
             if json {
@@ -102,6 +117,14 @@ fn main() {
                     "{}",
                     serde_json::to_string_pretty(&reports).expect("serializable")
                 );
+            }
+            if !failed.is_empty() {
+                eprintln!(
+                    "[repro] {} scenario(s) failed: {}",
+                    failed.len(),
+                    failed.join(", ")
+                );
+                std::process::exit(1);
             }
         }
         name => match find(name) {

@@ -263,6 +263,18 @@ scenarios! {
         run: crate::asfrac_exps::as_fractions,
         export: crate::asfrac_exps::as_fractions_export_report
     },
+    /// Per-class fault-injection sweep on the NAT64 line.
+    FaultsSweep {
+        name: "faults-sweep",
+        describe: "fault classes in isolation: drop/rejection signatures on the NAT64 line",
+        run: crate::fault_exps::faults_sweep
+    },
+    /// The combined stress timeline over the transition cohort.
+    AdoptionUnderStress {
+        name: "adoption-under-stress",
+        describe: "transition cohort under combined DNS/gateway/path/RIB failures",
+        run: crate::fault_exps::adoption_under_stress
+    },
     /// Seed-robustness of the headline shares (excluded from `all`).
     Robustness {
         name: "robustness",

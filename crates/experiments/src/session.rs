@@ -18,6 +18,7 @@
 
 use crawlsim::{crawl_epoch, CrawlConfig, CrawlReport};
 use dnssim::Name;
+use faults::FaultPlan;
 use flowmon::sink::FlowStatsAgg;
 use flowmon::{Scope, ScopeFamilyAgg};
 use ipv6view_core::client::{
@@ -49,6 +50,9 @@ pub struct RunConfig {
     pub threads: Option<usize>,
     /// `--day-threads` override (`None` = default).
     pub day_threads: Option<usize>,
+    /// Fault timeline injected into every synthesis pass of the session
+    /// (empty by default — an empty plan is byte-identical to no plan).
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -61,6 +65,7 @@ impl Default for RunConfig {
             days: 273,
             threads: None,
             day_threads: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -93,6 +98,12 @@ impl RunConfig {
     /// Additionally fan the days inside one residence (output-invariant).
     pub fn day_threads(mut self, day_threads: usize) -> RunConfig {
         self.day_threads = Some(day_threads);
+        self
+    }
+
+    /// Inject a deterministic fault timeline into every synthesis pass.
+    pub fn faults(mut self, faults: FaultPlan) -> RunConfig {
+        self.faults = faults;
         self
     }
 
@@ -177,6 +188,7 @@ impl Session {
     pub fn traffic_config(&self) -> TrafficConfig {
         let mut cfg = TrafficConfig {
             num_days: self.config.days,
+            faults: self.config.faults.clone(),
             ..TrafficConfig::default()
         };
         if let Some(t) = self.config.threads {

@@ -1,0 +1,125 @@
+//! Classification of flows that never made it into the record stream.
+//!
+//! The fault-injection plane (`crates/faults`) drops flows at several
+//! layers — a resolver burst kills the name lookup, a gateway outage
+//! refuses the binding, path loss eats the established flow, an exhausted
+//! pool rejects the bind. [`DropCounters`] tallies those casualties by
+//! [`DropCause`] so stress scenarios can report *why* traffic disappeared,
+//! not just that totals shrank.
+
+use serde::Serialize;
+
+/// Why a would-be flow was dropped before reaching the flow log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DropCause {
+    /// The translator/CGN binding pool was exhausted.
+    PoolExhausted,
+    /// The gateway was in an administrative outage.
+    GatewayOutage,
+    /// Injected path loss dropped the established flow.
+    PathLoss,
+    /// Name resolution failed (injected DNS fault).
+    DnsFailure,
+}
+
+impl DropCause {
+    /// Every cause, in counter order.
+    pub const ALL: [DropCause; 4] = [
+        DropCause::PoolExhausted,
+        DropCause::GatewayOutage,
+        DropCause::PathLoss,
+        DropCause::DnsFailure,
+    ];
+
+    /// Stable label for reports and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::PoolExhausted => "pool-exhausted",
+            DropCause::GatewayOutage => "gateway-outage",
+            DropCause::PathLoss => "path-loss",
+            DropCause::DnsFailure => "dns-failure",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DropCause::PoolExhausted => 0,
+            DropCause::GatewayOutage => 1,
+            DropCause::PathLoss => 2,
+            DropCause::DnsFailure => 3,
+        }
+    }
+}
+
+/// Per-cause drop tallies. Plain data: merging per-day or per-residence
+/// counters is [`DropCounters::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DropCounters {
+    counts: [u64; 4],
+}
+
+impl DropCounters {
+    /// Record one dropped flow.
+    pub fn record(&mut self, cause: DropCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Drops attributed to `cause`.
+    pub fn get(&self, cause: DropCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total drops across all causes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Nothing dropped?
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: DropCounters) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally_by_cause() {
+        let mut c = DropCounters::default();
+        assert!(c.is_empty());
+        c.record(DropCause::PathLoss);
+        c.record(DropCause::PathLoss);
+        c.record(DropCause::GatewayOutage);
+        assert_eq!(c.get(DropCause::PathLoss), 2);
+        assert_eq!(c.get(DropCause::GatewayOutage), 1);
+        assert_eq!(c.get(DropCause::DnsFailure), 0);
+        assert_eq!(c.total(), 3);
+        let mut d = DropCounters::default();
+        d.record(DropCause::PoolExhausted);
+        d.absorb(c);
+        assert_eq!(d.total(), 4);
+        assert_eq!(d.get(DropCause::PoolExhausted), 1);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<_> = DropCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "pool-exhausted",
+                "gateway-outage",
+                "path-loss",
+                "dns-failure"
+            ]
+        );
+    }
+}

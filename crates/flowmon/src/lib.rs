@@ -23,6 +23,9 @@
 //! * [`xlat`] — translated-vs-native grading: flows towards RFC 6052
 //!   prefixes are NAT64/464XLAT legacy traffic, external IPv4 on a DS-Lite
 //!   line rides the softwire; both are recognized from addresses alone.
+//! * [`drops`] — why flows *didn't* reach the log: per-cause casualty
+//!   counters for the fault-injection plane (resolver bursts, gateway
+//!   outages, path loss, pool exhaustion).
 //! * [`sink`] — the streaming flow pipeline: [`FlowSink`] consumers that
 //!   aggregate the record stream (counters, distribution sketches,
 //!   translation tallies) without materializing it, the
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drops;
 pub mod export;
 pub mod flow;
 pub mod router;
@@ -40,6 +44,7 @@ pub mod sink;
 pub mod table;
 pub mod xlat;
 
+pub use drops::{DropCause, DropCounters};
 pub use export::{AnonymizingExporter, DailyLog};
 pub use flow::{Direction, FlowKey, FlowRecord, IcmpMeta, Proto, Scope};
 pub use router::RouterMonitor;

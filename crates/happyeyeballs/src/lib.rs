@@ -25,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dnssim::{AddrsOutcome, Name, ResolveAddrs};
+use dnssim::{AddrsOutcome, Name, ResolveAddrs, ResolverConfig};
 use iputil::Family;
 use netsim::{ConnectOutcome, EventQueue, Network, TcpConnector, Time, MILLIS};
 use rand::Rng;
@@ -48,6 +48,10 @@ pub struct HappyEyeballsConfig {
     pub preferred: Family,
     /// TCP model used for each attempt.
     pub connector: TcpConnector,
+    /// Resolver timing/retry parameters. Shared with the fault plane so a
+    /// fault schedule and the race agree on how long a timed-out query
+    /// takes to come back (historically a constant buried in this crate).
+    pub resolver: ResolverConfig,
 }
 
 impl Default for HappyEyeballsConfig {
@@ -59,6 +63,7 @@ impl Default for HappyEyeballsConfig {
             connection_attempt_delay: 250 * MILLIS,
             preferred: Family::V6,
             connector: TcpConnector::default(),
+            resolver: ResolverConfig::default(),
         }
     }
 }
@@ -165,20 +170,16 @@ impl HappyEyeballs {
         let cfg = &self.config;
         // Chainless resolution: one Vec<Name> allocation avoided per query,
         // and the race runs once per (day, service) pair in trafficgen and
-        // once per page load in crawlsim.
-        let v6_res = resolver.resolve_addrs(name, Family::V6);
-        let v4_res = resolver.resolve_addrs(name, Family::V4);
+        // once per page load in crawlsim. The timed path lets the resolver
+        // decide how long each answer takes: a timeout "arrives" after
+        // `cfg.resolver.timeout`, and failure-aware wrappers (the fault
+        // plane's retrying resolver) fold retry and backoff time in here.
+        let (v6_res, v6_latency) =
+            resolver.resolve_addrs_timed(name, Family::V6, cfg.dns_latency_v6, &cfg.resolver);
+        let (v4_res, v4_latency) =
+            resolver.resolve_addrs_timed(name, Family::V4, cfg.dns_latency_v4, &cfg.resolver);
 
         let mut queue: EventQueue<Event> = EventQueue::new();
-        // Model query latency; a timeout answer takes 5 s to "arrive".
-        let v6_latency = match v6_res {
-            AddrsOutcome::Timeout => 5_000 * MILLIS,
-            _ => cfg.dns_latency_v6,
-        };
-        let v4_latency = match v4_res {
-            AddrsOutcome::Timeout => 5_000 * MILLIS,
-            _ => cfg.dns_latency_v4,
-        };
         queue.schedule_at(start + v6_latency, Event::DnsAnswer(Family::V6));
         queue.schedule_at(start + v4_latency, Event::DnsAnswer(Family::V4));
 
@@ -520,6 +521,44 @@ mod tests {
             .unwrap();
         // v6 failed at 20ms + 1s; v4 must start then, not at 20ms + 5s.
         assert_eq!(v4.started_at, 20 * MILLIS + SECONDS);
+    }
+
+    /// AAAA times out, A answers: the time the timeout "arrives" now comes
+    /// from `ResolverConfig::timeout` instead of a constant in this crate.
+    #[test]
+    fn dns_timeout_latency_comes_from_resolver_config() {
+        struct V6TimesOut;
+        impl ResolveAddrs for V6TimesOut {
+            fn resolve_addrs(&self, _name: &Name, family: Family) -> AddrsOutcome {
+                match family {
+                    Family::V6 => AddrsOutcome::Timeout,
+                    Family::V4 => AddrsOutcome::Answers(vec!["192.0.2.9".parse().unwrap()]),
+                }
+            }
+        }
+        let net = Network::dual_stack_ms(10);
+        // Default config reproduces the historical 5 s constant: A arrives
+        // at 20 ms, the preferred family is still pending, so attempts wait
+        // out the 50 ms resolution delay and start at 70 ms.
+        let he = HappyEyeballs::default();
+        assert_eq!(he.config.resolver.timeout, 5_000 * MILLIS);
+        let report = he.connect(&net, &V6TimesOut, &mut rng(), &"mixed.test".into(), 0);
+        assert_eq!(report.winning_family(), Some(Family::V4));
+        assert_eq!(report.attempts[0].started_at, 70 * MILLIS);
+        // A 10 ms timeout makes the AAAA failure arrive *before* the A
+        // answer: both families are answered at 20 ms and attempts start
+        // immediately — the knob is honoured end-to-end.
+        let short = HappyEyeballsConfig {
+            resolver: ResolverConfig {
+                timeout: 10 * MILLIS,
+                ..ResolverConfig::default()
+            },
+            ..HappyEyeballsConfig::default()
+        };
+        let he_short = HappyEyeballs::new(short);
+        let report = he_short.connect(&net, &V6TimesOut, &mut rng(), &"mixed.test".into(), 0);
+        assert_eq!(report.winning_family(), Some(Family::V4));
+        assert_eq!(report.attempts[0].started_at, 20 * MILLIS);
     }
 
     #[test]

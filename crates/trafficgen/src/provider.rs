@@ -29,12 +29,16 @@
 use crate::par::fan_out;
 use crate::profile::ResidenceProfile;
 use crate::synth::{synthesize_day_into, GatewayMode, ResidenceCtx, ResidenceSetup, TrafficConfig};
+use faults::PoolTarget;
 use flowmon::sink::{CollectSink, FlowSink, NullSink};
 use flowmon::FlowRecord;
 use serde::Serialize;
-use transition::provider::{Admission, ProviderDayStats, ProviderGateway};
+use transition::provider::{Admission, ProviderDayStats, ProviderGateway, ProviderPool};
 use transition::{AccessTech, GatewayConfig, GatewayStats};
 use worldgen::World;
+
+/// Microseconds per hour (fault windows are hour-granular).
+const HOUR_US: u64 = 3_600_000_000;
 
 /// Per-subscriber admission counters of a provider-shared run.
 #[derive(Debug, Clone, Serialize)]
@@ -97,8 +101,23 @@ pub fn synthesize_isp<S: FlowSink>(
     // One day at a time: generate every subscriber's day in parallel,
     // replay admissions sequentially, drop the buffers, move on. The
     // replay sees (day, subscriber, emission order) — the canonical
-    // deterministic order the gateway documents.
+    // deterministic order the gateway documents. The fault plan acts here
+    // too: scheduled pool shrinks resize the shared pools at each day
+    // boundary, and outage windows flip the pools down/up as the replay
+    // crosses each record's hour (pure window checks — no randomness, so
+    // an empty plan leaves the replay byte-identical).
+    let plan = &config.faults;
+    let base_capacity = config.gateway.capacity;
     for day in 0..config.num_days {
+        if !plan.is_empty() {
+            gateway.set_capacity(plan.pool_capacity(base_capacity, day));
+            // Day boundary: lift any outage carried over from yesterday's
+            // final window (the per-record flips below only run on days an
+            // outage touches).
+            gateway.set_outage(ProviderPool::Nat64, false);
+            gateway.set_outage(ProviderPool::Aftr, false);
+        }
+        let outage_today = !plan.is_empty() && plan.gateway_outage_on_day(day);
         let day_buffers: Vec<Vec<FlowRecord>> =
             fan_out((0..setups.len()).collect(), config.threads, |_, i| {
                 let ctx = ResidenceCtx {
@@ -113,8 +132,19 @@ pub fn synthesize_isp<S: FlowSink>(
         for (i, records) in day_buffers.into_iter().enumerate() {
             let dslite = profiles[i].access_tech == AccessTech::DsLite;
             for record in &records {
+                if outage_today {
+                    let hour = ((record.start % flowmon::DAY) / HOUR_US) as u32;
+                    gateway.set_outage(
+                        ProviderPool::Nat64,
+                        plan.gateway_down(PoolTarget::Nat64, day, hour),
+                    );
+                    gateway.set_outage(
+                        ProviderPool::Aftr,
+                        plan.gateway_down(PoolTarget::Aftr, day, hour),
+                    );
+                }
                 match gateway.offer(record, dslite) {
-                    Admission::Rejected => stats[i].rejected += 1,
+                    Admission::Rejected | Admission::RejectedOutage => stats[i].rejected += 1,
                     verdict => {
                         if verdict == Admission::Granted {
                             stats[i].granted += 1;
@@ -314,6 +344,52 @@ mod tests {
             );
             assert!(d.rejected > 0);
         }
+    }
+
+    #[test]
+    fn provider_replay_applies_outage_and_shrink_deterministically() {
+        use faults::{FaultPlan, Window};
+        let world = world();
+        let profiles = isp_cohort(4);
+        let plan = FaultPlan::new(3)
+            .gateway_outage(PoolTarget::Nat64, Window::new(1, 2, 6, 18))
+            .pool_shrink(0.1, Window::days(3, 4));
+        let run = |threads: usize, plan: FaultPlan| {
+            let gw_cfg = GatewayConfig {
+                capacity: 256,
+                binding_timeout: 1_800 * 1_000_000,
+            };
+            let mut gateway = ProviderGateway::new(world.transition.nat64_prefix, gw_cfg);
+            let mut sinks: Vec<CollectSink> =
+                (0..profiles.len()).map(|_| CollectSink::new()).collect();
+            let config = TrafficConfig {
+                faults: plan,
+                ..cfg(6, threads)
+            };
+            let stats = synthesize_isp(&world, &profiles, &config, &mut gateway, &mut sinks);
+            let flows: Vec<Vec<flowmon::FlowRecord>> =
+                sinks.into_iter().map(|s| s.into_records()).collect();
+            (stats, gateway.stats(), gateway.outage_stats(), flows)
+        };
+        let (s1, _, o1, f1) = run(1, plan.clone());
+        let (_, _, o4, f4) = run(4, plan.clone());
+        assert_eq!(f1, f4, "faulted provider replay differs across threads");
+        assert_eq!(o1.total(), o4.total());
+        assert!(o1.nat64_rejected > 0, "outage window must reject offers");
+        assert_eq!(o1.aftr_rejected, 0, "AFTR was never scheduled down");
+        let (sc, _, oc, fc) = run(1, FaultPlan::default());
+        assert_eq!(oc.total(), 0);
+        let forwarded = |f: &[Vec<flowmon::FlowRecord>]| f.iter().map(Vec::len).sum::<usize>();
+        assert!(
+            forwarded(&f1) < forwarded(&fc),
+            "outage-rejected records never reach sinks"
+        );
+        let rejected = |s: &[SubscriberStats]| s.iter().map(|x| x.rejected).sum::<u64>();
+        assert!(
+            rejected(&s1) >= o1.total(),
+            "every outage rejection shows up in subscriber counters"
+        );
+        assert!(rejected(&s1) > rejected(&sc));
     }
 
     #[test]

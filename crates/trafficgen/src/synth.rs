@@ -31,9 +31,10 @@
 
 use crate::par::fan_out;
 use crate::profile::ResidenceProfile;
-use dnssim::{Name, Resolver};
+use dnssim::{Name, ResolveAddrs, Resolver};
+use faults::{DayPathFault, FaultPlan, FaultyResolver, PoolTarget, DNS_STREAM, FLOW_DROP_STREAM};
 use flowmon::sink::{CollectSink, FlowSink};
-use flowmon::{FlowKey, FlowRecord, RouterMonitor, TranslationMap};
+use flowmon::{DropCause, DropCounters, FlowKey, FlowRecord, RouterMonitor, TranslationMap};
 use happyeyeballs::{HappyEyeballs, HappyEyeballsConfig};
 use iputil::prefix::{Prefix4, Prefix6};
 use iputil::Family;
@@ -85,6 +86,11 @@ pub struct TrafficConfig {
     /// Binding-table limits of the NAT64/AFTR gateways serving translated
     /// residences (shrink to provoke the exhaustion scenario).
     pub gateway: GatewayConfig,
+    /// Scheduled failure timeline ([`faults`] crate). The default empty
+    /// plan draws no randomness and leaves output byte-identical to a run
+    /// without the fault plane; a non-empty plan perturbs only what it
+    /// schedules, from dedicated `(fault, residence, day)` RNG streams.
+    pub faults: FaultPlan,
 }
 
 impl Default for TrafficConfig {
@@ -100,6 +106,7 @@ impl Default for TrafficConfig {
                 .unwrap_or(1),
             day_threads: 1,
             gateway: GatewayConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -132,6 +139,8 @@ pub struct ResidenceDataset {
     /// IPv6-only techs, the AFTR's NAT44 for DS-Lite); `None` on lines that
     /// use no stateful gateway.
     pub gateway: Option<GatewayStats>,
+    /// Flows lost to the fault plane, by cause (all-zero without a plan).
+    pub drops: DropCounters,
 }
 
 /// What a streaming synthesis returns: everything [`ResidenceDataset`]
@@ -148,6 +157,8 @@ pub struct ResidenceSummary {
     /// gateway, and always `None` under a shared provider gateway — the
     /// provider holds the pool then).
     pub gateway: Option<GatewayStats>,
+    /// Flows lost to the fault plane, by cause (all-zero without a plan).
+    pub drops: DropCounters,
 }
 
 /// Diurnal activity weight for human traffic: near-zero overnight, a
@@ -385,6 +396,7 @@ pub fn synthesize_residence(
         scale: summary.scale,
         num_days: summary.num_days,
         gateway: summary.gateway,
+        drops: summary.drops,
     }
 }
 
@@ -407,12 +419,13 @@ pub fn synthesize_residence_into<S: FlowSink>(
         config,
         setup: &setup,
     };
-    let gateway = run_days(&ctx, GatewayMode::Local, sink);
+    let (gateway, drops) = run_days(&ctx, GatewayMode::Local, sink);
     ResidenceSummary {
         profile: setup.profile,
         scale: config.scale,
         num_days: config.num_days,
         gateway,
+        drops,
     }
 }
 
@@ -422,9 +435,10 @@ pub(crate) fn run_days<S: FlowSink>(
     ctx: &ResidenceCtx<'_>,
     mode: GatewayMode,
     sink: &mut S,
-) -> Option<GatewayStats> {
+) -> (Option<GatewayStats>, DropCounters) {
     let config = ctx.config;
     let mut gateway: Option<GatewayStats> = None;
+    let mut drops = DropCounters::default();
     let absorb = |gateway: &mut Option<GatewayStats>, stats: Option<GatewayStats>| {
         if let Some(stats) = stats {
             gateway
@@ -435,8 +449,9 @@ pub(crate) fn run_days<S: FlowSink>(
     if config.day_threads.max(1) == 1 {
         // Fully streaming: a day's records go straight to the sink.
         for day in 0..config.num_days {
-            let stats = synthesize_day_into(ctx, day, mode, sink);
+            let (stats, day_drops) = synthesize_day_into(ctx, day, mode, sink);
             absorb(&mut gateway, stats);
+            drops.absorb(day_drops);
         }
     } else {
         // Day fan-out, chunked: each worker buffers its day, and only one
@@ -454,19 +469,20 @@ pub(crate) fn run_days<S: FlowSink>(
             let end = (start + chunk).min(config.num_days);
             let day_results = fan_out((start..end).collect(), day_threads, |_, day| {
                 let mut buf = CollectSink::new();
-                let stats = synthesize_day_into(ctx, day, mode, &mut buf);
-                (buf.into_records(), stats)
+                let outcome = synthesize_day_into(ctx, day, mode, &mut buf);
+                (buf.into_records(), outcome)
             });
-            for (records, stats) in day_results {
+            for (records, (stats, day_drops)) in day_results {
                 for r in &records {
                     sink.accept(r);
                 }
                 absorb(&mut gateway, stats);
+                drops.absorb(day_drops);
             }
             start = end;
         }
     }
-    gateway
+    (gateway, drops)
 }
 
 /// Ephemeral source-port allocator for one (residence, day).
@@ -588,7 +604,36 @@ struct DayRun<'a, S: FlowSink> {
     mode: GatewayMode,
     nat64: Option<Nat64Gateway>,
     aftr: Option<Aftr>,
+    faults: Option<DayFaults>,
+    drops: DropCounters,
     sink: &'a mut S,
+}
+
+/// The fault plane's per-day machinery, built only for a non-empty plan
+/// (rule 1 of the [`faults`] determinism contract: an empty plan draws
+/// nothing). Flow-drop decisions come from a dedicated stream keyed by
+/// `(residence, day)`, so they are layout-invariant like everything else.
+struct DayFaults {
+    rng: SmallRng,
+    path: Vec<DayPathFault>,
+}
+
+impl DayFaults {
+    /// Is this flow eaten by an injected path drop? At most one draw per
+    /// matching degradation, in plan order.
+    fn drops_flow(&mut self, family_v6: bool, day: u32, hour: u32) -> bool {
+        let family = if family_v6 { Family::V6 } else { Family::V4 };
+        for f in &self.path {
+            if f.drop_rate > 0.0
+                && f.family == family
+                && f.window.covers(day, hour)
+                && self.rng.gen::<f64>() < f.drop_rate
+            {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl<S: FlowSink> DayRun<'_, S> {
@@ -615,6 +660,15 @@ impl<S: FlowSink> DayRun<'_, S> {
         let tech = self.ctx.setup.profile.access_tech;
         let mode = self.mode;
         let nat64_prefix = self.ctx.world.transition.nat64_prefix;
+        // Injected path drops decide *before* any synthesis-RNG draw, so a
+        // dropped flow consumes nothing from the day stream and every
+        // surviving flow's randomness is untouched by the fault plane.
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.drops_flow(family_v6, day, hour) {
+                self.drops.record(DropCause::PathLoss);
+                return false;
+            }
+        }
         let rng = &mut self.rng;
         let devices = &self.ctx.setup.devices;
         let start = day as u64 * DAY_US + hour as u64 * HOUR_US + rng.gen_range(0..HOUR_US);
@@ -660,10 +714,25 @@ impl<S: FlowSink> DayRun<'_, S> {
                     // shared provider during its replay).
                     let dst6 = match mode {
                         GatewayMode::Local => {
+                            // A scheduled outage rejects before the pool is
+                            // even consulted (pure window check, no RNG).
+                            if self
+                                .ctx
+                                .config
+                                .faults
+                                .gateway_down(PoolTarget::Nat64, day, hour)
+                            {
+                                self.drops.record(DropCause::GatewayOutage);
+                                return false;
+                            }
                             let gw = self.nat64.as_mut().expect("v6-only line has a NAT64");
                             match gw.translate(dst4, start, start + duration) {
                                 Ok(d) => d,
-                                Err(_) => return false, // pool exhausted: flow dropped
+                                Err(_) => {
+                                    // pool exhausted: flow dropped
+                                    self.drops.record(DropCause::PoolExhausted);
+                                    return false;
+                                }
                             }
                         }
                         GatewayMode::Provider => nat64_prefix.embed(dst4),
@@ -672,18 +741,27 @@ impl<S: FlowSink> DayRun<'_, S> {
                 }
                 AccessTech::DsLite => {
                     // Inner IPv4 flow over the softwire; the AFTR's NAT44
-                    // must grant a binding.
-                    let admitted = match mode {
-                        GatewayMode::Local => self
+                    // must grant a binding (unless an outage rejects first).
+                    if mode == GatewayMode::Local {
+                        if self
+                            .ctx
+                            .config
+                            .faults
+                            .gateway_down(PoolTarget::Aftr, day, hour)
+                        {
+                            self.drops.record(DropCause::GatewayOutage);
+                            return false;
+                        }
+                        if self
                             .aftr
                             .as_mut()
                             .expect("DS-Lite line has an AFTR")
                             .admit(start, start + duration)
-                            .is_ok(),
-                        GatewayMode::Provider => true,
-                    };
-                    if !admitted {
-                        return false;
+                            .is_err()
+                        {
+                            self.drops.record(DropCause::PoolExhausted);
+                            return false;
+                        }
                     }
                     (IpAddr::V4(device.v4), IpAddr::V4(dst4), None)
                 }
@@ -712,12 +790,19 @@ impl<S: FlowSink> DayRun<'_, S> {
         {
             let residue_ok = match tech {
                 AccessTech::DsLite => match self.mode {
-                    GatewayMode::Local => self
-                        .aftr
-                        .as_mut()
-                        .expect("DS-Lite line has an AFTR")
-                        .admit(start, start + 2_000_000)
-                        .is_ok(),
+                    GatewayMode::Local => {
+                        !self
+                            .ctx
+                            .config
+                            .faults
+                            .gateway_down(PoolTarget::Aftr, day, hour)
+                            && self
+                                .aftr
+                                .as_mut()
+                                .expect("DS-Lite line has an AFTR")
+                                .admit(start, start + 2_000_000)
+                                .is_ok()
+                    }
                     GatewayMode::Provider => true,
                 },
                 _ => true,
@@ -742,13 +827,14 @@ impl<S: FlowSink> DayRun<'_, S> {
 
 /// Synthesize one day of one residence into `sink`. Pure function of
 /// `(config.seed, residence_index, day)` plus the world; returns the
-/// day-local gateway counters when the technology and mode use one.
+/// day-local gateway counters when the technology and mode use one, plus
+/// the day's fault-plane casualties (all-zero under an empty plan).
 pub(crate) fn synthesize_day_into<S: FlowSink>(
     ctx: &ResidenceCtx<'_>,
     day: u32,
     mode: GatewayMode,
     sink: &mut S,
-) -> Option<GatewayStats> {
+) -> (Option<GatewayStats>, DropCounters) {
     let config = ctx.config;
     let setup = ctx.setup;
     let profile = &setup.profile;
@@ -758,6 +844,17 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
     let nat64_prefix = ctx.world.transition.nat64_prefix;
     let dns64 = Dns64::new(resolver, nat64_prefix);
     let he = HappyEyeballs::new(config.he);
+    let plan = &config.faults;
+    // Scheduled pool shrink: the day-local gateways are built with today's
+    // effective capacity (restored automatically on uncovered days).
+    let gateway_config = if plan.is_empty() {
+        config.gateway
+    } else {
+        GatewayConfig {
+            capacity: plan.pool_capacity(config.gateway.capacity, day),
+            ..config.gateway
+        }
+    };
 
     let mut rng = SmallRng::seed_from_u64(day_seed(config.seed, setup.residence_index, day));
 
@@ -824,6 +921,54 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         }
     }
 
+    // Scheduled path degradation: stack extra latency/loss onto today's
+    // family default (the unspecified address reads it back — no prefix
+    // route covers 0.0.0.0/::). Unreachable families stay unreachable;
+    // windows narrower than the day still degrade the whole day's races,
+    // matching the day-granular health model. Pure arithmetic, no RNG.
+    if !plan.is_empty() {
+        for f in plan.path_for_day(day) {
+            let probe = match f.family {
+                Family::V4 => IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+                Family::V6 => IpAddr::V6(Ipv6Addr::UNSPECIFIED),
+            };
+            let cur = net.path_to(probe);
+            if cur.reachable && (f.extra_rtt_ms > 0 || f.loss > 0.0) {
+                net.set_family_default(
+                    f.family,
+                    PathProfile {
+                        rtt: cur.rtt + f.extra_rtt_ms * MILLIS,
+                        loss: (cur.loss + f.loss).min(1.0),
+                        reachable: true,
+                    },
+                );
+            }
+        }
+    }
+
+    // Injected DNS bursts wrap today's resolver (the DNS64 view on v6-only
+    // wires, the plain stub elsewhere) for the health races. Built only
+    // when bursts cover the day — rule 1 of the determinism contract: an
+    // empty plan constructs nothing and draws nothing.
+    let dns_bursts = if plan.is_empty() {
+        Vec::new()
+    } else {
+        plan.dns_for_day(day)
+    };
+    let faulty: Option<FaultyResolver<&dyn ResolveAddrs>> = (!dns_bursts.is_empty()).then(|| {
+        let inner: &dyn ResolveAddrs = if tech.v6_only_wire() {
+            &dns64
+        } else {
+            &resolver
+        };
+        FaultyResolver::new(
+            inner,
+            dns_bursts,
+            plan.stream(DNS_STREAM, setup.residence_index, day),
+        )
+    });
+    let mut day_drops = DropCounters::default();
+
     // One Happy Eyeballs race per service per day decides whether IPv6 (or,
     // behind DNS64, the translated path) is usable towards that service.
     let v6_usable: Vec<bool> = services
@@ -835,15 +980,27 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
                     return false;
                 }
                 let fqdn = Name::new(&format!("edge0.{}", s.service.domain));
-                let race = he.connect(&net, &dns64, &mut rng, &fqdn, 0);
-                race.winning_family() == Some(Family::V6)
+                let race = match &faulty {
+                    Some(f) => he.connect(&net, f, &mut rng, &fqdn, 0),
+                    None => he.connect(&net, &dns64, &mut rng, &fqdn, 0),
+                };
+                let usable = race.winning_family() == Some(Family::V6);
+                if !usable && faulty.is_some() {
+                    // On a v6-only wire a lost race blacks the service out
+                    // for the day; under an active burst, attribute it.
+                    day_drops.record(DropCause::DnsFailure);
+                }
+                usable
             }
             _ => {
                 if s.v6.is_empty() {
                     return false;
                 }
                 let fqdn = Name::new(&format!("edge0.{}", s.service.domain));
-                let race = he.connect(&net, &resolver, &mut rng, &fqdn, 0);
+                let race = match &faulty {
+                    Some(f) => he.connect(&net, f, &mut rng, &fqdn, 0),
+                    None => he.connect(&net, &resolver, &mut rng, &fqdn, 0),
+                };
                 race.winning_family() == Some(Family::V6)
             }
         })
@@ -888,9 +1045,14 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         sports: SportAlloc::new(10_000, day as u64 * DAY_US),
         mode,
         nat64: (mode == GatewayMode::Local && tech.v6_only_wire())
-            .then(|| Nat64Gateway::new(nat64_prefix, config.gateway)),
+            .then(|| Nat64Gateway::new(nat64_prefix, gateway_config)),
         aftr: (mode == GatewayMode::Local && tech == AccessTech::DsLite)
-            .then(|| Aftr::new(config.gateway)),
+            .then(|| Aftr::new(gateway_config)),
+        faults: (!plan.is_empty()).then(|| DayFaults {
+            rng: plan.stream(FLOW_DROP_STREAM, setup.residence_index, day),
+            path: plan.path_for_day(day),
+        }),
+        drops: day_drops,
         sink,
     };
 
@@ -1012,10 +1174,23 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
                         };
                         match run.mode {
                             GatewayMode::Local => {
+                                if run
+                                    .ctx
+                                    .config
+                                    .faults
+                                    .gateway_down(PoolTarget::Nat64, day, hour)
+                                {
+                                    run.drops.record(DropCause::GatewayOutage);
+                                    continue;
+                                }
                                 let gw = run.nat64.as_mut().expect("v6-only line has a NAT64");
                                 match gw.translate(d4, start, start + 1_000_000) {
                                     Ok(d6) => IpAddr::V6(d6),
-                                    Err(_) => continue, // pool exhausted: probe lost
+                                    Err(_) => {
+                                        // pool exhausted: probe lost
+                                        run.drops.record(DropCause::PoolExhausted);
+                                        continue;
+                                    }
                                 }
                             }
                             GatewayMode::Provider => IpAddr::V6(nat64_prefix.embed(d4)),
@@ -1028,8 +1203,18 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
                     // DS-Lite: the tunneled v4 probe needs an AFTR binding
                     // like any other softwire flow.
                     if tech == AccessTech::DsLite && run.mode == GatewayMode::Local {
+                        if run
+                            .ctx
+                            .config
+                            .faults
+                            .gateway_down(PoolTarget::Aftr, day, hour)
+                        {
+                            run.drops.record(DropCause::GatewayOutage);
+                            continue;
+                        }
                         let aftr = run.aftr.as_mut().expect("DS-Lite line has an AFTR");
                         if aftr.admit(start, start + 1_000_000).is_err() {
+                            run.drops.record(DropCause::PoolExhausted);
                             continue;
                         }
                     }
@@ -1099,10 +1284,12 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         }
     }
 
-    run.nat64
+    let stats = run
+        .nat64
         .as_ref()
         .map(|g| g.stats())
-        .or_else(|| run.aftr.as_ref().map(|a| a.stats()))
+        .or_else(|| run.aftr.as_ref().map(|a| a.stats()));
+    (stats, run.drops)
 }
 
 pub(crate) struct Device {
@@ -1527,6 +1714,129 @@ mod tests {
             old = old.wrapping_add(1).max(1024);
             assert_eq!(a.alloc(i, i + 1), old);
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        // Rule 1 of the faults determinism contract: a seeded-but-empty
+        // plan perturbs nothing, at every day-thread layout.
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let base_cfg = TrafficConfig {
+            num_days: 12,
+            ..TrafficConfig::fast()
+        };
+        let base = synthesize_residence(&world, nat64.clone(), &base_cfg, 2);
+        for day_threads in [1usize, 4] {
+            let cfg = TrafficConfig {
+                faults: faults::FaultPlan::new(0xdead_beef),
+                day_threads,
+                ..base_cfg.clone()
+            };
+            let ds = synthesize_residence(&world, nat64.clone(), &cfg, 2);
+            assert_eq!(
+                ds.flows, base.flows,
+                "empty plan perturbed output at day_threads={day_threads}"
+            );
+            assert!(ds.drops.is_empty(), "empty plan cannot drop flows");
+        }
+    }
+
+    fn stress_plan() -> faults::FaultPlan {
+        use faults::{DnsFailure, Window};
+        faults::FaultPlan::new(0xfa17)
+            .dns_burst(DnsFailure::ServFail, 0.7, Window::days(2, 4))
+            .gateway_outage(PoolTarget::Both, Window::new(5, 6, 8, 20))
+            .pool_shrink(0.05, Window::days(7, 8))
+            .path_degrade(Family::V6, 80, 0.2, 0.3, Window::days(9, 11))
+    }
+
+    #[test]
+    fn fault_plan_output_is_layout_invariant_and_differs_from_clean() {
+        // Rules 2–3: a scheduled plan changes what it schedules, from
+        // dedicated streams, identically at every layout.
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let cfg = |day_threads: usize| TrafficConfig {
+            num_days: 14,
+            faults: stress_plan(),
+            day_threads,
+            ..TrafficConfig::fast()
+        };
+        let a = synthesize_residence(&world, nat64.clone(), &cfg(1), 2);
+        let b = synthesize_residence(&world, nat64.clone(), &cfg(5), 2);
+        assert_eq!(a.flows, b.flows, "faulted output differs across layouts");
+        assert_eq!(a.drops, b.drops);
+        assert!(
+            a.drops.get(DropCause::GatewayOutage) > 0,
+            "outage window must reject flows: {:?}",
+            a.drops
+        );
+        assert!(
+            a.drops.get(DropCause::PathLoss) > 0,
+            "drop_rate must eat established flows: {:?}",
+            a.drops
+        );
+        assert!(
+            a.drops.get(DropCause::DnsFailure) > 0,
+            "a 70% SERVFAIL burst must lose some races: {:?}",
+            a.drops
+        );
+        let clean = synthesize_residence(
+            &world,
+            nat64.clone(),
+            &TrafficConfig {
+                num_days: 14,
+                ..TrafficConfig::fast()
+            },
+            2,
+        );
+        assert_ne!(a.flows, clean.flows, "the stress plan must leave a mark");
+    }
+
+    #[test]
+    fn pool_shrink_days_reject_more_than_clean_days() {
+        let world = World::generate(&WorldConfig::small());
+        let cohort = crate::profile::transition_residences();
+        let nat64 = cohort
+            .iter()
+            .find(|p| p.access_tech == AccessTech::Ipv6OnlyNat64)
+            .unwrap();
+        let cfg = TrafficConfig {
+            num_days: 20,
+            gateway: GatewayConfig {
+                capacity: 40,
+                binding_timeout: 3_600_000_000, // one hour: bindings pile up
+            },
+            faults: faults::FaultPlan::new(1).pool_shrink(0.05, faults::Window::days(5, 15)),
+            ..TrafficConfig::fast()
+        };
+        let shrunk = synthesize_residence(&world, nat64.clone(), &cfg, 2);
+        let clean = synthesize_residence(
+            &world,
+            nat64.clone(),
+            &TrafficConfig {
+                faults: faults::FaultPlan::default(),
+                ..cfg.clone()
+            },
+            2,
+        );
+        let (gs, gc) = (shrunk.gateway.unwrap(), clean.gateway.unwrap());
+        assert!(
+            gs.rejected > gc.rejected,
+            "a 2-binding shrink window must out-reject the 40-binding pool ({} vs {})",
+            gs.rejected,
+            gc.rejected
+        );
+        assert!(shrunk.drops.get(DropCause::PoolExhausted) > 0);
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub mod tech;
 
 pub use dns64::Dns64;
 pub use nat64::{Aftr, BindError, BindingTable, Clat, GatewayConfig, GatewayStats, Nat64Gateway};
-pub use provider::{Admission, ProviderDayStats, ProviderGateway};
+pub use provider::{Admission, OutageStats, ProviderDayStats, ProviderGateway, ProviderPool};
 pub use rfc6052::{Nat64Prefix, PrefixError, WELL_KNOWN_PREFIX};
 pub use tech::AccessTech;

@@ -149,6 +149,14 @@ impl BindingTable {
     pub fn config(&self) -> GatewayConfig {
         self.config
     }
+
+    /// Resize the pool in place (fault-plane shrink/restore). Bindings
+    /// already held above a shrunken capacity persist until they expire;
+    /// only new binds see the new limit — so shrink followed by restore
+    /// replays deterministically.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.config.capacity = capacity;
+    }
 }
 
 /// A stateful NAT64 gateway (RFC 6146): IPv6-only clients reach the IPv4

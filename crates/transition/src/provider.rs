@@ -47,12 +47,46 @@ pub enum Admission {
     Granted,
     /// Translated/tunneled traffic refused by a full pool: dropped.
     Rejected,
+    /// Translated/tunneled traffic refused because the targeted pool is in
+    /// an administrative outage: dropped. Distinct from [`Rejected`]
+    /// (pool exhaustion) — nothing is admitted while down, regardless of
+    /// load, and no binding state is consumed.
+    ///
+    /// [`Rejected`]: Admission::Rejected
+    RejectedOutage,
 }
 
 impl Admission {
     /// Did the record survive (native or granted)?
     pub fn forwarded(self) -> bool {
-        self != Admission::Rejected
+        !matches!(self, Admission::Rejected | Admission::RejectedOutage)
+    }
+}
+
+/// Which of the provider's two shared pools an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderPool {
+    /// The NAT64 pool (IPv6-only and 464XLAT subscribers).
+    Nat64,
+    /// The DS-Lite AFTR NAT44 pool.
+    Aftr,
+}
+
+/// Lifetime counters of outage-caused rejections, separate from the
+/// exhaustion counters in [`GatewayStats`] (and from the serialized
+/// per-day stats, whose wire format predates the fault plane).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct OutageStats {
+    /// NAT64 offers refused while that pool was down.
+    pub nat64_rejected: u64,
+    /// AFTR offers refused while that pool was down.
+    pub aftr_rejected: u64,
+}
+
+impl OutageStats {
+    /// Total offers refused due to outages.
+    pub fn total(&self) -> u64 {
+        self.nat64_rejected + self.aftr_rejected
     }
 }
 
@@ -88,6 +122,9 @@ pub struct ProviderGateway {
     nat64: BindingTable,
     aftr: BindingTable,
     daily: Vec<ProviderDayStats>,
+    nat64_down: bool,
+    aftr_down: bool,
+    outage: OutageStats,
 }
 
 impl ProviderGateway {
@@ -99,7 +136,44 @@ impl ProviderGateway {
             nat64: BindingTable::new(config),
             aftr: BindingTable::new(config),
             daily: Vec::new(),
+            nat64_down: false,
+            aftr_down: false,
+            outage: OutageStats::default(),
         }
+    }
+
+    /// Take a pool down (`down = true`) or restore it. While down, every
+    /// offer needing that pool returns [`Admission::RejectedOutage`];
+    /// existing bindings are untouched and keep expiring on their own
+    /// timeouts, so restore resumes exactly where the outage began —
+    /// deterministic replay of the same offer stream yields the same
+    /// admissions.
+    pub fn set_outage(&mut self, pool: ProviderPool, down: bool) {
+        match pool {
+            ProviderPool::Nat64 => self.nat64_down = down,
+            ProviderPool::Aftr => self.aftr_down = down,
+        }
+    }
+
+    /// Is a pool currently in an administrative outage?
+    pub fn is_down(&self, pool: ProviderPool) -> bool {
+        match pool {
+            ProviderPool::Nat64 => self.nat64_down,
+            ProviderPool::Aftr => self.aftr_down,
+        }
+    }
+
+    /// Resize both pools in place (fault-plane shrink/restore). Bindings
+    /// already held above a shrunken capacity persist until expiry; only
+    /// new binds see the new limit.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.nat64.set_capacity(capacity);
+        self.aftr.set_capacity(capacity);
+    }
+
+    /// Lifetime counters of outage-caused rejections.
+    pub fn outage_stats(&self) -> OutageStats {
+        self.outage
     }
 
     /// The RFC 6052 prefix this provider translates under.
@@ -116,10 +190,18 @@ impl ProviderGateway {
     /// Call in canonical order — days ascending, then subscribers, then
     /// emission order — for reproducible admission (see module docs).
     pub fn offer(&mut self, record: &FlowRecord, dslite_line: bool) -> Admission {
-        let table = match record.key.dst {
+        let (table, down, outage_counter) = match record.key.dst {
             _ if record.scope == Scope::Internal => return Admission::Native,
-            IpAddr::V6(d) if self.prefix.contains(d) => &mut self.nat64,
-            IpAddr::V4(_) if dslite_line => &mut self.aftr,
+            IpAddr::V6(d) if self.prefix.contains(d) => (
+                &mut self.nat64,
+                self.nat64_down,
+                &mut self.outage.nat64_rejected,
+            ),
+            IpAddr::V4(_) if dslite_line => (
+                &mut self.aftr,
+                self.aftr_down,
+                &mut self.outage.aftr_rejected,
+            ),
             _ => return Admission::Native,
         };
         let day = day_of(record.start) as usize;
@@ -128,6 +210,11 @@ impl ProviderGateway {
         }
         let stats = &mut self.daily[day];
         stats.offered += 1;
+        if down {
+            stats.rejected += 1;
+            *outage_counter += 1;
+            return Admission::RejectedOutage;
+        }
         match table.bind(record.start, record.end) {
             Ok(()) => {
                 stats.granted += 1;
@@ -294,5 +381,81 @@ mod tests {
         assert!(Admission::Native.forwarded());
         assert!(Admission::Granted.forwarded());
         assert!(!Admission::Rejected.forwarded());
+        assert!(!Admission::RejectedOutage.forwarded());
+    }
+
+    #[test]
+    fn outage_rejects_without_consuming_bindings() {
+        let mut gw = ProviderGateway::new(Nat64Prefix::well_known(), cfg(8, 60));
+        gw.set_outage(ProviderPool::Nat64, true);
+        assert!(gw.is_down(ProviderPool::Nat64));
+        assert_eq!(
+            gw.offer(&nat64_rec(0, 10), false),
+            Admission::RejectedOutage
+        );
+        // The other pool is unaffected, as is native traffic.
+        assert_eq!(gw.offer(&v4_rec(0, 10), true), Admission::Granted);
+        assert_eq!(gw.offer(&native6_rec(0, 10), false), Admission::Native);
+        assert_eq!(gw.outage_stats().nat64_rejected, 1);
+        assert_eq!(gw.outage_stats().aftr_rejected, 0);
+        assert_eq!(gw.outage_stats().total(), 1);
+        // Outage rejections count in the daily rejected totals but do not
+        // touch the pool's exhaustion counters or its binding state.
+        assert_eq!(gw.daily()[0].rejected, 1);
+        assert_eq!(gw.nat64_stats().rejected, 0);
+        gw.set_outage(ProviderPool::Nat64, false);
+        assert_eq!(gw.offer(&nat64_rec(20, 30), false), Admission::Granted);
+    }
+
+    /// Regression: outage → restore must replay bindings deterministically —
+    /// the admissions after restore are exactly those of a gateway that saw
+    /// only the granted (non-outage-window) prefix of the stream.
+    #[test]
+    fn outage_then_restore_replays_bindings_deterministically() {
+        let offers: Vec<(u64, u64)> = (0..40u64).map(|i| (i * 7, i * 7 + 1_000)).collect();
+        let down = |i: usize| (10..20).contains(&i);
+
+        let run = |gw: &mut ProviderGateway, skip_down: bool| -> Vec<Admission> {
+            offers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !(skip_down && down(*i)))
+                .map(|(i, &(s, e))| {
+                    gw.set_outage(ProviderPool::Nat64, down(i) && !skip_down);
+                    gw.offer(&nat64_rec(s, e), false)
+                })
+                .collect()
+        };
+
+        let mut with_outage = ProviderGateway::new(Nat64Prefix::well_known(), cfg(5, 1));
+        let a = run(&mut with_outage, false);
+        let mut without = ProviderGateway::new(Nat64Prefix::well_known(), cfg(5, 1));
+        let b = run(&mut without, true);
+
+        // Every offer inside the window was refused by the outage...
+        assert!(a[10..20].iter().all(|&v| v == Admission::RejectedOutage));
+        assert_eq!(with_outage.outage_stats().nat64_rejected, 10);
+        // ...and the post-restore tail matches the outage-free replay of
+        // the surviving prefix verdict-for-verdict.
+        assert_eq!(a[..10], b[..10]);
+        assert_eq!(a[20..], b[10..]);
+        // Re-running the whole thing is byte-identical.
+        let mut again = ProviderGateway::new(Nat64Prefix::well_known(), cfg(5, 1));
+        assert_eq!(run(&mut again, false), a);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_and_restores() {
+        let mut gw = ProviderGateway::new(Nat64Prefix::well_known(), cfg(4, 3_600));
+        assert_eq!(gw.offer(&nat64_rec(0, 100), false), Admission::Granted);
+        gw.set_capacity(1);
+        assert_eq!(
+            gw.offer(&nat64_rec(1, 100), false),
+            Admission::Rejected,
+            "shrunken pool is already at capacity"
+        );
+        gw.set_capacity(4);
+        assert_eq!(gw.offer(&nat64_rec(2, 100), false), Admission::Granted);
+        assert_eq!(gw.config().capacity, 4);
     }
 }

@@ -27,6 +27,30 @@
 //! assert!(report.render().contains("readiness of top-N sites"));
 //! ```
 //!
+//! ## Fault injection
+//!
+//! The deterministic fault plane threads failure timelines through DNS,
+//! gateways, paths and the RIB. A [`prelude::FaultPlan`] attached to the
+//! [`prelude::RunConfig`] rides into every synthesis pass of the session,
+//! so *any* scenario can be re-run under stress (an empty plan is
+//! byte-identical to no plan, and output is invariant to thread fan-out
+//! at any plan):
+//!
+//! ```
+//! use ipv6view::prelude::{find, DnsFailure, FaultPlan, PoolTarget, RunConfig, Session, Window};
+//!
+//! let plan = FaultPlan::new(0xfa11)
+//!     .dns_burst(DnsFailure::ServFail, 0.5, Window::days(0, 1))
+//!     .gateway_outage(PoolTarget::Both, Window::new(0, 1, 8, 16));
+//! let mut stressed = Session::new(
+//!     RunConfig::default().sites(200).seed(7).days(2).faults(plan),
+//! );
+//! // The cohort now degrades under the timeline; the registry's
+//! // `faults-sweep` / `adoption-under-stress` scenarios study the effects.
+//! let report = find("transition").expect("registered").run(&mut stressed);
+//! assert_eq!(report.scenario, "transition");
+//! ```
+//!
 //! Lower-level entry points remain available through the re-exported
 //! crates:
 //!
@@ -46,6 +70,9 @@ pub use dnssim;
 /// The experiment engine: `Session`/`Scenario`/`Report` plus the registry
 /// behind the `repro` binary.
 pub use experiments;
+/// The deterministic fault-injection plane: failure timelines through DNS,
+/// gateways, paths and the RIB.
+pub use faults;
 pub use flowmon;
 pub use happyeyeballs;
 pub use iputil;
@@ -67,7 +94,9 @@ pub mod prelude {
         export_all, find, registry, Comparison, Dataset, Element, Report, RunConfig, Scenario,
         Session,
     };
+    pub use faults::{DnsFailure, FaultKind, FaultPlan, PoolTarget, Window};
     pub use flowmon::sink::{Fanout, FlowSink, Tee};
+    pub use flowmon::{DropCause, DropCounters};
     pub use trafficgen::TrafficConfig;
     pub use worldgen::{World, WorldConfig};
 }
