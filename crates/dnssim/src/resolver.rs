@@ -205,6 +205,7 @@ impl<'a> Resolver<'a> {
 
     /// Resolve `name` to addresses of `family`, following CNAME chains.
     pub fn resolve(&self, name: &Name, family: Family) -> LookupOutcome {
+        obs::counter_add("dns.queries", 1);
         let qtype = match family {
             Family::V4 => QueryType::A,
             Family::V6 => QueryType::Aaaa,
@@ -263,6 +264,17 @@ impl<'a> Resolver<'a> {
     /// loops surface as [`AddrsOutcome::ServFail`] via the depth limit
     /// (a loop can never terminate within [`MAX_CNAME_DEPTH`]).
     pub fn resolve_addrs(&self, name: &Name, family: Family) -> AddrsOutcome {
+        obs::counter_add("dns.queries", 1);
+        let outcome = self.resolve_addrs_inner(name, family);
+        match outcome {
+            AddrsOutcome::ServFail => obs::counter_add("dns.servfail", 1),
+            AddrsOutcome::Timeout => obs::counter_add("dns.timeout", 1),
+            _ => {}
+        }
+        outcome
+    }
+
+    fn resolve_addrs_inner(&self, name: &Name, family: Family) -> AddrsOutcome {
         let qtype = match family {
             Family::V4 => QueryType::A,
             Family::V6 => QueryType::Aaaa,

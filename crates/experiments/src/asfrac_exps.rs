@@ -100,7 +100,7 @@ fn as_fractions_report_for(params: &AsFractionsParams) -> Report {
     r.heading("AS fractions — per-AS IPv6 flow fractions at routing-table scale");
     let t0 = std::time::Instant::now();
     let report = as_fractions_report(params);
-    eprintln!(
+    obs::info!(
         "[repro] streamed {} flows over {} tail ASes in {:.1}s (per-AS state: dense SymVec, O(ASes))",
         report.flows,
         params.ases,

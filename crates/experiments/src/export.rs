@@ -35,7 +35,7 @@ pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> 
         let path = out_dir.join(name);
         let json = value.to_json();
         std::fs::write(&path, json)?;
-        eprintln!("[export] wrote {}", path.display());
+        obs::info!("[export] wrote {}", path.display());
         Ok(())
     };
 
@@ -90,7 +90,7 @@ pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> 
         for dataset in rep.datasets() {
             let path = out_dir.join(&dataset.name);
             std::fs::write(&path, &dataset.json)?;
-            eprintln!("[export] wrote {}", path.display());
+            obs::info!("[export] wrote {}", path.display());
         }
     }
 

@@ -49,9 +49,11 @@ pub mod report;
 pub mod scenario;
 pub mod server_exps;
 pub mod session;
+pub mod telemetry;
 pub mod transition_exps;
 
 pub use export::export_all;
 pub use report::{Comparison, Dataset, Element, Report};
 pub use scenario::{find, registry, Scenario};
 pub use session::{RunConfig, Session, StreamedClient};
+pub use telemetry::append_metrics;

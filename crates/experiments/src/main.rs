@@ -25,13 +25,18 @@
 //! (day buffers) for wall-clock. Numeric flags accept both `--sites N`
 //! and `--sites=N`.
 
-use experiments::{export_all, find, registry, Report, RunConfig, Session};
+use experiments::{append_metrics, export_all, find, registry, Report, RunConfig, Session};
+
+mod bench_snapshot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
     let mut config = RunConfig::default();
     let mut json = false;
+    let mut metrics = false;
+    let mut metrics_json = false;
+    let mut bench_check = false;
     let mut positional_seen = false;
 
     let mut it = args.iter();
@@ -63,6 +68,18 @@ fn main() {
                 no_value("--json");
                 json = true;
             }
+            "--metrics" => {
+                no_value("--metrics");
+                metrics = true;
+            }
+            "--metrics-json" => {
+                no_value("--metrics-json");
+                metrics_json = true;
+            }
+            "--check" => {
+                no_value("--check");
+                bench_check = true;
+            }
             "--help" | "-h" => usage(""),
             other if !other.starts_with('-') && !positional_seen => {
                 experiment = other.to_string();
@@ -72,6 +89,8 @@ fn main() {
         }
     }
 
+    config.metrics = config.metrics || metrics || metrics_json;
+
     match experiment.as_str() {
         // `list` never generates a world: the registry is static.
         "list" => {
@@ -79,6 +98,9 @@ fn main() {
                 println!("{}\t{}", scenario.name(), scenario.describe());
             }
         }
+        // Standing perf probes; appends snapshots to BENCH_*.json unless
+        // `--check` (validate shapes only).
+        "bench-snapshot" => bench_snapshot::run(bench_check),
         "export" => {
             let mut session = Session::new(config);
             let dir = std::path::PathBuf::from("datasets");
@@ -96,6 +118,7 @@ fn main() {
             let mut failed: Vec<&str> = Vec::new();
             for scenario in registry().iter().filter(|s| s.in_all()) {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _span = obs::span!(scenario.name());
                     scenario.run(&mut session)
                 }));
                 match result {
@@ -107,19 +130,32 @@ fn main() {
                         }
                     }
                     Err(_) => {
-                        eprintln!("[repro] scenario {} panicked; continuing", scenario.name());
+                        obs::error!("[repro] scenario {} panicked; continuing", scenario.name());
                         failed.push(scenario.name());
                     }
                 }
             }
-            if json {
+            // One cumulative Telemetry report for the whole sweep — the
+            // shared session builds (and counts) each artifact once.
+            if metrics_json {
+                println!("{}", metrics_to_json(&session));
+            } else if metrics {
+                let mut telemetry = Report::new("telemetry");
+                append_metrics(&mut telemetry, &session.metrics());
+                if json {
+                    reports.push(telemetry);
+                } else {
+                    print!("{}", telemetry.render());
+                }
+            }
+            if json && !metrics_json {
                 println!(
                     "{}",
                     serde_json::to_string_pretty(&reports).expect("serializable")
                 );
             }
             if !failed.is_empty() {
-                eprintln!(
+                obs::error!(
                     "[repro] {} scenario(s) failed: {}",
                     failed.len(),
                     failed.join(", ")
@@ -130,8 +166,18 @@ fn main() {
         name => match find(name) {
             Some(scenario) => {
                 let mut session = Session::new(config);
-                let report = scenario.run(&mut session);
-                if json {
+                let mut report = {
+                    let _span = obs::span!(scenario.name());
+                    scenario.run(&mut session)
+                };
+                if metrics {
+                    append_metrics(&mut report, &session.metrics());
+                }
+                if metrics_json {
+                    // Machine-readable metrics only: the one JSON document
+                    // on stdout is the raw MetricsReport.
+                    println!("{}", metrics_to_json(&session));
+                } else if json {
                     println!("{}", report.to_json());
                 } else {
                     print!("{}", report.render());
@@ -140,6 +186,11 @@ fn main() {
             None => unknown_experiment(name),
         },
     }
+}
+
+/// The session's telemetry snapshot as pretty-printed JSON (`--metrics-json`).
+fn metrics_to_json(session: &Session) -> String {
+    serde_json::to_string_pretty(&session.metrics()).expect("metrics serialize")
 }
 
 /// Parse one numeric flag value, taken inline (`--flag=N`) or from the next
@@ -158,17 +209,23 @@ fn num_value<'a, T: std::str::FromStr>(
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
-        eprintln!("error: {msg}\n");
+        obs::error!("error: {msg}\n");
     }
     eprintln!(
         "usage: repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]\n\
-         \x20                    [--threads N] [--day-threads N]\n\
-         \x20      repro list | all | export\n\
+         \x20                    [--threads N] [--day-threads N] [--metrics] [--metrics-json]\n\
+         \x20      repro list | all | export | bench-snapshot [--check]\n\
          `repro list` prints every registered scenario; `all` runs them in\n\
-         paper order; `export` writes the JSON datasets. Numeric flags accept\n\
-         `--flag N` and `--flag=N`. --threads fans residences/ISPs over N\n\
-         workers, --day-threads fans days inside a residence; output is\n\
-         identical at any combination. --json emits the structured report."
+         paper order; `export` writes the JSON datasets; `bench-snapshot`\n\
+         runs the standing perf probes and appends timestamped snapshots to\n\
+         BENCH_*.json (--check validates the files without writing). Numeric\n\
+         flags accept `--flag N` and `--flag=N`. --threads fans\n\
+         residences/ISPs over N workers, --day-threads fans days inside a\n\
+         residence; output is identical at any combination. --json emits the\n\
+         structured report. --metrics appends a telemetry section (stage\n\
+         spans, pipeline counters, flow-shape histograms); --metrics-json\n\
+         prints only the raw metrics snapshot as JSON. REPRO_LOG=off|error|\n\
+         warn|info|debug|trace filters progress diagnostics on stderr."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -176,12 +233,16 @@ fn usage(msg: &str) -> ! {
 /// An unknown scenario name prints the registry so the valid names are
 /// always discoverable from the error itself.
 fn unknown_experiment(name: &str) -> ! {
-    eprintln!("error: unknown experiment: {name}\n\nregistered scenarios:");
+    obs::error!("error: unknown experiment: {name}\n\nregistered scenarios:");
     for scenario in registry() {
-        eprintln!("  {:<20} {}", scenario.name(), scenario.describe());
+        obs::error!("  {:<20} {}", scenario.name(), scenario.describe());
     }
-    eprintln!("  {:<20} every scenario above, in paper order", "all");
-    eprintln!("  {:<20} print the scenario registry", "list");
-    eprintln!("  {:<20} write every exportable dataset as JSON", "export");
+    obs::error!("  {:<20} every scenario above, in paper order", "all");
+    obs::error!("  {:<20} print the scenario registry", "list");
+    obs::error!("  {:<20} write every exportable dataset as JSON", "export");
+    obs::error!(
+        "  {:<20} run/append the standing perf probes",
+        "bench-snapshot"
+    );
     std::process::exit(2);
 }

@@ -53,6 +53,10 @@ pub struct RunConfig {
     /// Fault timeline injected into every synthesis pass of the session
     /// (empty by default — an empty plan is byte-identical to no plan).
     pub faults: FaultPlan,
+    /// Enable the telemetry plane (`crates/obs`) for this session. Off by
+    /// default; when on, [`Session::new`] resets and enables the global
+    /// plane so [`Session::metrics`] returns this session's activity.
+    pub metrics: bool,
 }
 
 impl Default for RunConfig {
@@ -66,6 +70,7 @@ impl Default for RunConfig {
             threads: None,
             day_threads: None,
             faults: FaultPlan::default(),
+            metrics: false,
         }
     }
 }
@@ -104,6 +109,14 @@ impl RunConfig {
     /// Inject a deterministic fault timeline into every synthesis pass.
     pub fn faults(mut self, faults: FaultPlan) -> RunConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Record telemetry (spans, counters, histograms) for this session.
+    /// Scenario output stays byte-identical — the plane observes, never
+    /// perturbs. Read the snapshot with [`Session::metrics`].
+    pub fn metrics(mut self, on: bool) -> RunConfig {
+        self.metrics = on;
         self
     }
 
@@ -147,8 +160,14 @@ impl Session {
     /// Generate the world (this is the expensive step, done eagerly so the
     /// user sees progress immediately).
     pub fn new(config: RunConfig) -> Session {
+        if config.metrics {
+            // Fresh plane per session: drop whatever a previous session
+            // recorded so `metrics()` reflects exactly this session.
+            obs::set_enabled(true);
+            obs::reset();
+        }
         let (sites, seed) = (config.sites, config.seed);
-        eprintln!("[repro] generating world: {sites} sites, seed {seed:#x} ...");
+        obs::info!("[repro] generating world: {sites} sites, seed {seed:#x} ...");
         let t0 = std::time::Instant::now();
         let world_config = WorldConfig {
             seed,
@@ -157,8 +176,11 @@ impl Session {
             long_tail_ases: 0,
             calibration: worldgen::Calibration::default(),
         };
-        let world = World::generate(&world_config);
-        eprintln!(
+        let world = {
+            let _span = obs::span!("world-gen");
+            World::generate(&world_config)
+        };
+        obs::info!(
             "[repro] world ready in {:.1}s ({} third-party domains, {} zone names in Jul 2025)",
             t0.elapsed().as_secs_f64(),
             world.web.third_parties.len(),
@@ -203,10 +225,12 @@ impl Session {
     /// Crawl (cached) of one epoch.
     pub fn crawl(&mut self, epoch: usize) -> &CrawlReport {
         if self.crawls[epoch].is_none() {
-            eprintln!("[repro] crawling epoch {epoch} ...");
+            obs::info!("[repro] crawling epoch {epoch} ...");
             let t0 = std::time::Instant::now();
+            let _span = obs::span!("crawl", epoch = epoch);
             let report = crawl_epoch(&self.world, epoch, &CrawlConfig::default());
-            eprintln!("[repro] crawl done in {:.1}s", t0.elapsed().as_secs_f64());
+            drop(_span);
+            obs::info!("[repro] crawl done in {:.1}s", t0.elapsed().as_secs_f64());
             self.crawls[epoch] = Some(report);
         }
         self.crawls[epoch].as_ref().expect("just filled")
@@ -238,11 +262,12 @@ impl Session {
     /// Main-page-only ablation crawl of the latest epoch.
     pub fn mainpage_crawl(&mut self) -> &CrawlReport {
         if self.crawl_mainpage_only.is_none() {
-            eprintln!("[repro] crawling latest epoch (main-page-only ablation) ...");
+            obs::info!("[repro] crawling latest epoch (main-page-only ablation) ...");
             let cfg = CrawlConfig {
                 click_links: false,
                 ..CrawlConfig::default()
             };
+            let _span = obs::span!("crawl-mainpage");
             let report = crawl_epoch(&self.world, self.world.latest_epoch(), &cfg);
             self.crawl_mainpage_only = Some(report);
         }
@@ -254,15 +279,17 @@ impl Session {
     /// aggregate analysis reads the streaming caches instead.
     pub fn traffic(&mut self) -> &[ResidenceDataset] {
         if self.traffic.is_none() {
-            eprintln!(
+            obs::info!(
                 "[repro] synthesizing {}-day traffic for 5 residences (materialized) ...",
                 self.config.days
             );
             let t0 = std::time::Instant::now();
             let cfg = self.traffic_config();
+            let _span = obs::span!("traffic");
             let ds = synthesize_all(&self.world, &cfg);
+            drop(_span);
             let flows: usize = ds.iter().map(|d| d.flows.len()).sum();
-            eprintln!(
+            obs::info!(
                 "[repro] traffic done in {:.1}s ({flows} sampled flow records)",
                 t0.elapsed().as_secs_f64()
             );
@@ -280,11 +307,12 @@ impl Session {
     /// bespoke struct this pass once needed.
     pub fn streamed(&mut self) -> &StreamedClient {
         if self.streamed.is_none() {
-            eprintln!(
+            obs::info!(
                 "[repro] synthesizing {}-day traffic for 5 residences (streaming aggregators) ...",
                 self.config.days
             );
             let t0 = std::time::Instant::now();
+            let _span = obs::span!("streaming");
             let cfg = self.traffic_config();
             let world = &self.world;
             let results = synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| {
@@ -307,7 +335,8 @@ impl Session {
                 domain_aggs.push(domains);
             }
             let domains = domain_fractions_from(&domain_aggs, 10_000, 3);
-            eprintln!(
+            drop(_span);
+            obs::info!(
                 "[repro] streaming pass done in {:.1}s",
                 t0.elapsed().as_secs_f64()
             );
@@ -347,7 +376,8 @@ impl Session {
     /// held either.
     pub fn hourly_aggs(&mut self) -> &[(char, HourlyAgg)] {
         if self.hourly.is_none() {
-            eprintln!("[repro] synthesizing dense traffic (hourly analyses, streaming) ...");
+            obs::info!("[repro] synthesizing dense traffic (hourly analyses, streaming) ...");
+            let _span = obs::span!("hourly");
             let cfg = TrafficConfig {
                 num_days: self.config.days.min(63),
                 scale: 1.0 / 20.0,
@@ -366,5 +396,15 @@ impl Session {
             );
         }
         self.hourly.as_ref().expect("just filled")
+    }
+
+    /// Snapshot of the telemetry plane: stage spans, pipeline counters, and
+    /// flow-shape histograms accumulated since this session started. Empty
+    /// unless the session was built with [`RunConfig::metrics`] (or the
+    /// caller enabled `obs` directly). Counts are cumulative across every
+    /// scenario the session has run — the caches mean an artifact is built
+    /// (and therefore counted) once.
+    pub fn metrics(&self) -> obs::MetricsReport {
+        obs::snapshot()
     }
 }

@@ -1,0 +1,143 @@
+//! Rendering the telemetry snapshot as [`Report`] elements.
+//!
+//! `repro <scenario> --metrics` appends this section to the scenario's
+//! report, so the stage table rides the same three output paths as every
+//! other element: stdout text, `--json` (the `metrics.json` dataset carries
+//! the raw [`obs::MetricsReport`]), and `repro export`.
+
+use crate::report::Report;
+use ipv6view_core::report::TextTable;
+
+/// Append a "Telemetry" section — stage span table, counter table, and
+/// histogram summaries — plus a `metrics.json` dataset to `report`.
+/// Appends nothing but the heading and a note when the snapshot is empty
+/// (plane disabled), so the section is always visibly present.
+pub fn append_metrics(report: &mut Report, metrics: &obs::MetricsReport) {
+    report.heading("Telemetry");
+    if metrics.is_empty() {
+        report.line("telemetry plane disabled: nothing recorded");
+        return;
+    }
+    if !metrics.spans.is_empty() {
+        let mut t = TextTable::new(vec![
+            "stage", "count", "total_ms", "mean_ms", "min_ms", "max_ms",
+        ]);
+        let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+        for s in &metrics.spans {
+            t.row(vec![
+                s.path.clone(),
+                s.count.to_string(),
+                ms(s.total_ns),
+                ms(s.total_ns / s.count.max(1)),
+                ms(s.min_ns),
+                ms(s.max_ns),
+            ]);
+        }
+        report.table(t);
+    }
+    if !metrics.counters.is_empty() || !metrics.gauges.is_empty() {
+        let mut t = TextTable::new(vec!["counter", "value"]);
+        for c in &metrics.counters {
+            t.row(vec![c.name.clone(), c.value.to_string()]);
+        }
+        for g in &metrics.gauges {
+            t.row(vec![format!("{} (max)", g.name), g.value.to_string()]);
+        }
+        report.table(t);
+    }
+    if !metrics.histograms.is_empty() {
+        let mut t = TextTable::new(vec![
+            "distribution",
+            "count",
+            "p50",
+            "p90",
+            "p99",
+            "min",
+            "max",
+        ]);
+        for h in &metrics.histograms {
+            t.row(vec![
+                h.name.clone(),
+                h.count.to_string(),
+                h.p50.to_string(),
+                h.p90.to_string(),
+                h.p99.to_string(),
+                h.min.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        report.table(t);
+    }
+    report.dataset(
+        "metrics.json",
+        serde_json::to_string_pretty(metrics).expect("metrics serialize"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_renders_a_note() {
+        let mut r = Report::new("demo");
+        let empty = obs::MetricsReport {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        append_metrics(&mut r, &empty);
+        let text = r.render();
+        assert!(text.contains("=== Telemetry ==="));
+        assert!(text.contains("nothing recorded"));
+        assert_eq!(r.datasets().count(), 0);
+    }
+
+    #[test]
+    fn populated_snapshot_renders_tables_and_dataset() {
+        let mut r = Report::new("demo");
+        let m = obs::MetricsReport {
+            spans: vec![obs::SpanStat {
+                path: "traffic/synthesize".into(),
+                count: 5,
+                total_ns: 10_000_000,
+                min_ns: 1_000_000,
+                max_ns: 4_000_000,
+            }],
+            counters: vec![obs::CounterStat {
+                name: "synth.flows_emitted".into(),
+                value: 1234,
+            }],
+            gauges: vec![obs::GaugeStat {
+                name: "gateway.pool_peak_active".into(),
+                value: 17,
+            }],
+            histograms: vec![obs::HistStat {
+                name: "synth.flow_bytes".into(),
+                count: 1234,
+                sum: 99_000,
+                min: 40,
+                max: 9_000,
+                p50: 300,
+                p90: 2_000,
+                p99: 8_000,
+            }],
+        };
+        append_metrics(&mut r, &m);
+        let text = r.render();
+        assert!(text.contains("traffic/synthesize"));
+        assert!(text.contains("synth.flows_emitted"));
+        assert!(text.contains("gateway.pool_peak_active (max)"));
+        assert!(text.contains("synth.flow_bytes"));
+        let ds = r.datasets().next().expect("metrics.json attached");
+        assert_eq!(ds.name, "metrics.json");
+        let v: serde_json::Value = serde_json::from_str(&ds.json).expect("valid JSON");
+        let counter = v
+            .get("counters")
+            .and_then(|c| c.get("0"))
+            .and_then(|c| c.get("value"))
+            .and_then(|c| c.as_u64());
+        assert_eq!(counter, Some(1234), "raw snapshot survives the round-trip");
+    }
+}

@@ -537,6 +537,10 @@ impl<R: ResolveAddrs> FaultyResolver<R> {
         let mut rng = self.rng.borrow_mut();
         for burst in &self.bursts {
             if rng.gen::<f64>() < burst.rate {
+                match burst.failure {
+                    DnsFailure::ServFail => obs::counter_add("dns.injected_servfail", 1),
+                    DnsFailure::Timeout => obs::counter_add("dns.injected_timeout", 1),
+                }
                 return Some(burst.failure);
             }
         }
@@ -564,6 +568,7 @@ impl<R: ResolveAddrs> ResolveAddrs for FaultyResolver<R> {
         let mut last = AddrsOutcome::ServFail;
         for attempt in 0..attempts {
             if attempt > 0 {
+                obs::counter_add("dns.retries", 1);
                 let backoff = config.backoff_base << (attempt - 1).min(16);
                 let jitter = if config.backoff_jitter > 0 {
                     self.rng.borrow_mut().gen_range(0..config.backoff_jitter)

@@ -41,6 +41,16 @@ impl DropCause {
         }
     }
 
+    /// Telemetry-plane counter name (`drops.` + [`DropCause::label`]).
+    pub fn metric(self) -> &'static str {
+        match self {
+            DropCause::PoolExhausted => "drops.pool-exhausted",
+            DropCause::GatewayOutage => "drops.gateway-outage",
+            DropCause::PathLoss => "drops.path-loss",
+            DropCause::DnsFailure => "drops.dns-failure",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             DropCause::PoolExhausted => 0,
@@ -59,9 +69,12 @@ pub struct DropCounters {
 }
 
 impl DropCounters {
-    /// Record one dropped flow.
+    /// Record one dropped flow. Also bumps the telemetry plane's
+    /// `drops.<label>` counter, so `repro --metrics` reports per-cause
+    /// drops without consumers threading `DropCounters` around.
     pub fn record(&mut self, cause: DropCause) {
         self.counts[cause.index()] += 1;
+        obs::counter_add(cause.metric(), 1);
     }
 
     /// Drops attributed to `cause`.

@@ -301,6 +301,13 @@ impl HappyEyeballs {
             }
         }
 
+        obs::counter_add("he.races", 1);
+        match winner.map(|w| w.family) {
+            Some(Family::V6) => obs::counter_add("he.v6_wins", 1),
+            Some(Family::V4) => obs::counter_add("he.v4_wins", 1),
+            None => obs::counter_add("he.failures", 1),
+        }
+
         let error = if winner.is_some() {
             None
         } else if attempts.is_empty() {

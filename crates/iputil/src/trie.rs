@@ -535,6 +535,7 @@ impl<K: Bits, V> LpmTrie<K, V> {
     /// `addr`, returned as `(prefix_len, &value)`.
     #[inline]
     pub fn longest_match(&self, addr: K) -> Option<(u8, &V)> {
+        obs::counter_add("lpm.lookups", 1);
         if self.root.is_empty() {
             // Small-table mode: a linear scan over at most SMALL_MAX nodes.
             let mut best: Option<(u8, &V)> = None;
@@ -584,21 +585,32 @@ impl<K: Bits, V> LpmTrie<K, V> {
         let slots = (addrs.len().next_power_of_two()).clamp(64, 4096);
         type MemoEntry<'t, K, V> = Option<(K, Option<(u8, &'t V)>)>;
         let mut memo: Vec<MemoEntry<'_, K, V>> = vec![None; slots];
-        addrs
+        // Tally memo traffic locally and flush once per batch: the memo is
+        // per-call, so hit/miss totals are a pure function of the input
+        // batches and stay layout-invariant.
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let out = addrs
             .iter()
             .map(|&addr| {
                 let slot = (addr.fold_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48) as usize
                     & (slots - 1);
                 match memo[slot] {
-                    Some((k, r)) if k == addr => r,
+                    Some((k, r)) if k == addr => {
+                        hits += 1;
+                        r
+                    }
                     _ => {
+                        misses += 1;
                         let r = self.longest_match(addr);
                         memo[slot] = Some((addr, r));
                         r
                     }
                 }
             })
-            .collect()
+            .collect();
+        obs::counter_add("lpm.memo_hits", hits);
+        obs::counter_add("lpm.memo_misses", misses);
+        out
     }
 
     /// Visit every stored `(key, plen, &value)` in depth-first

@@ -1,0 +1,107 @@
+//! Leveled diagnostics with a swappable sink.
+//!
+//! The `repro` binary historically wrote progress and error lines straight
+//! to stderr with `eprintln!`, which a library embedder cannot intercept.
+//! [`log_message`] routes the same lines through a process-wide sink
+//! (default: stderr, message text unchanged) filtered by a maximum level.
+//! The level comes from the `REPRO_LOG` environment variable
+//! (`off`/`error`/`warn`/`info`/`debug`/`trace`, default `info`), read once;
+//! embedders can override it programmatically with [`set_log_level`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Diagnostic severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failure.
+    Error = 1,
+    /// Something suspicious that does not stop the run.
+    Warn = 2,
+    /// Progress reporting (the default threshold).
+    Info = 3,
+    /// Detail useful when debugging a scenario.
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Stable lowercase label (`"warn"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// `0` silences everything; `u8::MAX` means "no programmatic override".
+static OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+static ENV_LEVEL: OnceLock<u8> = OnceLock::new();
+
+fn parse_level(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(0),
+        "error" => Some(Level::Error as u8),
+        "warn" | "warning" => Some(Level::Warn as u8),
+        "info" => Some(Level::Info as u8),
+        "debug" => Some(Level::Debug as u8),
+        "trace" => Some(Level::Trace as u8),
+        _ => None,
+    }
+}
+
+fn max_level() -> u8 {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o != u8::MAX {
+        return o;
+    }
+    *ENV_LEVEL.get_or_init(|| {
+        std::env::var("REPRO_LOG")
+            .ok()
+            .and_then(|v| parse_level(&v))
+            .unwrap_or(Level::Info as u8)
+    })
+}
+
+/// Programmatically cap the log level, overriding `REPRO_LOG`. `None`
+/// silences all logging.
+pub fn set_log_level(level: Option<Level>) {
+    OVERRIDE.store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Would a message at `level` currently be emitted?
+pub fn log_enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+type Sink = Box<dyn Fn(Level, &str) + Send + Sync>;
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Install a custom sink receiving every emitted message (after level
+/// filtering), or `None` to restore the default stderr sink. Embedders use
+/// this to capture diagnostics instead of inheriting the process stderr.
+pub fn set_log_sink(sink: Option<Sink>) {
+    *SINK.lock().unwrap() = sink;
+}
+
+/// Route one message through the level filter and sink. Usually invoked via
+/// the [`crate::error!`], [`crate::warn!`], [`crate::info!`],
+/// [`crate::debug!`], and [`crate::trace!`] macros.
+pub fn log_message(level: Level, args: fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let text = args.to_string();
+    let sink = SINK.lock().unwrap();
+    match sink.as_ref() {
+        Some(f) => f(level, &text),
+        None => eprintln!("{text}"),
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-thread metric shards and the deterministic merge.
+//!
+//! Each thread that records anything gets its own [`Shard`] — a mutex around
+//! plain hash maps, registered in a process-wide list so the data outlives
+//! scoped worker threads. Updates lock only the calling thread's shard
+//! (uncontended in steady state); [`snapshot`] locks each shard in turn and
+//! folds everything into `BTreeMap`s, so the result is ordered by metric
+//! name/path regardless of which thread recorded what, or in which order
+//! threads were spawned.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use netstats::LogHistogram;
+
+use crate::report::{CounterStat, GaugeStat, HistStat, MetricsReport, SpanStat};
+
+/// Wall-clock aggregate for one span path on one thread.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanAgg {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    fn new(ns: u64) -> SpanAgg {
+        SpanAgg {
+            count: 1,
+            total_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+        }
+    }
+
+    fn update(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn absorb(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[derive(Default)]
+struct ShardData {
+    counters: HashMap<Cow<'static, str>, u64>,
+    gauges: HashMap<Cow<'static, str>, u64>,
+    hists: HashMap<Cow<'static, str>, LogHistogram>,
+    spans: HashMap<String, SpanAgg>,
+}
+
+struct Shard {
+    data: Mutex<ShardData>,
+}
+
+/// Every live (and some recently-dead) shard. Shards of exited threads are
+/// retained so their data survives until the next [`snapshot`]/[`reset`];
+/// `reset` prunes shards no thread holds anymore.
+static REGISTRY: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static SHARD: Arc<Shard> = {
+        let shard = Arc::new(Shard {
+            data: Mutex::new(ShardData::default()),
+        });
+        REGISTRY.lock().unwrap().push(Arc::clone(&shard));
+        shard
+    };
+}
+
+fn with_shard(f: impl FnOnce(&mut ShardData)) {
+    SHARD.with(|shard| f(&mut shard.data.lock().unwrap()));
+}
+
+/// Add `n` to the named monotonic counter. No-op while the plane is disabled.
+#[inline]
+pub fn counter_add(name: impl Into<Cow<'static, str>>, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|data| *data.counters.entry(name.into()).or_insert(0) += n);
+}
+
+/// Raise the named gauge to at least `v` (max semantics — high-water marks).
+/// No-op while the plane is disabled.
+#[inline]
+pub fn gauge_max(name: impl Into<Cow<'static, str>>, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|data| {
+        let slot = data.gauges.entry(name.into()).or_insert(0);
+        *slot = (*slot).max(v);
+    });
+}
+
+/// Record one observation into the named log-bucket histogram. No-op while
+/// the plane is disabled.
+#[inline]
+pub fn hist_record(name: impl Into<Cow<'static, str>>, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|data| data.hists.entry(name.into()).or_default().record(v));
+}
+
+/// Record a closed span (called from the guard's `Drop`).
+pub(crate) fn record_span(path: &str, ns: u64) {
+    with_shard(|data| {
+        if let Some(agg) = data.spans.get_mut(path) {
+            agg.update(ns);
+        } else {
+            data.spans.insert(path.to_owned(), SpanAgg::new(ns));
+        }
+    });
+}
+
+/// Clear all recorded telemetry. Shards belonging to exited threads are
+/// dropped; live threads keep their (now empty) shard. The enabled flag is
+/// left as-is.
+pub fn reset() {
+    let mut registry = REGISTRY.lock().unwrap();
+    registry.retain(|shard| {
+        if Arc::strong_count(shard) > 1 {
+            *shard.data.lock().unwrap() = ShardData::default();
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// Merge every shard into a [`MetricsReport`]. Ordering is by metric
+/// name/span path (BTreeMap iteration), never by thread identity, so the
+/// layout-invariant portion of the report is deterministic.
+pub fn snapshot() -> MetricsReport {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, LogHistogram> = BTreeMap::new();
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+
+    let registry = REGISTRY.lock().unwrap();
+    for shard in registry.iter() {
+        let data = shard.data.lock().unwrap();
+        for (name, v) in &data.counters {
+            *counters.entry(name.clone().into_owned()).or_insert(0) += v;
+        }
+        for (name, v) in &data.gauges {
+            let slot = gauges.entry(name.clone().into_owned()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &data.hists {
+            hists.entry(name.clone().into_owned()).or_default().merge(h);
+        }
+        for (path, agg) in &data.spans {
+            if let Some(merged) = spans.get_mut(path.as_str()) {
+                merged.absorb(agg);
+            } else {
+                spans.insert(path.clone(), *agg);
+            }
+        }
+    }
+    drop(registry);
+
+    MetricsReport {
+        spans: spans
+            .into_iter()
+            .map(|(path, agg)| SpanStat {
+                path,
+                count: agg.count,
+                total_ns: agg.total_ns,
+                min_ns: agg.min_ns,
+                max_ns: agg.max_ns,
+            })
+            .collect(),
+        counters: counters
+            .into_iter()
+            .map(|(name, value)| CounterStat { name, value })
+            .collect(),
+        gauges: gauges
+            .into_iter()
+            .map(|(name, value)| GaugeStat { name, value })
+            .collect(),
+        histograms: hists
+            .into_iter()
+            .map(|(name, h)| HistStat::from_histogram(name, &h))
+            .collect(),
+    }
+}

@@ -33,9 +33,15 @@ pub fn fan_out<T: Send, R: Send>(
         per_worker[i % threads].push((i, x, slot));
     }
     let f = &f;
+    // Telemetry spans opened inside `f` must nest under the caller's span
+    // path, not start fresh per worker thread — otherwise the set of span
+    // paths (and per-path counts) would depend on the thread layout.
+    let span_parent = obs::current_span_path();
+    let span_parent = &span_parent;
     std::thread::scope(|scope| {
         for batch in per_worker {
             scope.spawn(move || {
+                let _span_path = obs::enter_path(span_parent);
                 for (i, x, slot) in batch {
                     *slot = Some(f(i, x));
                 }

@@ -80,6 +80,7 @@ pub fn synthesize_isp<S: FlowSink>(
         profiles.len(),
         "one sink per subscriber profile"
     );
+    let _span = obs::span!("synthesize-isp");
     let setups: Vec<ResidenceSetup> = profiles
         .iter()
         .enumerate()
@@ -155,6 +156,14 @@ pub fn synthesize_isp<S: FlowSink>(
                 }
             }
         }
+        // Shared-pool high-water at each day boundary (peak-so-far of the
+        // lifetime counters — the replay order is canonical, so this is
+        // deterministic and layout-invariant).
+        obs::hist_record("gateway.pool_day_peak", gateway.stats().peak_active as u64);
+        obs::gauge_max(
+            "gateway.pool_peak_active",
+            gateway.stats().peak_active as u64,
+        );
     }
     stats
 }

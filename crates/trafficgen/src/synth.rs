@@ -214,6 +214,7 @@ pub fn synthesize_profiles(
     profiles: Vec<ResidenceProfile>,
     config: &TrafficConfig,
 ) -> Vec<ResidenceDataset> {
+    let _span = obs::span!("synthesize");
     fan_out(profiles, config.threads, |i, p| {
         synthesize_residence(world, p, config, i as u64)
     })
@@ -237,6 +238,7 @@ where
     S: FlowSink + Send,
     F: Fn(usize, &ResidenceProfile) -> S + Sync,
 {
+    let _span = obs::span!("synthesize");
     fan_out(profiles, config.threads, |i, profile| {
         let mut sink = make_sink(i, &profile);
         let summary = synthesize_residence_into(world, profile, config, i as u64, &mut sink);
@@ -266,6 +268,7 @@ impl ResidenceSetup {
         profile: ResidenceProfile,
         residence_index: u64,
     ) -> ResidenceSetup {
+        obs::counter_add("synth.residence_streams", 1);
         let mut rng = SmallRng::seed_from_u64(residence_seed(config.seed, residence_index));
         let services = &world.client_services;
 
@@ -413,6 +416,7 @@ pub fn synthesize_residence_into<S: FlowSink>(
     residence_index: u64,
     sink: &mut S,
 ) -> ResidenceSummary {
+    let _span = obs::span!("residence", residence = residence_index);
     let setup = ResidenceSetup::build(world, config, profile, residence_index);
     let ctx = ResidenceCtx {
         world,
@@ -640,6 +644,12 @@ impl<S: FlowSink> DayRun<'_, S> {
     /// Classify, finalize and push one record to the sink (the streaming
     /// replacement for buffering in the router's flow table).
     fn emit(&mut self, key: FlowKey, start: u64, end: u64, bytes_orig: u64, bytes_reply: u64) {
+        // The single logical emission point: day-buffered layouts replay
+        // these records into the outer sink mechanically, so counting the
+        // replay too would double-count and break layout invariance.
+        obs::counter_add("synth.flows_emitted", 1);
+        obs::hist_record("synth.flow_bytes", bytes_orig + bytes_reply);
+        obs::hist_record("synth.flow_duration_ms", (end - start) / 1_000);
         let record = self
             .router
             .observe(key, start, end, bytes_orig, bytes_reply);
@@ -835,6 +845,7 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
     mode: GatewayMode,
     sink: &mut S,
 ) -> (Option<GatewayStats>, DropCounters) {
+    let _span = obs::span!("day", day = day);
     let config = ctx.config;
     let setup = ctx.setup;
     let profile = &setup.profile;
@@ -856,6 +867,7 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         }
     };
 
+    obs::counter_add("synth.day_streams", 1);
     let mut rng = SmallRng::seed_from_u64(day_seed(config.seed, setup.residence_index, day));
 
     let mut router = RouterMonitor::new(vec![setup.lan4], vec![setup.lan6]);
@@ -1289,6 +1301,12 @@ pub(crate) fn synthesize_day_into<S: FlowSink>(
         .as_ref()
         .map(|g| g.stats())
         .or_else(|| run.aftr.as_ref().map(|a| a.stats()));
+    if let Some(s) = &stats {
+        // Day-local gateways: one high-water sample per (residence, day) —
+        // a pure function of the day's deterministic offer stream.
+        obs::hist_record("gateway.pool_day_peak", s.peak_active as u64);
+        obs::gauge_max("gateway.pool_peak_active", s.peak_active as u64);
+    }
     (stats, run.drops)
 }
 

@@ -191,7 +191,10 @@ impl ProviderGateway {
     /// emission order — for reproducible admission (see module docs).
     pub fn offer(&mut self, record: &FlowRecord, dslite_line: bool) -> Admission {
         let (table, down, outage_counter) = match record.key.dst {
-            _ if record.scope == Scope::Internal => return Admission::Native,
+            _ if record.scope == Scope::Internal => {
+                obs::counter_add("gateway.native", 1);
+                return Admission::Native;
+            }
             IpAddr::V6(d) if self.prefix.contains(d) => (
                 &mut self.nat64,
                 self.nat64_down,
@@ -202,7 +205,10 @@ impl ProviderGateway {
                 self.aftr_down,
                 &mut self.outage.aftr_rejected,
             ),
-            _ => return Admission::Native,
+            _ => {
+                obs::counter_add("gateway.native", 1);
+                return Admission::Native;
+            }
         };
         let day = day_of(record.start) as usize;
         if self.daily.len() <= day {
@@ -210,18 +216,22 @@ impl ProviderGateway {
         }
         let stats = &mut self.daily[day];
         stats.offered += 1;
+        obs::counter_add("gateway.offers", 1);
         if down {
             stats.rejected += 1;
             *outage_counter += 1;
+            obs::counter_add("gateway.rejected_outage", 1);
             return Admission::RejectedOutage;
         }
         match table.bind(record.start, record.end) {
             Ok(()) => {
                 stats.granted += 1;
+                obs::counter_add("gateway.granted", 1);
                 Admission::Granted
             }
             Err(_) => {
                 stats.rejected += 1;
+                obs::counter_add("gateway.rejected", 1);
                 Admission::Rejected
             }
         }

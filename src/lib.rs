@@ -51,6 +51,36 @@
 //! assert_eq!(report.scenario, "transition");
 //! ```
 //!
+//! ## Observing a run
+//!
+//! The deterministic telemetry plane (`obs`) instruments the whole
+//! pipeline — stage spans, counters for DNS/LPM/gateway/drop events, and
+//! [`netstats::LogHistogram`]-backed flow-shape distributions. It is off by
+//! default (one relaxed atomic load per instrumentation point) and never
+//! perturbs results: scenario output is byte-identical with the plane
+//! enabled, and everything in the snapshot except wall-clock nanoseconds is
+//! invariant to `threads` / `day_threads`. Enable it per session with
+//! [`prelude::RunConfig::metrics`] and read the merged snapshot back:
+//!
+//! ```
+//! use ipv6view::prelude::{find, RunConfig, Session};
+//!
+//! let mut session = Session::new(
+//!     RunConfig::default().sites(200).seed(7).days(2).metrics(true),
+//! );
+//! find("table1").expect("registered").run(&mut session);
+//! let metrics = session.metrics();
+//! assert!(metrics.counter("synth.flows_emitted").unwrap_or(0) > 0);
+//! assert!(metrics.histogram("synth.flow_bytes").is_some());
+//! assert!(metrics.spans.iter().any(|s| s.path.contains("synthesize")));
+//! ipv6view::obs::set_enabled(false); // doc tests share the global plane
+//! ```
+//!
+//! The same snapshot backs `repro <scenario> --metrics` (stage table on
+//! stdout) and `--metrics-json` (raw [`prelude::MetricsReport`] JSON);
+//! `REPRO_LOG=off|error|warn|info|debug|trace` filters the suite's stderr
+//! diagnostics, which route through the `obs` leveled log macros.
+//!
 //! Lower-level entry points remain available through the re-exported
 //! crates:
 //!
@@ -80,6 +110,9 @@ pub use ipv6view_core as core;
 pub use mstl;
 pub use netsim;
 pub use netstats;
+/// The deterministic telemetry plane: spans, counters, histograms and
+/// leveled logging, off by default and layout-invariant when on.
+pub use obs;
 pub use trafficgen;
 /// Transition technologies: NAT64/DNS64, 464XLAT, DS-Lite and the shared
 /// provider CGN gateway.
@@ -97,6 +130,7 @@ pub mod prelude {
     pub use faults::{DnsFailure, FaultKind, FaultPlan, PoolTarget, Window};
     pub use flowmon::sink::{Fanout, FlowSink, Tee};
     pub use flowmon::{DropCause, DropCounters};
+    pub use obs::MetricsReport;
     pub use trafficgen::TrafficConfig;
     pub use worldgen::{World, WorldConfig};
 }
