@@ -33,6 +33,18 @@ fn bench_lpm(c: &mut Criterion) {
             hits
         })
     });
+    let frozen4 = table.freeze();
+    c.bench_function("lpm4_frozen_longest_match_50k_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &addrs {
+                if frozen4.longest_match(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
 
     // IPv6: the attribution hot path. Prefix lengths follow the routed-table
     // shape (/32-ish allocations down to /48 customer cut-outs), addresses
@@ -73,6 +85,18 @@ fn bench_lpm(c: &mut Criterion) {
             hits
         })
     });
+    let frozen6 = table6.freeze();
+    c.bench_function("lpm6_frozen_longest_match_50k_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &addrs6 {
+                if frozen6.longest_match(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
 
     // Batched attribution workload: heavy duplication (every CDN edge
     // address is resolved by many FQDNs), answered through the memoized
@@ -96,6 +120,43 @@ fn bench_lpm(c: &mut Criterion) {
                 }
             }
             hits
+        })
+    });
+    // The regression risk the memo carries: a duplicate-*poor* batch
+    // (long-tail attribution) where every probe misses. The bypass must keep
+    // `_many` at loop speed for the trie and let the frozen engine's
+    // interleaved prefetch walks win outright.
+    let unique: Vec<std::net::Ipv6Addr> = (0..4_000)
+        .map(|i| {
+            let base = covered[(i * 13) % covered.len()];
+            std::net::Ipv6Addr::from(base | rng.gen::<u64>() as u128)
+        })
+        .collect();
+    c.bench_function("lpm6_longest_match_many_4k_unique_addrs", |b| {
+        b.iter(|| {
+            table6
+                .longest_match_many(black_box(&unique))
+                .iter()
+                .filter(|r| r.is_some())
+                .count()
+        })
+    });
+    c.bench_function("lpm6_frozen_longest_match_many_4k_unique_addrs", |b| {
+        b.iter(|| {
+            frozen6
+                .longest_match_many(black_box(&unique))
+                .iter()
+                .filter(|r| r.is_some())
+                .count()
+        })
+    });
+    c.bench_function("lpm6_frozen_longest_match_many_4k_dup_addrs", |b| {
+        b.iter(|| {
+            frozen6
+                .longest_match_many(black_box(&batch))
+                .iter()
+                .filter(|r| r.is_some())
+                .count()
         })
     });
 }

@@ -37,6 +37,10 @@ pub struct AsFractionsParams {
     pub flows_per_day: usize,
     /// Day-level worker threads (output is invariant to this).
     pub threads: usize,
+    /// Attribute through the compiled (frozen multibit) LPM engine. Output
+    /// is byte-identical either way; the registry's engine-on/off guard
+    /// flips this through [`RunConfig`](crate::RunConfig)`::compiled_lpm`.
+    pub compiled_lpm: bool,
 }
 
 /// The exportable dataset: run parameters plus every kept per-AS row.
@@ -61,7 +65,7 @@ pub struct AsFractionsReport {
 pub fn as_fractions_report(params: &AsFractionsParams) -> AsFractionsReport {
     // A routing-table-scale world: the web side stays tiny (the crawl is
     // irrelevant here), the RIB carries the tail.
-    let world = World::generate(
+    let mut world = World::generate(
         &WorldConfig {
             seed: params.seed,
             num_sites: 200,
@@ -69,6 +73,9 @@ pub fn as_fractions_report(params: &AsFractionsParams) -> AsFractionsReport {
         }
         .with_long_tail(params.ases),
     );
+    if !params.compiled_lpm {
+        world.rib.thaw();
+    }
     let cfg = LongTailTrafficConfig {
         seed: params.seed ^ 0x6173_6672_6163, // "asfrac"
         num_days: params.days,
@@ -169,6 +176,7 @@ pub fn as_fractions(s: &mut Session) -> Report {
         days: s.config.days.min(30),
         flows_per_day: (ases * 10).clamp(20_000, 600_000),
         threads: s.config.threads.unwrap_or(1),
+        compiled_lpm: s.config.compiled_lpm,
     };
     as_fractions_report_for(&params)
 }
@@ -182,6 +190,7 @@ pub fn as_fractions_export_report(s: &mut Session) -> Report {
         days: s.config.days.min(3),
         flows_per_day: 10_000,
         threads: s.config.threads.unwrap_or(1),
+        compiled_lpm: s.config.compiled_lpm,
     };
     as_fractions_report_for(&params)
 }
@@ -197,6 +206,7 @@ mod tests {
             days: 3,
             flows_per_day: 5_000,
             threads,
+            compiled_lpm: true,
         }
     }
 
@@ -205,6 +215,11 @@ mod tests {
         let a = as_fractions_json(&as_fractions_report(&params(1)));
         let b = as_fractions_json(&as_fractions_report(&params(4)));
         assert_eq!(a, b, "thread count must not change the exported table");
+        let thawed = as_fractions_json(&as_fractions_report(&AsFractionsParams {
+            compiled_lpm: false,
+            ..params(1)
+        }));
+        assert_eq!(a, thawed, "LPM engine choice must not change the table");
         assert!(a.contains("\"min_share\""));
         // A different seed produces a different dataset.
         let c = as_fractions_json(&as_fractions_report(&AsFractionsParams {

@@ -57,9 +57,22 @@ pub fn run(check: bool) {
 // Probes
 // ---------------------------------------------------------------------------
 
+/// How the probes measure, stamped into every snapshot so a ledger reader
+/// can tell probe medians from criterion medians at a glance. This is the
+/// criterion shape in miniature: warm the cache/branch state first, size
+/// each sample to many iterations so timer overhead amortises, then take
+/// the median per-iteration time across samples.
+const METHODOLOGY: &str = "warmup then calibrated iters/sample (criterion-shaped); \
+     median per-iteration ns over samples";
+
 struct LpmProbe {
-    lookup_1k_ns: u64,
-    batch_4k_ns: u64,
+    lpm4_1k_ns: u64,
+    lpm4_frozen_1k_ns: u64,
+    lpm6_1k_ns: u64,
+    lpm6_frozen_1k_ns: u64,
+    batch_4k_dup_ns: u64,
+    batch_4k_unique_ns: u64,
+    frozen_batch_4k_unique_ns: u64,
     samples: usize,
 }
 
@@ -67,10 +80,23 @@ impl LpmProbe {
     fn render(&self, date: &str) -> String {
         format!(
             "{{\n      \"date\": \"{date}\",\n      \"source\": \"repro bench-snapshot\",\n      \
+             \"methodology\": \"{METHODOLOGY}\",\n      \
              \"samples\": {},\n      \
+             \"lpm4_longest_match_50k_prefixes_ns\": {},\n      \
+             \"lpm4_frozen_longest_match_50k_prefixes_ns\": {},\n      \
              \"lpm6_longest_match_50k_prefixes_ns\": {},\n      \
-             \"lpm6_longest_match_many_4k_dup_addrs_ns\": {}\n    }}",
-            self.samples, self.lookup_1k_ns, self.batch_4k_ns
+             \"lpm6_frozen_longest_match_50k_prefixes_ns\": {},\n      \
+             \"lpm6_longest_match_many_4k_dup_addrs_ns\": {},\n      \
+             \"lpm6_longest_match_many_4k_unique_addrs_ns\": {},\n      \
+             \"lpm6_frozen_longest_match_many_4k_unique_addrs_ns\": {}\n    }}",
+            self.samples,
+            self.lpm4_1k_ns,
+            self.lpm4_frozen_1k_ns,
+            self.lpm6_1k_ns,
+            self.lpm6_frozen_1k_ns,
+            self.batch_4k_dup_ns,
+            self.batch_4k_unique_ns,
+            self.frozen_batch_4k_unique_ns
         )
     }
 }
@@ -78,6 +104,7 @@ impl LpmProbe {
 struct TrafficProbe {
     synth_residence_5d_ns: u64,
     per_as_agg_200k_ns: u64,
+    per_as_agg_200k_frozen_ns: u64,
     samples: usize,
 }
 
@@ -85,23 +112,45 @@ impl TrafficProbe {
     fn render(&self, date: &str) -> String {
         format!(
             "{{\n      \"date\": \"{date}\",\n      \"source\": \"repro bench-snapshot\",\n      \
+             \"methodology\": \"{METHODOLOGY}\",\n      \
              \"samples\": {},\n      \"results\": [\n        \
              {{ \"name\": \"synthesize_residence_5d_aggregate_sinks\", \"median_ns\": {} }},\n        \
-             {{ \"name\": \"per_as_agg_200k_flows_100k_ases_interned_symvec\", \"median_ns\": {} }}\n      \
+             {{ \"name\": \"per_as_agg_200k_flows_100k_ases_interned_symvec\", \"median_ns\": {} }},\n        \
+             {{ \"name\": \"per_as_agg_200k_flows_100k_ases_frozen_multibit\", \"median_ns\": {} }}\n      \
              ]\n    }}",
-            self.samples, self.synth_residence_5d_ns, self.per_as_agg_200k_ns
+            self.samples,
+            self.synth_residence_5d_ns,
+            self.per_as_agg_200k_ns,
+            self.per_as_agg_200k_frozen_ns
         )
     }
 }
 
-/// Median wall-clock of `samples` runs of `f` (the probe equivalent of a
-/// criterion sample; enough to absorb scheduler noise for a ledger entry).
-fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+/// Median per-iteration wall-clock of `f`, measured criterion-style.
+///
+/// The old probe timed each call once with no warmup, which read ~20% high
+/// against `cargo bench` (cold caches/branch predictors on the first
+/// samples, and per-call timer overhead on fast probes). This harness
+/// matches the criterion shape: run `f` for ~`warmup_ms` first (discarded),
+/// calibrate how many iterations fill ~`sample_ms`, then time `samples`
+/// batches of that size and report the median per-iteration time.
+fn median_ns(samples: usize, warmup_ms: u64, sample_ms: u64, mut f: impl FnMut()) -> u64 {
+    let warmup = std::time::Duration::from_millis(warmup_ms);
+    let t0 = Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = (t0.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
+    let iters = (sample_ms * 1_000_000 / per_iter).clamp(1, 1_000_000);
     let mut times: Vec<u64> = (0..samples)
         .map(|_| {
             let t0 = Instant::now();
-            f();
-            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            for _ in 0..iters {
+                f();
+            }
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX) / iters
         })
         .collect();
     times.sort_unstable();
@@ -117,11 +166,45 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// The attribution hot path, mirroring `benches/micro.rs`: 50k routed-table-
-/// shaped prefixes, 1000 half-covered lookup addresses, and the memoized
-/// duplicate-heavy batch entry point.
+/// shaped prefixes for each family, 1000 half-covered lookup addresses
+/// (scalar, trie and frozen), and the memoized batch entry point over a
+/// duplicate-heavy and a duplicate-poor (unique) 4k batch.
 fn lpm_probe() -> LpmProbe {
-    use iputil::prefix::Prefix6;
-    use iputil::trie::Lpm6;
+    use iputil::prefix::{Prefix4, Prefix6};
+    use iputil::trie::{Lpm4, Lpm6};
+    use std::net::Ipv4Addr;
+    let samples = 15;
+    // IPv4: uniform-random prefixes /8..=/24 (the micro.rs shape).
+    let mut rng = 1u64;
+    let mut table4: Lpm4<u32> = Lpm4::new();
+    for i in 0..50_000u32 {
+        let bits = splitmix64(&mut rng) as u32;
+        let len = 8 + (splitmix64(&mut rng) % 17) as u8;
+        table4.insert(Prefix4::new(Ipv4Addr::from(bits), len), i);
+    }
+    let addrs4: Vec<Ipv4Addr> = (0..1_000)
+        .map(|_| Ipv4Addr::from(splitmix64(&mut rng) as u32))
+        .collect();
+    let frozen4 = table4.freeze();
+    let lpm4_1k_ns = median_ns(samples, 300, 20, || {
+        let mut hits = 0usize;
+        for &a in &addrs4 {
+            if table4.longest_match(a).is_some() {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+    });
+    let lpm4_frozen_1k_ns = median_ns(samples, 300, 20, || {
+        let mut hits = 0usize;
+        for &a in &addrs4 {
+            if frozen4.longest_match(a).is_some() {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+    });
+    // IPv6: routed-table-shaped /20..=/48, addresses half covered.
     let mut rng = 2u64;
     let mut table: Lpm6<u32> = Lpm6::new();
     let mut covered: Vec<u128> = Vec::new();
@@ -148,8 +231,14 @@ fn lpm_probe() -> LpmProbe {
     let batch: Vec<Ipv6Addr> = (0..4_000)
         .map(|_| addrs[(splitmix64(&mut rng) as usize) % 64])
         .collect();
-    let samples = 15;
-    let lookup_1k_ns = median_ns(samples, || {
+    let unique: Vec<Ipv6Addr> = (0..4_000usize)
+        .map(|i| {
+            let base = covered[(i * 13) % covered.len()];
+            Ipv6Addr::from(base | (splitmix64(&mut rng) as u128 & 0xffff_ffff_ffff_ffff))
+        })
+        .collect();
+    let frozen6 = table.freeze();
+    let lpm6_1k_ns = median_ns(samples, 300, 20, || {
         let mut hits = 0usize;
         for &a in &addrs {
             if table.longest_match(a).is_some() {
@@ -158,12 +247,32 @@ fn lpm_probe() -> LpmProbe {
         }
         std::hint::black_box(hits);
     });
-    let batch_4k_ns = median_ns(samples, || {
+    let lpm6_frozen_1k_ns = median_ns(samples, 300, 20, || {
+        let mut hits = 0usize;
+        for &a in &addrs {
+            if frozen6.longest_match(a).is_some() {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+    });
+    let batch_4k_dup_ns = median_ns(samples, 300, 20, || {
         std::hint::black_box(table.longest_match_many(&batch).len());
     });
+    let batch_4k_unique_ns = median_ns(samples, 300, 20, || {
+        std::hint::black_box(table.longest_match_many(&unique).len());
+    });
+    let frozen_batch_4k_unique_ns = median_ns(samples, 300, 20, || {
+        std::hint::black_box(frozen6.longest_match_many(&unique).len());
+    });
     LpmProbe {
-        lookup_1k_ns,
-        batch_4k_ns,
+        lpm4_1k_ns,
+        lpm4_frozen_1k_ns,
+        lpm6_1k_ns,
+        lpm6_frozen_1k_ns,
+        batch_4k_dup_ns,
+        batch_4k_unique_ns,
+        frozen_batch_4k_unique_ns,
         samples,
     }
 }
@@ -185,18 +294,20 @@ fn traffic_probe() -> TrafficProbe {
         ..TrafficConfig::default()
     };
     let samples = 9;
-    let synth_residence_5d_ns = median_ns(samples, || {
+    let synth_residence_5d_ns = median_ns(samples, 200, 50, || {
         let mut sink = (ScopeFamilyAgg::new(cfg.num_days), FlowStatsAgg::new());
         synthesize_residence_into(&world, profile.clone(), &cfg, 0, &mut sink);
         std::hint::black_box(sink.0.overall(Scope::External).total_flows());
     });
-    let tail_world = World::generate(
+    let mut tail_world = World::generate(
         &WorldConfig {
             num_sites: 200,
             ..WorldConfig::small()
         }
         .with_long_tail(100_000),
     );
+    let compiled_rib = tail_world.rib.clone();
+    tail_world.rib.thaw();
     let mut sink = CollectSink::new();
     synthesize_long_tail_into(
         &tail_world,
@@ -209,16 +320,24 @@ fn traffic_probe() -> TrafficProbe {
         &mut sink,
     );
     let records = sink.into_records();
-    let per_as_agg_200k_ns = median_ns(5, || {
+    let per_as_agg_200k_ns = median_ns(5, 200, 60, || {
         let mut agg = AsAgg::new(&tail_world.rib, &tail_world.registry);
         for r in &records {
             agg.accept(r);
         }
         std::hint::black_box((agg.observed_as_count(), agg.total_bytes()));
     });
+    let per_as_agg_200k_frozen_ns = median_ns(5, 200, 60, || {
+        let mut agg = AsAgg::new(&compiled_rib, &tail_world.registry);
+        for chunk in records.chunks(8_192) {
+            agg.accept_batch(chunk);
+        }
+        std::hint::black_box((agg.observed_as_count(), agg.total_bytes()));
+    });
     TrafficProbe {
         synth_residence_5d_ns,
         per_as_agg_200k_ns,
+        per_as_agg_200k_frozen_ns,
         samples,
     }
 }
@@ -465,13 +584,19 @@ mod tests {
     #[test]
     fn real_ledgers_accept_the_rendered_snapshots() {
         let lpm = LpmProbe {
-            lookup_1k_ns: 6_000,
-            batch_4k_ns: 24_000,
+            lpm4_1k_ns: 7_000,
+            lpm4_frozen_1k_ns: 6_000,
+            lpm6_1k_ns: 16_000,
+            lpm6_frozen_1k_ns: 11_000,
+            batch_4k_dup_ns: 24_000,
+            batch_4k_unique_ns: 107_000,
+            frozen_batch_4k_unique_ns: 76_000,
             samples: 15,
         };
         let traffic = TrafficProbe {
             synth_residence_5d_ns: 800_000,
             per_as_agg_200k_ns: 59_000_000,
+            per_as_agg_200k_frozen_ns: 12_000_000,
             samples: 9,
         };
         for rendered in [lpm.render("2026-08-08"), traffic.render("2026-08-08")] {

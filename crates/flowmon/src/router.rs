@@ -4,6 +4,7 @@ use crate::flow::{FlowKey, FlowRecord, Scope};
 use crate::table::FlowTable;
 use crate::xlat::{Translation, TranslationMap};
 use crate::Timestamp;
+use iputil::multibit::{Frozen4, Frozen6};
 use iputil::prefix::{Prefix4, Prefix6};
 use iputil::trie::{Lpm4, Lpm6};
 use std::net::IpAddr;
@@ -15,13 +16,16 @@ use std::net::IpAddr;
 /// [`Scope::Internal`] when *both* endpoints are inside the LAN, otherwise
 /// [`Scope::External`] — the exact split reported per-residence in Table 1.
 ///
-/// Scoping runs once per injected flow, so the LAN sets are held in the
-/// shared LPM engine (`iputil::trie`): O(1)-ish per classification however
-/// many prefixes a deployment configures, same structure as the RIB.
+/// Scoping runs once per injected flow, so the LAN sets are frozen at
+/// construction into the immutable multibit engine (`iputil::multibit`) —
+/// they never change over a monitor's lifetime, which is exactly the
+/// read-only contract the frozen engine is built for. A handful of LAN
+/// prefixes freezes to the linear-scan representation: no `2^16` root
+/// tables per residence.
 #[derive(Debug, Clone)]
 pub struct RouterMonitor {
-    lan4: Lpm4<()>,
-    lan6: Lpm6<()>,
+    lan4: Frozen4<()>,
+    lan6: Frozen6<()>,
     xlat: TranslationMap,
     table: FlowTable,
 }
@@ -38,8 +42,8 @@ impl RouterMonitor {
             lan6_lpm.insert(p, ());
         }
         RouterMonitor {
-            lan4: lan4_lpm,
-            lan6: lan6_lpm,
+            lan4: lan4_lpm.freeze(),
+            lan6: lan6_lpm.freeze(),
             xlat: TranslationMap::new(),
             table: FlowTable::new(),
         }

@@ -49,11 +49,28 @@ use netstats::LogHistogram;
 pub trait FlowSink {
     /// Consume one completed record.
     fn accept(&mut self, record: &FlowRecord);
+
+    /// Consume a contiguous run of records, in order. Behaviorally
+    /// identical to calling [`FlowSink::accept`] per record (the default
+    /// does exactly that); sinks whose per-record work has a cheaper
+    /// batched form — LPM attribution through the frozen engine's
+    /// interleaved-prefetch walks — override it. Producers that buffer
+    /// (e.g. `trafficgen`'s day synthesis) deliver through this entry
+    /// point so the batch shape survives sink composition.
+    fn accept_batch(&mut self, records: &[FlowRecord]) {
+        for r in records {
+            self.accept(r);
+        }
+    }
 }
 
 impl<S: FlowSink + ?Sized> FlowSink for &mut S {
     fn accept(&mut self, record: &FlowRecord) {
         (**self).accept(record);
+    }
+
+    fn accept_batch(&mut self, records: &[FlowRecord]) {
+        (**self).accept_batch(records);
     }
 }
 
@@ -62,6 +79,10 @@ macro_rules! impl_sink_tuple {
         impl<$($name: FlowSink),+> FlowSink for ($($name,)+) {
             fn accept(&mut self, record: &FlowRecord) {
                 $(self.$idx.accept(record);)+
+            }
+
+            fn accept_batch(&mut self, records: &[FlowRecord]) {
+                $(self.$idx.accept_batch(records);)+
             }
         }
     )*}
@@ -105,6 +126,11 @@ impl<A: FlowSink, B: FlowSink> FlowSink for Tee<A, B> {
         self.first.accept(record);
         self.second.accept(record);
     }
+
+    fn accept_batch(&mut self, records: &[FlowRecord]) {
+        self.first.accept_batch(records);
+        self.second.accept_batch(records);
+    }
 }
 
 /// Broadcast into a homogeneous collection of sinks: every record reaches
@@ -133,6 +159,12 @@ impl<S: FlowSink> FlowSink for Fanout<S> {
     fn accept(&mut self, record: &FlowRecord) {
         for sink in &mut self.sinks {
             sink.accept(record);
+        }
+    }
+
+    fn accept_batch(&mut self, records: &[FlowRecord]) {
+        for sink in &mut self.sinks {
+            sink.accept_batch(records);
         }
     }
 }
@@ -422,9 +454,7 @@ impl FlowSink for TranslationAgg {
 /// Feed a slice of records through any sink (adapter for record-based
 /// call sites and tests).
 pub fn drain_into<S: FlowSink>(records: &[FlowRecord], sink: &mut S) {
-    for r in records {
-        sink.accept(r);
-    }
+    sink.accept_batch(records);
 }
 
 #[cfg(test)]

@@ -5,8 +5,11 @@
 //!
 //! * [`prefix`] — CIDR prefixes for IPv4 and IPv6 with canonicalization,
 //!   parsing, containment tests and supernet/subnet arithmetic.
-//! * [`trie`] — arena-backed binary tries with longest-prefix-match lookup,
-//!   the data structure behind the BGP RIB (`bgpsim`).
+//! * [`trie`] — path-compressed radix tries with longest-prefix-match
+//!   lookup, the *mutable authority* behind the BGP RIB (`bgpsim`).
+//! * [`multibit`] — the *frozen* LPM engine: a flattened Poptrie/DXR-style
+//!   multibit table compiled from a trie, for read-mostly lookup at
+//!   attribution scale.
 //! * [`hash`] — a self-contained SipHash-2-4 implementation (keyed PRF) used
 //!   by the anonymizer; validated against the reference vectors from the
 //!   SipHash paper.
@@ -22,13 +25,51 @@
 //!   attribution hot paths.
 //!
 //! Everything here is deterministic: no ambient randomness, no system time.
+//!
+//! # LPM architecture: radix authority, frozen multibit engine
+//!
+//! The suite performs longest-prefix-match at two very different rhythms —
+//! RIB churn (announce/withdraw from the faults plane) and attribution
+//! (hundreds of thousands of lookups against a table that is *not*
+//! changing). Two engines split the work:
+//!
+//! * The **radix trie** ([`Lpm4`]/[`Lpm6`]/[`LpmTrie`]) is the mutable
+//!   authority: every insert/remove happens here, merge-on-remove keeps its
+//!   shape canonical, and it always answers lookups correctly on its own.
+//! * The **frozen multibit engine** ([`Frozen4`]/[`Frozen6`]/[`FrozenLpm`])
+//!   is compiled from the trie by [`Lpm4::freeze`]/[`Lpm6::freeze`]: a
+//!   DIR-24-8-style direct root table over the first 16 bits plus stride-6
+//!   popcount-compressed node arrays with leaf-pushed results (see
+//!   [`multibit`] for the layout). It answers byte-identically to the trie
+//!   at freeze time — the differential property tests assert it — but with
+//!   cache-dense arrays instead of pointer chasing.
+//!
+//! *When compile happens:* `bgpsim::Rib::compile` freezes both families
+//! after the world generator finishes announcing (worldgen does this
+//! automatically); holders of long-lived static tables (e.g. the residence
+//! router's LAN sets) freeze once at construction.
+//!
+//! *Churn and fallback:* mutating a compiled `Rib` drops the stale frozen
+//! engines and falls back to the trie — correctness never depends on a
+//! recompile. Callers that churn then query in bulk (the faults plane's RIB
+//! churn scenarios) may recompile once the table settles.
+//!
+//! *Memo interaction:* both engines' `longest_match_many` keep a
+//! direct-mapped duplicate memo in front; a deterministic probe-window
+//! check makes it bypass itself on duplicate-poor batches, where the frozen
+//! engine's interleaved prefetching walker takes over
+//! ([`multibit::MEMO_BYPASS`]).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` solely for the one `#[allow(unsafe_code)]`
+// software-prefetch intrinsic in `multibit` (a cache hint, no memory
+// access); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;
 pub mod anon;
 pub mod hash;
+pub mod multibit;
 pub mod prefix;
 pub mod sym;
 pub mod trie;
@@ -36,6 +77,7 @@ pub mod trie;
 pub use alloc::{HostAllocator4, HostAllocator6, SubnetAllocator4, SubnetAllocator6};
 pub use anon::{Anonymizer, AnonymizerConfig};
 pub use hash::SipHasher24;
+pub use multibit::{Frozen4, Frozen6, FrozenLpm};
 pub use prefix::{ParsePrefixError, Prefix, Prefix4, Prefix6};
 pub use sym::{Sym, SymVec, SymbolTable};
 pub use trie::{Bits, Lpm4, Lpm6, LpmTrie};

@@ -82,6 +82,17 @@ pub trait Bits: Copy + Eq + Ord + std::fmt::Debug {
 
     /// XOR-fold the key to 64 bits (batched-lookup memo hashing).
     fn fold_u64(self) -> u64;
+
+    /// The `stride` bits starting `depth` bits from the most-significant
+    /// end, as an index (`depth + stride` must not exceed `WIDTH`). The
+    /// frozen multibit engine walks the address in these chunks.
+    fn chunk(self, depth: u8, stride: u8) -> usize;
+
+    /// The `count` (1..=64) bits starting `depth` bits from the
+    /// most-significant end, right-aligned in a `u64` (`depth + count` must
+    /// not exceed `WIDTH`). Used by the frozen engine's path-compressed
+    /// nodes to verify a skipped bit run in one compare.
+    fn bits_at(self, depth: u8, count: u8) -> u64;
 }
 
 impl Bits for u32 {
@@ -115,6 +126,16 @@ impl Bits for u32 {
     fn fold_u64(self) -> u64 {
         self as u64
     }
+
+    fn chunk(self, depth: u8, stride: u8) -> usize {
+        debug_assert!(depth + stride <= 32);
+        (self >> (32 - depth - stride)) as usize & ((1 << stride) - 1)
+    }
+
+    fn bits_at(self, depth: u8, count: u8) -> u64 {
+        debug_assert!(count >= 1 && depth + count <= 32);
+        (self >> (32 - depth - count)) as u64 & (u64::MAX >> (64 - count))
+    }
 }
 
 impl Bits for u128 {
@@ -147,6 +168,16 @@ impl Bits for u128 {
 
     fn fold_u64(self) -> u64 {
         (self >> 64) as u64 ^ self as u64
+    }
+
+    fn chunk(self, depth: u8, stride: u8) -> usize {
+        debug_assert!(depth + stride <= 128);
+        (self >> (128 - depth - stride)) as usize & ((1 << stride) - 1)
+    }
+
+    fn bits_at(self, depth: u8, count: u8) -> u64 {
+        debug_assert!((1..=64).contains(&count) && depth + count <= 128);
+        (self >> (128 - depth - count)) as u64 & (u64::MAX >> (64 - count))
     }
 }
 
@@ -208,8 +239,9 @@ pub struct LpmTrie<K: Bits, V> {
 
 /// Entry count up to which a trie stays in linear-scan small-table mode.
 /// A handful of compares beats a root-table load at these sizes, and the
-/// two `2^ROOT_BITS` tables (512 KiB combined) are never allocated.
-const SMALL_MAX: usize = 12;
+/// two `2^ROOT_BITS` tables (512 KiB combined) are never allocated. The
+/// frozen multibit engine keeps the same threshold for its linear repr.
+pub(crate) const SMALL_MAX: usize = 12;
 
 impl<K: Bits, V> Default for LpmTrie<K, V> {
     fn default() -> Self {
@@ -575,42 +607,37 @@ impl<K: Bits, V> LpmTrie<K, V> {
     /// Duplicate addresses (hot CDN endpoints resolved by thousands of
     /// FQDNs) are answered from a direct-mapped memo instead of re-walking
     /// the trie — the attribution loop in `core::cloud` feeds entire crawl
-    /// epochs through this. Sorting the batch was measured first and lost:
-    /// with the stride-16 + path-compressed engine a lookup costs about as
-    /// much as one sort comparison, so an O(1) memo probe is the only
-    /// batching that still pays.
+    /// epochs through this. When a probe window over the head of the batch
+    /// observes a memo hit rate below threshold (a duplicate-poor batch),
+    /// the memo bypasses itself for the remainder — decided
+    /// deterministically from batch contents only; see
+    /// [`MEMO_BYPASS`](crate::multibit::MEMO_BYPASS). Sorting the batch was
+    /// measured first and lost: with the stride-16 + path-compressed engine
+    /// a lookup costs about as much as one sort comparison, so an O(1) memo
+    /// probe is the only batching that still pays.
     pub fn longest_match_many(&self, addrs: &[K]) -> Vec<Option<(u8, &V)>> {
-        // Power-of-two direct-mapped memo sized to the batch (capped: the
-        // point is cache residency, not completeness).
-        let slots = (addrs.len().next_power_of_two()).clamp(64, 4096);
-        type MemoEntry<'t, K, V> = Option<(K, Option<(u8, &'t V)>)>;
-        let mut memo: Vec<MemoEntry<'_, K, V>> = vec![None; slots];
-        // Tally memo traffic locally and flush once per batch: the memo is
-        // per-call, so hit/miss totals are a pure function of the input
-        // batches and stay layout-invariant.
-        let (mut hits, mut misses) = (0u64, 0u64);
-        let out = addrs
-            .iter()
-            .map(|&addr| {
-                let slot = (addr.fold_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48) as usize
-                    & (slots - 1);
-                match memo[slot] {
-                    Some((k, r)) if k == addr => {
-                        hits += 1;
-                        r
-                    }
-                    _ => {
-                        misses += 1;
-                        let r = self.longest_match(addr);
-                        memo[slot] = Some((addr, r));
-                        r
-                    }
-                }
-            })
-            .collect();
-        obs::counter_add("lpm.memo_hits", hits);
-        obs::counter_add("lpm.memo_misses", misses);
-        out
+        crate::multibit::memoized_batch(
+            addrs,
+            |addr| self.longest_match(addr),
+            |rest, out| out.extend(rest.iter().map(|&addr| self.longest_match(addr))),
+        )
+    }
+
+    /// Batched value-only lookup: [`LpmTrie::longest_match_many`] minus the
+    /// prefix-length — the thawed twin of
+    /// [`FrozenLpm::values_many`](crate::multibit::FrozenLpm::values_many),
+    /// so attribution pipelines keep one shape across engine states.
+    pub fn values_many(&self, addrs: &[K]) -> Vec<Option<&V>> {
+        crate::multibit::memoized_batch(
+            addrs,
+            |addr| self.longest_match(addr).map(|(_, v)| v),
+            |rest, out| {
+                out.extend(
+                    rest.iter()
+                        .map(|&addr| self.longest_match(addr).map(|(_, v)| v)),
+                )
+            },
+        )
     }
 
     /// Visit every stored `(key, plen, &value)` in depth-first
@@ -635,6 +662,17 @@ impl<K: Bits, V> LpmTrie<K, V> {
         let mut out = Vec::with_capacity(self.len);
         self.for_each(|k, l, _| out.push((k, l)));
         out
+    }
+
+    /// Compile the current contents into a [`FrozenLpm`](crate::FrozenLpm):
+    /// an immutable flattened multibit table answering byte-identically but
+    /// substantially faster. The trie stays the mutable authority; freeze
+    /// again after mutating.
+    pub fn freeze(&self) -> crate::FrozenLpm<K, V>
+    where
+        V: Clone,
+    {
+        crate::FrozenLpm::from_trie(self)
     }
 
     fn walk_exact(&self, key: K, plen: u8) -> Option<usize> {
@@ -720,6 +758,12 @@ impl<V> Lpm4<V> {
             .collect()
     }
 
+    /// Batched value-only lookup (see [`LpmTrie::values_many`]).
+    pub fn values_many(&self, addrs: &[Ipv4Addr]) -> Vec<Option<&V>> {
+        let keys: Vec<u32> = addrs.iter().map(|&a| crate::v4_to_u32(a)).collect();
+        self.trie.values_many(&keys)
+    }
+
     /// Exact-match lookup.
     pub fn get(&self, prefix: Prefix4) -> Option<&V> {
         self.trie.get(prefix.bits(), prefix.len())
@@ -743,6 +787,15 @@ impl<V> Lpm4<V> {
     /// Live arena nodes (see [`LpmTrie::node_count`]).
     pub fn node_count(&self) -> usize {
         self.trie.node_count()
+    }
+
+    /// Compile into a [`Frozen4`](crate::Frozen4) flattened multibit table
+    /// (see [`LpmTrie::freeze`]).
+    pub fn freeze(&self) -> crate::Frozen4<V>
+    where
+        V: Clone,
+    {
+        crate::Frozen4::new(self.trie.freeze())
     }
 }
 
@@ -789,6 +842,12 @@ impl<V> Lpm6<V> {
             .collect()
     }
 
+    /// Batched value-only lookup (see [`LpmTrie::values_many`]).
+    pub fn values_many(&self, addrs: &[Ipv6Addr]) -> Vec<Option<&V>> {
+        let keys: Vec<u128> = addrs.iter().map(|&a| crate::v6_to_u128(a)).collect();
+        self.trie.values_many(&keys)
+    }
+
     /// Exact-match lookup.
     pub fn get(&self, prefix: Prefix6) -> Option<&V> {
         self.trie.get(prefix.bits(), prefix.len())
@@ -812,6 +871,15 @@ impl<V> Lpm6<V> {
     /// Live arena nodes (see [`LpmTrie::node_count`]).
     pub fn node_count(&self) -> usize {
         self.trie.node_count()
+    }
+
+    /// Compile into a [`Frozen6`](crate::Frozen6) flattened multibit table
+    /// (see [`LpmTrie::freeze`]).
+    pub fn freeze(&self) -> crate::Frozen6<V>
+    where
+        V: Clone,
+    {
+        crate::Frozen6::new(self.trie.freeze())
     }
 }
 

@@ -339,6 +339,141 @@ proptest! {
         }
     }
 
+    /// The frozen multibit engine must answer byte-identically to the trie
+    /// it was compiled from — scalar and batched, hits and misses — across
+    /// interleaved insert/remove/compile sequences. Short prefixes and the
+    /// default route are force-included so the leaf-pushing and
+    /// root-spanning paths are always exercised.
+    #[test]
+    fn frozen4_differential_vs_trie(
+        ops in proptest::collection::vec(
+            ((any::<u32>(), 0u8..=32), any::<bool>(), any::<u32>()),
+            1..60,
+        ),
+        default_route in any::<bool>(),
+        short in (any::<u32>(), 1u8..=8),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+        freeze_at in 0usize..60,
+    ) {
+        let mut trie: Lpm4<u32> = Lpm4::new();
+        let mut reference: std::collections::HashMap<Prefix4, u32> =
+            std::collections::HashMap::new();
+        if default_route {
+            trie.insert(Prefix4::new(Ipv4Addr::from(0), 0), 424242);
+            reference.insert(Prefix4::new(Ipv4Addr::from(0), 0), 424242);
+        }
+        trie.insert(Prefix4::new(Ipv4Addr::from(short.0), short.1), 434343);
+        reference.insert(Prefix4::new(Ipv4Addr::from(short.0), short.1), 434343);
+        // Churn up to a mid-sequence point, compile, keep churning, compile
+        // again: the second frozen table must reflect every op, the first
+        // must still answer for its own snapshot.
+        let split = freeze_at.min(ops.len());
+        for &((bits, len), is_insert, val) in &ops[..split] {
+            let p = Prefix4::new(Ipv4Addr::from(bits), len);
+            if is_insert { trie.insert(p, val); reference.insert(p, val); }
+            else { trie.remove(p); reference.remove(&p); }
+        }
+        let mid_frozen = trie.freeze();
+        let mid_trie = trie.clone();
+        for &((bits, len), is_insert, val) in &ops[split..] {
+            let p = Prefix4::new(Ipv4Addr::from(bits), len);
+            if is_insert { trie.insert(p, val); reference.insert(p, val); }
+            else { trie.remove(p); reference.remove(&p); }
+        }
+        let frozen = trie.freeze();
+        prop_assert_eq!(frozen.len(), trie.len());
+        // Fresh insertion of the surviving set compiles to the same answers
+        // (the compile is a pure function of trie contents, not history).
+        let mut fresh: Lpm4<u32> = Lpm4::new();
+        for (p, v) in &reference {
+            fresh.insert(*p, *v);
+        }
+        let fresh_frozen = fresh.freeze();
+        let addrs: Vec<Ipv4Addr> = probes.iter().map(|&b| Ipv4Addr::from(b)).collect();
+        let batch = frozen.longest_match_many(&addrs);
+        let values = frozen.values_many(&addrs);
+        let mid_batch = mid_frozen.longest_match_many(&addrs);
+        for (i, &a) in addrs.iter().enumerate() {
+            let want = trie.longest_match(a).map(|(p, v)| (p, *v));
+            prop_assert_eq!(frozen.longest_match(a).map(|(p, v)| (p, *v)), want, "scalar {}", a);
+            prop_assert_eq!(batch[i].map(|(p, v)| (p, *v)), want, "batched {}", a);
+            prop_assert_eq!(values[i].copied(), want.map(|(_, v)| v), "values {}", a);
+            prop_assert_eq!(
+                fresh_frozen.longest_match(a).map(|(p, v)| (p, *v)),
+                want,
+                "fresh-build {}", a
+            );
+            prop_assert_eq!(
+                mid_batch[i].map(|(p, v)| (p, *v)),
+                mid_trie.longest_match(a).map(|(p, v)| (p, *v)),
+                "mid-churn snapshot {}", a
+            );
+        }
+    }
+
+    /// IPv6 twin of the frozen differential property — the 128-bit key
+    /// exercises multi-level stride chains, path-compressed skips, and the
+    /// uniform-node encoding far more deeply than v4.
+    #[test]
+    fn frozen6_differential_vs_trie(
+        ops in proptest::collection::vec(
+            ((any::<u128>(), 0u8..=128), any::<bool>(), any::<u32>()),
+            1..50,
+        ),
+        default_route in any::<bool>(),
+        short in (any::<u128>(), 1u8..=12),
+        probes in proptest::collection::vec((any::<u128>(), 0usize..50, any::<bool>()), 1..30),
+        freeze_at in 0usize..50,
+    ) {
+        let mut trie: Lpm6<u32> = Lpm6::new();
+        if default_route {
+            trie.insert(Prefix6::new(Ipv6Addr::from(0), 0), 424242);
+        }
+        trie.insert(Prefix6::new(Ipv6Addr::from(short.0), short.1), 434343);
+        let mut inserted: Vec<Prefix6> = Vec::new();
+        let split = freeze_at.min(ops.len());
+        for &((bits, len), is_insert, val) in &ops[..split] {
+            let p = Prefix6::new(Ipv6Addr::from(bits), len);
+            if is_insert { trie.insert(p, val); inserted.push(p); } else { trie.remove(p); }
+        }
+        let mid_frozen = trie.freeze();
+        let mid_trie = trie.clone();
+        for &((bits, len), is_insert, val) in &ops[split..] {
+            let p = Prefix6::new(Ipv6Addr::from(bits), len);
+            if is_insert { trie.insert(p, val); inserted.push(p); } else { trie.remove(p); }
+        }
+        let frozen = trie.freeze();
+        prop_assert_eq!(frozen.len(), trie.len());
+        // Bias probes toward stored prefixes so deep hits are exercised,
+        // not just root-table misses.
+        let addrs: Vec<Ipv6Addr> = probes
+            .iter()
+            .map(|&(bits, pick, inside)| {
+                if inside && !inserted.is_empty() {
+                    let p = inserted[pick % inserted.len()];
+                    let host = if p.len() == 128 { 0 } else { bits & !iputil::prefix::mask128(p.len()) };
+                    Ipv6Addr::from(p.bits() | host)
+                } else {
+                    Ipv6Addr::from(bits)
+                }
+            })
+            .collect();
+        let batch = frozen.longest_match_many(&addrs);
+        let values = frozen.values_many(&addrs);
+        let mid_batch = mid_frozen.longest_match_many(&addrs);
+        for (i, &a) in addrs.iter().enumerate() {
+            let want = trie.longest_match(a).map(|(p, v)| (p, *v));
+            prop_assert_eq!(frozen.longest_match(a).map(|(p, v)| (p, *v)), want, "scalar {}", a);
+            prop_assert_eq!(batch[i].map(|(p, v)| (p, *v)), want, "batched {}", a);
+            prop_assert_eq!(values[i].copied(), want.map(|(_, v)| v), "values {}", a);
+            prop_assert_eq!(
+                mid_batch[i].map(|(p, v)| (p, *v)),
+                mid_trie.longest_match(a).map(|(p, v)| (p, *v)),
+                "mid-churn snapshot {}", a
+            );
+        }
+    }
+
     /// Interleaved inserts and removes keep the trie equivalent to a naive
     /// map-based reference, LPM included (catches stale short_best /
     /// dangling-split bugs that insert-only tests cannot).

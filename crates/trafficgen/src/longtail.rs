@@ -87,6 +87,13 @@ fn synthesize_day<S: FlowSink>(
     // allocation scan past the previous lap's still-busy horizons.
     let per_hour = config.flows_per_day / 24;
     let remainder = config.flows_per_day % 24;
+    // One hour of records is built up and handed over as a single
+    // `accept_batch` run: attribution sinks resolve the whole run through
+    // the batched LPM path. The hour boundaries are a pure function of
+    // `flows_per_day` (see `hour_batches`), so the parallel fan-out below
+    // reconstructs the exact same runs and every memo/bypass decision —
+    // and with it every obs counter — is thread-layout-invariant.
+    let mut hour_buf: Vec<FlowRecord> = Vec::with_capacity(per_hour + 1);
     for hour in 0..24u64 {
         let n = per_hour + usize::from((hour as usize) < remainder);
         let hour_base = day_base + hour * HOUR_US;
@@ -119,7 +126,7 @@ fn synthesize_day<S: FlowSink>(
             } else {
                 FlowKey::tcp(if v6 { src6 } else { src4 }, sport, dst, 443)
             };
-            sink.accept(&FlowRecord {
+            hour_buf.push(FlowRecord {
                 key,
                 start,
                 end: start + duration,
@@ -130,7 +137,19 @@ fn synthesize_day<S: FlowSink>(
                 scope: Scope::External,
             });
         }
+        sink.accept_batch(&hour_buf);
+        hour_buf.clear();
     }
+}
+
+/// The per-hour batch sizes one synthesized day delivers: `flows_per_day`
+/// spread over 24 hours, the remainder front-loaded — the same arithmetic
+/// `synthesize_day` emits with, shared so the parallel flush can split a
+/// buffered day back into identical `accept_batch` runs.
+fn hour_batches(flows_per_day: usize) -> impl Iterator<Item = usize> {
+    let per_hour = flows_per_day / 24;
+    let remainder = flows_per_day % 24;
+    (0..24usize).map(move |hour| per_hour + usize::from(hour < remainder))
 }
 
 /// Synthesize the whole run into `sink`: days ascending, records within a
@@ -161,9 +180,15 @@ pub fn synthesize_long_tail_into<S: FlowSink>(
             buf.into_records()
         });
         for records in buffers {
-            for r in &records {
-                sink.accept(r);
+            // Re-deliver in the exact hour runs the sequential path emits,
+            // so batched sinks see identical `accept_batch` boundaries (and
+            // identical memo counters) at any thread count.
+            let mut off = 0;
+            for n in hour_batches(config.flows_per_day) {
+                sink.accept_batch(&records[off..off + n]);
+                off += n;
             }
+            debug_assert_eq!(off, records.len());
         }
         start = end;
     }

@@ -81,6 +81,18 @@
 //! `REPRO_LOG=off|error|warn|info|debug|trace` filters the suite's stderr
 //! diagnostics, which route through the `obs` leveled log macros.
 //!
+//! ## The compiled LPM engine
+//!
+//! Per-AS attribution at routing-table scale runs on a compiled LPM path:
+//! world generation freezes the RIB's radix tries into flattened multibit
+//! tables ([`iputil::multibit`], Poptrie-style popcount-bitmap strides),
+//! and batched lookups walk them with interleaved software-prefetch lanes.
+//! This is on by default and purely a performance substitution — every
+//! scenario's report is byte-identical with it disabled
+//! ([`prelude::RunConfig::compiled_lpm`]`(false)` thaws back to the radix
+//! trie, which remains the mutable authority under RIB churn). See the
+//! `iputil` crate docs for the architecture and churn/fallback semantics.
+//!
 //! Lower-level entry points remain available through the re-exported
 //! crates:
 //!
@@ -105,6 +117,9 @@ pub use experiments;
 pub use faults;
 pub use flowmon;
 pub use happyeyeballs;
+/// IP primitives: prefixes, the radix-trie LPM authority and its compiled
+/// flattened-multibit twin, symbol interning, prefix-preserving
+/// anonymization.
 pub use iputil;
 pub use ipv6view_core as core;
 pub use mstl;
