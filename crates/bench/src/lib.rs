@@ -2,6 +2,8 @@
 //! inputs reused across benchmark groups so criterion timings measure the
 //! algorithm, not world generation.
 
+#![forbid(unsafe_code)]
+
 use worldgen::{World, WorldConfig};
 
 /// A small benchmark world (1k sites) — enough structure for every pipeline.

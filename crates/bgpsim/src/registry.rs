@@ -192,9 +192,12 @@ impl Registry {
         self.infos.iter()
     }
 
-    /// All registered organizations (unordered).
+    /// All registered organizations, in [`OrgId`] order (the backing map is
+    /// hash-ordered; sorting keeps every caller deterministic).
     pub fn orgs(&self) -> impl Iterator<Item = &Organization> {
-        self.orgs.values()
+        let mut sorted: Vec<&Organization> = self.orgs.values().collect(); // tidy:allow(nondeterministic-iteration): collected and sorted by OrgId on the next line
+        sorted.sort_by(|a, b| a.id.cmp(&b.id));
+        sorted.into_iter()
     }
 
     /// Number of registered ASes (== the dense symbol space).

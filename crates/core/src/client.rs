@@ -349,7 +349,7 @@ impl<'w> AsAgg<'w> {
             })
             .chain(
                 self.unregistered
-                    .iter()
+                    .iter() // tidy:allow(nondeterministic-iteration): rows are fully sorted by unique asn two lines down
                     .filter_map(|(asn, acc)| row(*asn, String::new(), AsCategory::Other, acc)),
             )
             .collect();
@@ -447,7 +447,7 @@ pub fn common_ases(
         e.2.push(f.fraction);
     }
     let mut out: Vec<_> = grouped
-        .into_iter()
+        .into_iter() // tidy:allow(nondeterministic-iteration): rows are fully sorted by unique asn below
         .filter(|(_, (_, _, v))| v.len() >= min_residences)
         .map(|(asn, (name, cat, v))| (asn, name, cat, v))
         .collect();
@@ -539,7 +539,7 @@ pub fn domain_fractions_from(
         }
     }
     let mut out: Vec<(Name, Vec<f64>)> = merged
-        .into_iter()
+        .into_iter() // tidy:allow(nondeterministic-iteration): rows are fully sorted by unique domain below
         .filter_map(|(domain, per_res)| {
             let total: u64 = per_res.iter().map(|a| a.total_bytes()).sum();
             if per_res.len() < min_residences || total < min_bytes {

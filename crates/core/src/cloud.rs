@@ -164,7 +164,7 @@ pub fn org_readiness(fqdns: &[HostedFqdn]) -> Vec<OrgReadiness> {
             (None, None) => {}
         }
     }
-    let mut out: Vec<OrgReadiness> = per_org.into_values().collect();
+    let mut out: Vec<OrgReadiness> = per_org.into_values().collect(); // tidy:allow(nondeterministic-iteration): fully sorted by (total, unique org) on the next line
     out.sort_by(|a, b| b.total.cmp(&a.total).then(a.org.cmp(&b.org)));
     out
 }
@@ -247,14 +247,15 @@ pub fn pairwise_comparison(
         }
     }
     // Keep multi-cloud tenants only.
-    tenants.retain(|_, per_group| per_group.len() >= 2);
+    tenants.retain(|_, per_group| per_group.len() >= 2); // tidy:allow(nondeterministic-iteration): pure size filter, visit order cannot leak
 
     // All groups present.
     let mut group_names: HashSet<String> = HashSet::new();
+    // tidy:allow(nondeterministic-iteration): set-union fold, commutative
     for per_group in tenants.values() {
         group_names.extend(per_group.keys().cloned());
     }
-    let mut group_list: Vec<String> = group_names.into_iter().collect();
+    let mut group_list: Vec<String> = group_names.into_iter().collect(); // tidy:allow(nondeterministic-iteration): fully sorted on the next line
     group_list.sort();
 
     // Pairwise comparisons.
@@ -265,6 +266,7 @@ pub fn pairwise_comparison(
             let (a, b) = (&group_list[i], &group_list[j]);
             let mut xs = Vec::new();
             let mut ys = Vec::new();
+            // tidy:allow(nondeterministic-iteration): Wilcoxon signed-rank is permutation-invariant over the paired samples
             for per_group in tenants.values() {
                 if let (Some(&(fa, ta)), Some(&(fb, tb))) = (per_group.get(a), per_group.get(b)) {
                     let va = fa as f64 / ta as f64;
@@ -339,7 +341,7 @@ pub fn multicloud_tenant_count(
             }
         }
     }
-    tenants.values().filter(|g| g.len() >= 2).count()
+    tenants.values().filter(|g| g.len() >= 2).count() // tidy:allow(nondeterministic-iteration): order-invariant count
 }
 
 /// One Table 2 row: measured service adoption.

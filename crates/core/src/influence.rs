@@ -99,7 +99,13 @@ impl InfluenceReport {
                 entry.0 += 1;
                 entry.1 &= !r.first_party;
             }
-            for (domain, (count, third_party)) in by_domain {
+            // Drain in sorted order: first-seen index assignment and the
+            // `edges` row order would otherwise follow the per-process hash
+            // seed (the index values are remapped after the span sort below,
+            // but the *sequence* in `edges` would still leak hash order).
+            let mut site_domains: Vec<_> = by_domain.into_iter().collect(); // tidy:allow(nondeterministic-iteration): drained into a Vec and sorted on the next line
+            site_domains.sort_by(|a, b| a.0.cmp(&b.0));
+            for (domain, (count, third_party)) in site_domains {
                 let idx = *domain_index.entry(domain.clone()).or_insert_with(|| {
                     domains.push((domain.clone(), true));
                     per_domain_contributions.push(Vec::new());
@@ -138,7 +144,7 @@ impl InfluenceReport {
             .collect();
         // (indices were assigned in first-seen order; rebuild via names)
         let old_names: Vec<Name> = {
-            let mut v: Vec<(u32, Name)> = domain_index.into_iter().map(|(n, i)| (i, n)).collect();
+            let mut v: Vec<(u32, Name)> = domain_index.into_iter().map(|(n, i)| (i, n)).collect(); // tidy:allow(nondeterministic-iteration): fully sorted by unique index on the next line
             v.sort_by_key(|(i, _)| *i);
             v.into_iter().map(|(_, n)| n).collect()
         };
@@ -200,10 +206,10 @@ impl InfluenceReport {
                 .unwrap_or(DomainCategory::Other);
             *counts.entry(cat).or_default() += 1;
         }
-        let mut out: Vec<_> = counts.into_iter().collect();
-        // Tie-break equal counts in the enum's Fig 9 order: the input comes
-        // out of a `HashMap` (random iteration order), so count alone would
-        // make the rendered table flap between runs.
+        let mut out: Vec<_> = counts.into_iter().collect(); // tidy:allow(nondeterministic-iteration): fully sorted by (count, Fig 9 enum order) below
+                                                            // Tie-break equal counts in the enum's Fig 9 order: the input comes
+                                                            // out of a `HashMap` (random iteration order), so count alone would
+                                                            // make the rendered table flap between runs.
         out.sort_by_key(|(cat, n)| (std::cmp::Reverse(*n), *cat));
         out
     }
@@ -240,12 +246,13 @@ impl TypeHeatmap {
                 let etld1 = psl.etld_plus_one(&r.fqdn).unwrap_or_else(|| r.fqdn.clone());
                 map.entry(etld1).or_default().insert(r.rtype);
             }
+            // tidy:allow(nondeterministic-iteration): commutative count fold
             for d in map.keys() {
                 *span.entry(d.clone()).or_default() += 1;
             }
             per_site.push(map);
         }
-        let mut ranked: Vec<(Name, usize)> = span.into_iter().collect();
+        let mut ranked: Vec<(Name, usize)> = span.into_iter().collect(); // tidy:allow(nondeterministic-iteration): fully sorted by (count, name) on the next line
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(top_n);
         let domains: Vec<Name> = ranked.iter().map(|(n, _)| n.clone()).collect();

@@ -123,9 +123,12 @@ impl ZoneDb {
         self.reverse.get(&addr)
     }
 
-    /// Iterate over every owner name.
+    /// Iterate over every owner name, in sorted order (the backing map is
+    /// hash-ordered; sorting keeps every caller deterministic).
     pub fn names(&self) -> impl Iterator<Item = &Name> {
-        self.records.keys()
+        let mut names: Vec<&Name> = self.records.keys().collect(); // tidy:allow(nondeterministic-iteration): collected and sorted on the next line
+        names.sort();
+        names.into_iter()
     }
 
     /// Remove every record at a name (used by epoch evolution when a domain

@@ -105,7 +105,7 @@ pub fn as_fractions_json(report: &AsFractionsReport) -> String {
 fn as_fractions_report_for(params: &AsFractionsParams) -> Report {
     let mut r = Report::new("as-fractions");
     r.heading("AS fractions — per-AS IPv6 flow fractions at routing-table scale");
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // tidy:allow(wall-clock): elapsed time feeds the obs::info diagnostic below, never the Report
     let report = as_fractions_report(params);
     obs::info!(
         "[repro] streamed {} flows over {} tail ASes in {:.1}s (per-AS state: dense SymVec, O(ASes))",

@@ -40,7 +40,7 @@ pub fn run(check: bool) {
         if !ok {
             std::process::exit(1);
         }
-        println!("bench-snapshot --check: both ledgers well-formed");
+        println!("bench-snapshot --check: both ledgers well-formed"); // tidy:allow(raw-stderr): CLI-only subcommand result on stdout
         return;
     }
     let date = today_utc();
@@ -50,6 +50,7 @@ pub fn run(check: bool) {
     let traffic = traffic_probe();
     append_to_ledger(LPM_LEDGER, &lpm.render(&date));
     append_to_ledger(TRAFFIC_LEDGER, &traffic.render(&date));
+    // tidy:allow(raw-stderr): CLI-only subcommand result on stdout
     println!("appended snapshot ({date}) to {LPM_LEDGER} and {TRAFFIC_LEDGER}");
 }
 

@@ -40,6 +40,8 @@
 //! everything the built-ins use ([`Session::crawl`],
 //! [`Session::client_analyses`], [`Session::traffic_config`], …) is public.
 
+#![forbid(unsafe_code)]
+
 pub mod asfrac_exps;
 pub mod client_exps;
 pub mod cloud_exps;

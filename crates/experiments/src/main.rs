@@ -218,7 +218,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         obs::error!("error: {msg}\n");
     }
-    eprintln!(
+    obs::error!(
         "usage: repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]\n\
          \x20                    [--threads N] [--day-threads N] [--metrics] [--metrics-json]\n\
          \x20                    [--no-compiled-lpm]\n\

@@ -109,7 +109,7 @@ impl FlowTable {
     pub fn evict_idle(&mut self, cutoff: Timestamp) -> usize {
         let mut idle: Vec<(Timestamp, Timestamp, FlowKey)> = self
             .active
-            .iter()
+            .iter() // tidy:allow(nondeterministic-iteration): candidates are fully sorted by (last_seen, start, key) before eviction
             .filter(|(_, f)| f.last_seen < cutoff)
             .map(|(k, f)| (f.last_seen, f.start, *k))
             .collect();

@@ -48,6 +48,8 @@
 //! assert_eq!(report.spans[1].path, "synthesize/day");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod log;
 mod metrics;
 mod report;

@@ -151,16 +151,20 @@ pub fn snapshot() -> MetricsReport {
     let registry = REGISTRY.lock().unwrap();
     for shard in registry.iter() {
         let data = shard.data.lock().unwrap();
+        // tidy:allow(nondeterministic-iteration): commutative sum folded into a BTreeMap
         for (name, v) in &data.counters {
             *counters.entry(name.clone().into_owned()).or_insert(0) += v;
         }
+        // tidy:allow(nondeterministic-iteration): commutative max folded into a BTreeMap
         for (name, v) in &data.gauges {
             let slot = gauges.entry(name.clone().into_owned()).or_insert(0);
             *slot = (*slot).max(*v);
         }
+        // tidy:allow(nondeterministic-iteration): exact sketch merge is commutative, folded into a BTreeMap
         for (name, h) in &data.hists {
             hists.entry(name.clone().into_owned()).or_default().merge(h);
         }
+        // tidy:allow(nondeterministic-iteration): commutative absorb folded into a BTreeMap
         for (path, agg) in &data.spans {
             if let Some(merged) = spans.get_mut(path.as_str()) {
                 merged.absorb(agg);
@@ -173,7 +177,7 @@ pub fn snapshot() -> MetricsReport {
 
     MetricsReport {
         spans: spans
-            .into_iter()
+            .into_iter() // tidy:allow(nondeterministic-iteration): local BTreeMap, sorted key order
             .map(|(path, agg)| SpanStat {
                 path,
                 count: agg.count,
@@ -183,15 +187,15 @@ pub fn snapshot() -> MetricsReport {
             })
             .collect(),
         counters: counters
-            .into_iter()
+            .into_iter() // tidy:allow(nondeterministic-iteration): local BTreeMap, sorted key order
             .map(|(name, value)| CounterStat { name, value })
             .collect(),
         gauges: gauges
-            .into_iter()
+            .into_iter() // tidy:allow(nondeterministic-iteration): local BTreeMap, sorted key order
             .map(|(name, value)| GaugeStat { name, value })
             .collect(),
         histograms: hists
-            .into_iter()
+            .into_iter() // tidy:allow(nondeterministic-iteration): local BTreeMap, sorted key order
             .map(|(name, h)| HistStat::from_histogram(name, &h))
             .collect(),
     }

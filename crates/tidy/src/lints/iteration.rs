@@ -1,0 +1,248 @@
+//! `nondeterministic-iteration` — iterating a std `HashMap`/`HashSet`.
+//!
+//! Hash iteration order depends on the hasher seed and insertion history,
+//! so any output derived from it breaks the byte-identical replay
+//! contract. The heuristic is two passes per file:
+//!
+//! 1. collect every identifier bound to a `HashMap`/`HashSet` (let
+//!    bindings, struct fields, fn params, and fns *returning* a map), then
+//! 2. flag lines that iterate one of them — order-sensitive method calls
+//!    (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain(..)`, …) or
+//!    `for .. in [&[mut ]]name`.
+//!
+//! Sites whose order is laundered through a sort (or folded into an
+//! order-insensitive reduction) carry a `tidy:allow` directive saying so;
+//! the preferred fix is `iputil::sym::SymVec` or a `BTreeMap`, which
+//! iterate deterministically by construction.
+
+use super::Lint;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Method calls whose visit order is the hash order.
+const ITER_METHODS: [&str; 12] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "into_iter",
+    "drain",
+    "retain",
+    "extract_if",
+    "drain_filter",
+];
+
+/// See the module docs.
+#[derive(Default)]
+pub struct NondeterministicIteration;
+
+impl Lint for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "iterating a std HashMap/HashSet (hash order) outside sorted/SymVec sites"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, sink: &mut Vec<Finding>) {
+        let hash_names = collect_hash_names(&file.code);
+        if hash_names.is_empty() {
+            return;
+        }
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            // rustfmt splits chains (`grouped\n    .into_iter()`), so a line
+            // starting with `.` is checked against the joined tail of the
+            // preceding lines — but only matches inside *this* line count,
+            // or every chained call after the iteration would re-fire.
+            let (expr, min_pos) = if line.trim_start().starts_with('.') {
+                let start = idx.saturating_sub(3);
+                let mut joined = String::new();
+                for prev in &file.code[start..idx] {
+                    joined.push_str(prev.trim_end());
+                }
+                let min = joined.len();
+                joined.push_str(line);
+                (joined, min)
+            } else {
+                (line.clone(), 0)
+            };
+            if let Some(name) = iteration_site(&expr, min_pos, &hash_names) {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: file.rel_path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "iteration over hash-ordered `{name}` — sort the items, use \
+                         SymVec/BTreeMap, or add `// tidy:allow(nondeterministic-iteration): \
+                         <why the order cannot leak>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file
+/// (flow-insensitive: a name declared hash-typed in one fn is treated as
+/// hash-typed file-wide).
+fn collect_hash_names(code: &[String]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in code {
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let at = from + pos;
+                if let Some(name) = binder_before(line, at) {
+                    names.insert(name);
+                }
+                from = at + ty.len();
+            }
+        }
+    }
+    names
+}
+
+/// Given `line[..at]` ending just before a `HashMap`/`HashSet` token, find
+/// the identifier the type binds to:
+/// `name: [&][mut ][std::collections::]HashMap<..>` (field / param / typed
+/// let), `let [mut] name = HashMap::new()`, or `fn name(..) -> HashMap<..>`.
+fn binder_before(line: &str, at: usize) -> Option<String> {
+    let mut pre = line[..at].trim_end();
+    for strip in ["std::collections::", "collections::", "std::"] {
+        if let Some(p) = pre.strip_suffix(strip) {
+            pre = p.trim_end();
+        }
+    }
+    if let Some(p) = pre.strip_suffix("mut") {
+        pre = p.trim_end();
+    }
+    while let Some(p) = pre.strip_suffix('&') {
+        pre = p.trim_end();
+    }
+    if let Some(p) = pre.strip_suffix("->") {
+        // `fn name(..) -> HashMap<..>`: the *call* `name()` yields a fresh
+        // hash map, so record the fn name itself.
+        let p = p.trim_end();
+        let args_open = p.rfind("fn ").map(|f| f + 3)?;
+        let name: String = p[args_open..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        return (!name.is_empty()).then_some(name);
+    }
+    let pre = pre.strip_suffix(':').or_else(|| pre.strip_suffix('='))?;
+    let pre = pre.trim_end();
+    let name = ident_suffix(pre)?;
+    // `let x = map.len()` style false matches are impossible here (we only
+    // land after `:`/`=`), but `Some(x): HashMap` patterns are; require a
+    // plain identifier tail.
+    Some(name)
+}
+
+/// Longest identifier ending at the end of `s`.
+fn ident_suffix(s: &str) -> Option<String> {
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!tail.is_empty() && !tail.chars().next().is_some_and(|c| c.is_numeric())).then_some(tail)
+}
+
+/// Does `line` iterate one of `names`? Only method calls at byte offset
+/// `min_pos` or later count (earlier text is joined context from previous
+/// lines, reported when those lines were scanned). Returns the offending
+/// identifier.
+fn iteration_site(line: &str, min_pos: usize, names: &BTreeSet<String>) -> Option<String> {
+    // `recv.method(` where the receiver chain's last segment is hash-typed.
+    let mut from = min_pos;
+    while let Some(dot) = line[from..].find('.') {
+        let at = from + dot;
+        let rest = &line[at + 1..];
+        for m in ITER_METHODS {
+            let after = rest.strip_prefix(m);
+            if let Some(after) = after {
+                if after.starts_with('(') {
+                    if let Some(recv) = receiver_segment(&line[..at]) {
+                        if names.contains(&recv) {
+                            return Some(recv);
+                        }
+                    }
+                }
+            }
+        }
+        from = at + 1;
+    }
+    // `for pat in [&[mut ]]expr {` — never split across lines by rustfmt,
+    // so only checked on unjoined lines.
+    if min_pos > 0 {
+        return None;
+    }
+    if let Some(fpos) = find_for(line) {
+        let rest = &line[fpos..];
+        if let Some(inpos) = rest.find(" in ") {
+            let expr = rest[inpos + 4..].trim_start();
+            let expr = expr.strip_prefix('&').unwrap_or(expr).trim_start();
+            let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+            let chain: String = expr
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            if let Some(last) = chain.rsplit('.').next() {
+                if names.contains(last) {
+                    return Some(last.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Position just after a word-boundary `for ` in `line`.
+fn find_for(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("for ") {
+        let at = from + pos;
+        let pre_ok = at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        if pre_ok {
+            return Some(at + 4);
+        }
+        from = at + 4;
+    }
+    None
+}
+
+/// Last path segment of the receiver chain ending at `prefix`'s end:
+/// `self.orgs` → `orgs`, `groups()` → `groups`, `table` → `table`.
+fn receiver_segment(prefix: &str) -> Option<String> {
+    let prefix = prefix.trim_end();
+    let mut end = prefix.len();
+    let bytes = prefix.as_bytes();
+    // Allow one trailing `()` (a getter / constructor call).
+    if prefix.ends_with("()") {
+        end -= 2;
+    }
+    let mut start = end;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (start < end).then(|| prefix[start..end].to_string())
+}

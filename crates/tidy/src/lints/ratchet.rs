@@ -1,0 +1,173 @@
+//! `unwrap-ratchet` — per-crate `.unwrap()` / `.expect(` budget.
+//!
+//! Panics in library code are availability bugs once the engine serves
+//! long-running sessions, so the count of `.unwrap()`/`.expect(` calls in
+//! non-test code is ratcheted: a committed baseline
+//! (`crates/tidy/unwrap_baseline.tsv`) records today's count per crate,
+//! new code may not raise it, and lowering it requires refreshing the
+//! baseline (`cargo run -p tidy -- --fix-baselines`) so the ceiling drops
+//! permanently. Test files and `#[cfg(test)]` regions are exempt —
+//! panicking on a broken invariant is what tests are for.
+
+use super::Lint;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative path of the committed baseline.
+pub const BASELINE_REL: &str = "crates/tidy/unwrap_baseline.tsv";
+
+/// See the module docs.
+pub struct UnwrapRatchet {
+    baseline_path: PathBuf,
+    baseline: BTreeMap<String, usize>,
+    baseline_missing: bool,
+    counts: BTreeMap<String, usize>,
+    fix: bool,
+}
+
+impl UnwrapRatchet {
+    /// Load the committed baseline under `root` (missing file is a finding
+    /// unless `fix` is set).
+    pub fn new(root: &Path, fix: bool) -> UnwrapRatchet {
+        let baseline_path = root.join(BASELINE_REL);
+        let (baseline, baseline_missing) = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => (parse_baseline(&text), false),
+            Err(_) => (BTreeMap::new(), true),
+        };
+        UnwrapRatchet {
+            baseline_path,
+            baseline,
+            baseline_missing,
+            counts: BTreeMap::new(),
+            fix,
+        }
+    }
+}
+
+impl Lint for UnwrapRatchet {
+    fn name(&self) -> &'static str {
+        "unwrap-ratchet"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-crate .unwrap()/.expect( count in non-test code may only go down"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, _sink: &mut Vec<Finding>) {
+        if file.is_test_file {
+            return;
+        }
+        let mut n = 0;
+        for (idx, line) in file.code.iter().enumerate() {
+            if file.is_test_line(idx + 1) {
+                continue;
+            }
+            n += count_occurrences(line, ".unwrap()");
+            n += count_occurrences(line, ".expect(");
+        }
+        *self.counts.entry(file.crate_name.clone()).or_insert(0) += n;
+    }
+
+    fn finish(&mut self, sink: &mut Vec<Finding>) {
+        if self.fix {
+            if let Err(e) = write_baseline(&self.baseline_path, &self.counts) {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: BASELINE_REL.to_string(),
+                    line: 0,
+                    message: format!("cannot write baseline: {e}"),
+                });
+            }
+            return;
+        }
+        if self.baseline_missing {
+            sink.push(Finding {
+                lint: self.name(),
+                file: BASELINE_REL.to_string(),
+                line: 0,
+                message: "baseline file missing — create it with \
+                          `cargo run -p tidy -- --fix-baselines` and commit it"
+                    .to_string(),
+            });
+            return;
+        }
+        // Every crate with a nonzero count, plus every baselined crate (so
+        // a crate dropping to zero still surfaces as an improvement).
+        let mut crates: Vec<&String> = self
+            .counts
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(c, _)| c)
+            .chain(self.baseline.keys())
+            .collect();
+        crates.sort();
+        crates.dedup();
+        for krate in crates {
+            let now = self.counts.get(krate).copied().unwrap_or(0);
+            let base = self.baseline.get(krate).copied().unwrap_or(0);
+            if now > base {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: format!("crates/{krate}"),
+                    line: 0,
+                    message: format!(
+                        "crate `{krate}` has {now} .unwrap()/.expect( in non-test code, \
+                         baseline allows {base} — handle the error instead of panicking"
+                    ),
+                });
+            } else if now < base {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: BASELINE_REL.to_string(),
+                    line: 0,
+                    message: format!(
+                        "crate `{krate}` improved to {now} (baseline {base}) — lock it in \
+                         with `cargo run -p tidy -- --fix-baselines`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn count_occurrences(line: &str, pat: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        n += 1;
+        from += pos + pat.len();
+    }
+    n
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((krate, count)) = line.split_once('\t') {
+            if let Ok(n) = count.trim().parse::<usize>() {
+                map.insert(krate.trim().to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+fn write_baseline(path: &Path, counts: &BTreeMap<String, usize>) -> Result<(), String> {
+    let mut out = String::from(
+        "# tidy unwrap-ratchet baseline: per-crate `.unwrap()`/`.expect(` counts in\n\
+         # non-test code. Counts may only go down; after removing unwraps run\n\
+         # `cargo run -p tidy -- --fix-baselines` and commit the result.\n",
+    );
+    for (krate, n) in counts {
+        if *n > 0 {
+            out.push_str(&format!("{krate}\t{n}\n"));
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))
+}

@@ -1,0 +1,63 @@
+//! `ambient-rng` — entropy not keyed from logical coordinates.
+//!
+//! Every random decision in the pipeline must come from an RNG seeded by
+//! logical coordinates (seed, residence, day, stream tag) so replay is
+//! exact at any thread layout. OS entropy and thread-local generators
+//! (`thread_rng`, `from_entropy`, `OsRng`, `rand::random`) break that by
+//! construction, so they are banned everywhere — including tests, where a
+//! nondeterministic failure is a flake.
+
+use super::Lint;
+use crate::source::{has_word, SourceFile};
+use crate::Finding;
+
+const PATTERNS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "from_os_rng",
+    "getrandom",
+];
+
+/// See the module docs.
+pub struct AmbientRng;
+
+impl Lint for AmbientRng {
+    fn name(&self) -> &'static str {
+        "ambient-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "ambient entropy (thread_rng/from_entropy/OsRng) instead of coordinate-keyed seeds"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, sink: &mut Vec<Finding>) {
+        for (idx, line) in file.code.iter().enumerate() {
+            for pat in PATTERNS {
+                if has_word(line, pat) {
+                    sink.push(Finding {
+                        lint: self.name(),
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{pat}` draws ambient entropy — seed a SmallRng from logical \
+                             coordinates (seed, residence, day, stream tag) instead"
+                        ),
+                    });
+                }
+            }
+            // `rand::random` / `rand::random::<T>()` — path form only; a
+            // bare `random` identifier is too common to flag.
+            if line.contains("rand::random") {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    message: "`rand::random` draws ambient entropy — seed a SmallRng from \
+                              logical coordinates instead"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

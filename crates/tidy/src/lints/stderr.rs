@@ -1,0 +1,91 @@
+//! `raw-stderr` — print macros bypassing the leveled log plane.
+//!
+//! PR 7 routed diagnostics through `obs::log` (swappable sink, `REPRO_LOG`
+//! levels) precisely so library embedders can intercept them; a raw
+//! `eprintln!` undoes that. Rules:
+//!
+//! * `eprintln!`/`eprint!`/`dbg!` are flagged everywhere, binaries
+//!   included — stderr belongs to `obs::log`,
+//! * `println!`/`print!` are flagged in library code only; binary targets
+//!   (`main.rs`, `src/bin/`) own their stdout — that *is* the Report
+//!   render path,
+//! * the one sanctioned site is the default sink inside `obs::log` itself,
+//! * tests may print freely.
+
+use super::Lint;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// The default stderr sink — the plane's own emit site.
+const ALLOWED_FILES: [&str; 1] = ["crates/obs/src/log.rs"];
+
+/// See the module docs.
+pub struct RawStderr;
+
+impl Lint for RawStderr {
+    fn name(&self) -> &'static str {
+        "raw-stderr"
+    }
+
+    fn description(&self) -> &'static str {
+        "eprintln!/println! bypassing obs::log (stdout allowed in binary targets)"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, sink: &mut Vec<Finding>) {
+        if ALLOWED_FILES.contains(&file.rel_path.as_str()) || file.is_test_file {
+            return;
+        }
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            for pat in ["eprintln!", "eprint!", "dbg!"] {
+                if line.contains(pat) {
+                    sink.push(Finding {
+                        lint: self.name(),
+                        file: file.rel_path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` writes raw stderr — use obs::error!/warn!/info! so \
+                             embedders can intercept and level-filter it"
+                        ),
+                    });
+                }
+            }
+            if !file.is_bin {
+                for pat in ["println!", "print!"] {
+                    // `eprintln!` contains `println!`; only flag the plain
+                    // macro (not preceded by an identifier character).
+                    if contains_plain(line, pat) {
+                        sink.push(Finding {
+                            lint: self.name(),
+                            file: file.rel_path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "`{pat}` in library code — return the text in a Report (the \
+                                 binary renders it) or log via obs::log"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `pat` occurs and is not the tail of a longer macro name (`eprintln!`).
+fn contains_plain(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        let at = from + pos;
+        let pre = line.as_bytes().get(at.wrapping_sub(1)).copied();
+        let pre_ident =
+            at > 0 && pre.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'e');
+        if !pre_ident {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}

@@ -1,0 +1,42 @@
+//! `undocumented-unsafe` — an `unsafe` block/fn/impl with no `SAFETY:`.
+//!
+//! Only `iputil` may contain `unsafe` at all (everything else carries
+//! `#![forbid(unsafe_code)]`), and each site must state its proof
+//! obligation in an adjacent `// SAFETY:` comment — on the same line or
+//! within the three preceding lines (attributes in between are fine).
+
+use super::Lint;
+use crate::source::{has_word, SourceFile};
+use crate::Finding;
+
+/// See the module docs.
+pub struct UndocumentedUnsafe;
+
+impl Lint for UndocumentedUnsafe {
+    fn name(&self) -> &'static str {
+        "undocumented-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "an `unsafe` block/fn/impl without an adjacent `// SAFETY:` comment"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, sink: &mut Vec<Finding>) {
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            if !has_word(line, "unsafe") {
+                continue;
+            }
+            if !file.comment_nearby(lineno, 3, "SAFETY:") {
+                sink.push(Finding {
+                    lint: self.name(),
+                    file: file.rel_path.clone(),
+                    line: lineno,
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment — state the \
+                              proof obligation on or just above the site"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

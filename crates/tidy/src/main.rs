@@ -1,0 +1,87 @@
+//! `tidy` — determinism-contract static analysis over the workspace.
+//!
+//! ```text
+//! cargo run -p tidy                     # lint; exit 1 on any finding
+//! cargo run -p tidy -- --json           # machine-readable findings
+//! cargo run -p tidy -- --fix-baselines  # refresh the unwrap ratchet
+//! cargo run -p tidy -- --list           # lint catalogue
+//! cargo run -p tidy -- --root <dir>     # lint another checkout
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fix_baselines = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-baselines" => fix_baselines = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    // Default root: the workspace this binary was compiled from — stable
+    // under `cargo run -p tidy` from any working directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .components()
+            .collect()
+    });
+
+    if list {
+        for lint in tidy::lints::registry(&root, false) {
+            println!("{}\t{}", lint.name(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match tidy::run(&root, fix_baselines) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("tidy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", outcome.to_json());
+    } else {
+        for finding in &outcome.findings {
+            println!("{}", finding.render());
+        }
+        let verdict = if fix_baselines {
+            "baselines refreshed"
+        } else if outcome.findings.is_empty() {
+            "clean"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "tidy: {} file(s) scanned, {} finding(s) — {verdict}",
+            outcome.files_scanned,
+            outcome.findings.len(),
+        );
+    }
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    obs::error!("tidy: {msg}");
+    obs::error!("usage: tidy [--json] [--fix-baselines] [--list] [--root <dir>]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,58 @@
+//! Workspace file discovery.
+//!
+//! Tidy scans first-party Rust sources only: the `crates/` tree plus the
+//! facade's root `src/`, `examples/`, and `tests/`. The vendored
+//! third-party stand-ins (`vendor/`), build output (`target/`), and tidy's
+//! own deliberately-violating lint fixtures (`tests/fixtures/`) are
+//! excluded. Paths come back sorted so every run (and the JSON report) is
+//! deterministic regardless of directory enumeration order.
+
+use std::path::Path;
+
+/// Directories under the workspace root that hold first-party sources.
+const ROOTS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Collect every first-party `.rs` file, as workspace-relative paths with
+/// `/` separators, sorted.
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git") {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            // Lint fixtures are violations on purpose.
+            if rel.contains("tests/fixtures/") {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,11 @@
+pub fn a() {
+    // tidy:allow(nondeterministic-iteration)
+}
+
+pub fn b() {
+    // tidy:allow(ambient-rng):
+}
+
+pub fn c() {
+    // tidy:allow(no-such-lint): confidently wrong
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn total(map: &BTreeMap<String, u64>) -> u64 {
+    map.values().sum()
+}

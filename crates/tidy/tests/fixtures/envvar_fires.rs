@@ -1,0 +1,3 @@
+pub fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}

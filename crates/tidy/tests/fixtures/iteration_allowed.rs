@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in map.iter() { // tidy:allow(nondeterministic-iteration): commutative sum, visit order cannot leak
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in map.iter() {
+        sum += v;
+    }
+    sum
+}

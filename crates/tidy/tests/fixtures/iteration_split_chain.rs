@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+pub fn names(index: &HashMap<String, u32>) -> Vec<String> {
+    index
+        .keys()
+        .cloned()
+        .collect()
+}

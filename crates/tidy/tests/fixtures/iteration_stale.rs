@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn total(map: &BTreeMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in map.iter() { // tidy:allow(nondeterministic-iteration): BTreeMap needs no waiver
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,4 @@
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // tidy:allow(ambient-rng): fixture exercising the waiver path
+    rng.gen()
+}

@@ -1,0 +1,4 @@
+pub fn jitter(seed: u64) -> u64 {
+    // tidy:allow(ambient-rng): the rng below is seeded
+    seed.wrapping_mul(6364136223846793005)
+}

@@ -1,0 +1,3 @@
+pub fn warn() {
+    eprintln!("something happened"); // tidy:allow(raw-stderr): fixture exercising the waiver path
+}

@@ -1,0 +1,3 @@
+pub fn warn() {
+    eprintln!("something happened");
+}

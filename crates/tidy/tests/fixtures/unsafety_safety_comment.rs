@@ -1,0 +1,4 @@
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p points at a live byte.
+    unsafe { *p }
+}

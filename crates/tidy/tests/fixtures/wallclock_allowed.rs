@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::Instant {
+    // tidy:allow(wall-clock): diagnostic-only timing, never reaches a Report
+    std::time::Instant::now()
+}

@@ -1,0 +1,25 @@
+//! Tier-1 gate: the real workspace must be tidy-clean.
+//!
+//! This is the test that makes `cargo test -q` fail when someone commits a
+//! `thread_rng()`, an undocumented `unsafe`, a hash-order iteration, or a
+//! stale `tidy:allow` — the same engine the `tidy` binary and the CI step
+//! run, pointed at the live tree.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_tidy_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = tidy::run(&root, false).expect("tidy engine runs");
+    assert!(
+        outcome.files_scanned > 100,
+        "walker found only {} files — workspace root misdetected?",
+        outcome.files_scanned
+    );
+    let rendered: Vec<String> = outcome.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        outcome.findings.is_empty(),
+        "determinism contract violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -93,6 +93,40 @@
 //! trie, which remains the mutable authority under RIB churn). See the
 //! `iputil` crate docs for the architecture and churn/fallback semantics.
 //!
+//! ## Determinism contract
+//!
+//! Everything above rests on one invariant: **scenario output is
+//! byte-identical for a given `(sites, seed, days)` regardless of thread
+//! layout, fault plan, metrics plane, or LPM engine.** Concretely:
+//!
+//! * all randomness flows from the session seed through `SmallRng` streams
+//!   keyed by logical coordinates (site rank, residence, day, stream tag) —
+//!   never from entropy, time, or thread id;
+//! * nothing ordered is ever derived from hash-map iteration order: ordered
+//!   state lives in `Vec`/`BTreeMap`/[`iputil::sym::SymVec`], and any
+//!   `HashMap` detour is sorted (or provably commutative) before it can
+//!   reach a report;
+//! * wall-clock time is confined to the telemetry spans and the bench
+//!   ledgers, which are excluded from digest comparisons.
+//!
+//! The digest tests enforce this dynamically; the `tidy` crate enforces it
+//! statically. `cargo run -p tidy` (and the tier-1 test
+//! `crates/tidy/tests/workspace.rs`, and a CI step) lints every source file
+//! for contract violations — hash-order iteration, ambient RNG
+//! (`thread_rng`/`from_entropy`), unexcused `Instant::now`, undocumented
+//! `unsafe`, raw `eprintln!` diagnostics, unchecked `std::env::var` reads,
+//! and `.unwrap()` growth against a committed per-crate ratchet baseline.
+//! A site whose order/timing provably cannot leak is waived in place with
+//! a justified directive:
+//!
+//! ```text
+//! for v in map.values() { // tidy:allow(nondeterministic-iteration): commutative sum
+//! ```
+//!
+//! The reason is mandatory and a directive that no longer suppresses
+//! anything is itself an error, so waivers cannot outlive the code they
+//! excuse. See the `tidy` crate docs for the full lint catalogue.
+//!
 //! Lower-level entry points remain available through the re-exported
 //! crates:
 //!
@@ -104,6 +138,8 @@
 //!
 //! See the workspace `README.md` for an architecture overview, `DESIGN.md`
 //! for the system inventory and `EXPERIMENTS.md` for the experiment index.
+
+#![forbid(unsafe_code)]
 
 pub use bgpsim;
 pub use cloudmodel;

@@ -12,6 +12,8 @@
 //! through `serde_json::Value`), but the trait bound must exist for the
 //! derives to compile.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Item {
