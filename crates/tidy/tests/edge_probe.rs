@@ -1,0 +1,14 @@
+#[test]
+fn escaped_newline_line_drift() {
+    let src = "fn f() -> String {\n    let s = \"a\\\nb\";\n    s\n}\nfn g(m: &std::collections::HashMap<u32, u32>) {\n    for v in m.values() {\n        let _ = v;\n    }\n}\n";
+    let sf = tidy::source::SourceFile::parse("crates/core/src/x.rs", src);
+    println!("input lines: {}", src.lines().count());
+    println!("code lines: {}", sf.code.len());
+    for (i, l) in sf.code.iter().enumerate() {
+        println!("{:2}: {l}", i + 1);
+    }
+    let findings = tidy::check_source("crates/core/src/x.rs", src);
+    for f in &findings {
+        println!("FINDING {}", f.render());
+    }
+}
