@@ -41,6 +41,10 @@ pub struct AsFractionsParams {
     /// is byte-identical either way; the registry's engine-on/off guard
     /// flips this through [`RunConfig`](crate::RunConfig)`::compiled_lpm`.
     pub compiled_lpm: bool,
+    /// When set, tee the stream into sealed [`flowstore`] day-parts under
+    /// `<dir>/as-fractions` and digest-verify the replay. The report is
+    /// byte-identical either way.
+    pub spill: Option<std::path::PathBuf>,
 }
 
 /// The exportable dataset: run parameters plus every kept per-AS row.
@@ -83,7 +87,49 @@ pub fn as_fractions_report(params: &AsFractionsParams) -> AsFractionsReport {
         threads: params.threads.max(1),
     };
     let mut agg = AsAgg::new(&world.rib, &world.registry);
-    synthesize_long_tail_into(&world, &cfg, &mut agg);
+    match &params.spill {
+        None => synthesize_long_tail_into(&world, &cfg, &mut agg),
+        Some(spill) => {
+            // Spill mode: same stream, teed into a day-part writer and a
+            // live digest; the replayed parts must reproduce the stream
+            // byte for byte before the report is trusted.
+            let dir = spill.join("as-fractions");
+            if dir.exists() {
+                if let Err(e) = std::fs::remove_dir_all(&dir) {
+                    panic!("clearing spill dir {}: {e}", dir.display());
+                }
+            }
+            let mut live = flowstore::DigestSink::new();
+            let mut spill_sink = match flowstore::SpillSink::new(&dir, 0) {
+                Ok(s) => s,
+                Err(e) => panic!("opening spill sink: {e}"),
+            };
+            synthesize_long_tail_into(&world, &cfg, &mut (&mut agg, &mut live, &mut spill_sink));
+            let metas = match spill_sink.finish() {
+                Ok(m) => m,
+                Err(e) => panic!("sealing spill parts: {e}"),
+            };
+            let mut replayed = flowstore::DigestSink::new();
+            let stats = match flowstore::PartSet::from_metas(metas).replay_into(&mut replayed) {
+                Ok(s) => s,
+                Err(e) => panic!("replaying spilled parts: {e}"),
+            };
+            if replayed.digest() != live.digest() {
+                panic!(
+                    "spill replay diverged: live {:#018x} vs replay {:#018x} ({} rows)",
+                    live.digest(),
+                    replayed.digest(),
+                    stats.rows,
+                );
+            }
+            obs::debug!(
+                "[repro] as-fractions spill verified: {} parts, {} rows, digest {:#018x}",
+                stats.parts,
+                stats.rows,
+                live.digest(),
+            );
+        }
+    }
     let rows = agg.fractions('T', MIN_SHARE);
     AsFractionsReport {
         ases: params.ases,
@@ -177,6 +223,7 @@ pub fn as_fractions(s: &mut Session) -> Report {
         flows_per_day: (ases * 10).clamp(20_000, 600_000),
         threads: s.config.threads.unwrap_or(1),
         compiled_lpm: s.config.compiled_lpm,
+        spill: s.config.spill.clone(),
     };
     as_fractions_report_for(&params)
 }
@@ -191,6 +238,7 @@ pub fn as_fractions_export_report(s: &mut Session) -> Report {
         flows_per_day: 10_000,
         threads: s.config.threads.unwrap_or(1),
         compiled_lpm: s.config.compiled_lpm,
+        spill: s.config.spill.clone(),
     };
     as_fractions_report_for(&params)
 }
@@ -207,6 +255,7 @@ mod tests {
             flows_per_day: 5_000,
             threads,
             compiled_lpm: true,
+            spill: None,
         }
     }
 
@@ -227,6 +276,18 @@ mod tests {
             ..params(1)
         }));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spilling_does_not_change_the_table() {
+        let dir = std::env::temp_dir().join(format!("asfrac-test-{}", std::process::id()));
+        let a = as_fractions_json(&as_fractions_report(&params(1)));
+        let b = as_fractions_json(&as_fractions_report(&AsFractionsParams {
+            spill: Some(dir.clone()),
+            ..params(2)
+        }));
+        assert_eq!(a, b, "spilling must not change the exported table");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

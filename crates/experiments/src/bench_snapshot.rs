@@ -8,8 +8,10 @@
 //!   against a 50k-prefix table, and the memoized 4k-query duplicate-heavy
 //!   batch, mirroring `benches/micro.rs`.
 //! * `BENCH_traffic.json` — pipeline throughput: whole-residence streaming
-//!   synthesis into aggregate sinks, and per-AS attribution of 200k flows
-//!   over a 100k-AS long-tail RIB, mirroring `benches/traffic.rs`.
+//!   synthesis into aggregate sinks, per-AS attribution of 200k flows
+//!   over a 100k-AS long-tail RIB (mirroring `benches/traffic.rs`), and
+//!   the flowstore spill/replay halves of the `--spill` path over the
+//!   same 200k-record stream.
 //!
 //! The ledgers are history: existing bytes are never rewritten — the new
 //! snapshot is spliced into the `"snapshots"` array (created after the
@@ -106,6 +108,8 @@ struct TrafficProbe {
     synth_residence_5d_ns: u64,
     per_as_agg_200k_ns: u64,
     per_as_agg_200k_frozen_ns: u64,
+    spill_write_200k_ns: u64,
+    spill_replay_200k_ns: u64,
     samples: usize,
 }
 
@@ -117,12 +121,16 @@ impl TrafficProbe {
              \"samples\": {},\n      \"results\": [\n        \
              {{ \"name\": \"synthesize_residence_5d_aggregate_sinks\", \"median_ns\": {} }},\n        \
              {{ \"name\": \"per_as_agg_200k_flows_100k_ases_interned_symvec\", \"median_ns\": {} }},\n        \
-             {{ \"name\": \"per_as_agg_200k_flows_100k_ases_frozen_multibit\", \"median_ns\": {} }}\n      \
+             {{ \"name\": \"per_as_agg_200k_flows_100k_ases_frozen_multibit\", \"median_ns\": {} }},\n        \
+             {{ \"name\": \"flowstore_spill_200k_flows_columnar_day_parts\", \"median_ns\": {} }},\n        \
+             {{ \"name\": \"flowstore_replay_200k_flows_digest_sink\", \"median_ns\": {} }}\n      \
              ]\n    }}",
             self.samples,
             self.synth_residence_5d_ns,
             self.per_as_agg_200k_ns,
-            self.per_as_agg_200k_frozen_ns
+            self.per_as_agg_200k_frozen_ns,
+            self.spill_write_200k_ns,
+            self.spill_replay_200k_ns
         )
     }
 }
@@ -335,10 +343,40 @@ fn traffic_probe() -> TrafficProbe {
         }
         std::hint::black_box((agg.observed_as_count(), agg.total_bytes()));
     });
+    // Spill/replay throughput over the same 200k-record stream: encode and
+    // seal the columnar day-parts, then decode them back through a digest
+    // sink — the two halves of the `--spill` path.
+    let spill_dir = std::env::temp_dir().join(format!("bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let spill_write_200k_ns = median_ns(5, 200, 60, || {
+        let mut sink = match flowstore::SpillSink::new(&spill_dir, 0) {
+            Ok(s) => s,
+            Err(e) => panic!("spill probe: {e}"),
+        };
+        sink.accept_batch(&records);
+        match sink.finish() {
+            Ok(m) => std::hint::black_box(m.len()),
+            Err(e) => panic!("spill probe: {e}"),
+        };
+    });
+    let parts = match flowstore::PartSet::open(&spill_dir) {
+        Ok(p) => p,
+        Err(e) => panic!("spill probe: {e}"),
+    };
+    let spill_replay_200k_ns = median_ns(5, 200, 60, || {
+        let mut digest = flowstore::DigestSink::new();
+        if let Err(e) = parts.replay_into(&mut digest) {
+            panic!("replay probe: {e}");
+        }
+        std::hint::black_box(digest.digest());
+    });
+    let _ = std::fs::remove_dir_all(&spill_dir);
     TrafficProbe {
         synth_residence_5d_ns,
         per_as_agg_200k_ns,
         per_as_agg_200k_frozen_ns,
+        spill_write_200k_ns,
+        spill_replay_200k_ns,
         samples,
     }
 }
@@ -598,6 +636,8 @@ mod tests {
             synth_residence_5d_ns: 800_000,
             per_as_agg_200k_ns: 59_000_000,
             per_as_agg_200k_frozen_ns: 12_000_000,
+            spill_write_200k_ns: 30_000_000,
+            spill_replay_200k_ns: 20_000_000,
             samples: 9,
         };
         for rendered in [lpm.render("2026-08-08"), traffic.render("2026-08-08")] {

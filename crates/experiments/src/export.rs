@@ -31,10 +31,15 @@ struct SiteRow {
 /// Write all exportable datasets as JSON files under `out_dir`.
 pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(out_dir)?;
+    // Serialize straight into a buffered file: no dataset is ever held as
+    // one in-memory JSON string. Bytes are identical to the old
+    // string-then-write path (the serde_json shim's writer tests pin it).
     let write = |name: &str, value: &dyn erased_ser::Ser| -> std::io::Result<()> {
+        use std::io::Write as _;
         let path = out_dir.join(name);
-        let json = value.to_json();
-        std::fs::write(&path, json)?;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        value.write_json(&mut w)?;
+        w.flush()?;
         obs::info!("[export] wrote {}", path.display());
         Ok(())
     };
@@ -97,21 +102,17 @@ pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> 
     // 5. Client-side: per-residence aggregates plus ANONYMIZED daily logs
     //    (CryptoPAN'd addresses, like the paper's upload pipeline; the raw
     //    logs are deliberately not exported). The anonymized logs are the
-    //    one dataset that genuinely needs materialized records, so this
-    //    step synthesizes once and derives the aggregates from the same
-    //    records instead of paying for a second streaming pass.
-    session.traffic();
-    let analyses: Vec<_> = session
-        .traffic_ref()
-        .iter()
-        .map(ipv6view_core::client::analyze_residence)
-        .collect();
-    write("residence_analyses.json", &analyses)?;
+    //    one dataset that genuinely needs materialized records. Without
+    //    `--spill` the materialized session cache provides them; with it,
+    //    each residence spills to columnar day-parts and is replayed —
+    //    digest-verified — one residence at a time, so peak memory is one
+    //    residence's records instead of all five. The files are
+    //    byte-identical either way.
     let exporter = AnonymizingExporter::new(Anonymizer::new(
         *b"dataset-release!",
         AnonymizerConfig::paper(),
     ));
-    for ds in session.traffic_ref() {
+    let write_logs = |ds: &trafficgen::ResidenceDataset| -> std::io::Result<()> {
         let logs = exporter.export(&ds.flows);
         let sample: Vec<_> = logs
             .iter()
@@ -121,7 +122,69 @@ pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> 
         write(
             &format!("residence_{}_flows_anonymized.json", ds.profile.key),
             &sample,
-        )?;
+        )
+    };
+    match session.config.spill.clone() {
+        None => {
+            session.traffic();
+            let analyses: Vec<_> = session
+                .traffic_ref()
+                .iter()
+                .map(ipv6view_core::client::analyze_residence)
+                .collect();
+            write("residence_analyses.json", &analyses)?;
+            for ds in session.traffic_ref() {
+                write_logs(ds)?;
+            }
+        }
+        Some(spill) => {
+            let dir = spill.join("export");
+            if dir.exists() {
+                std::fs::remove_dir_all(&dir)?;
+            }
+            let cfg = session.traffic_config();
+            let results = trafficgen::synthesize_profiles_with(
+                &session.world,
+                trafficgen::paper_residences(),
+                &cfg,
+                |i, _| {
+                    let sink = match flowstore::SpillSink::new(&dir, i as u64) {
+                        Ok(s) => s,
+                        Err(e) => panic!("opening spill sink {i}: {e}"),
+                    };
+                    (flowstore::DigestSink::new(), sink)
+                },
+            );
+            let io_err = |e: flowstore::Error| std::io::Error::other(format!("{e}"));
+            let mut analyses = Vec::with_capacity(results.len());
+            for (summary, (live, spill_sink)) in results {
+                let metas = spill_sink.finish().map_err(io_err)?;
+                let mut collect = flowmon::CollectSink::new();
+                let mut replayed = flowstore::DigestSink::new();
+                flowstore::PartSet::from_metas(metas)
+                    .replay_into(&mut (&mut collect, &mut replayed))
+                    .map_err(io_err)?;
+                if replayed.digest() != live.digest() {
+                    panic!(
+                        "spill replay diverged for residence {}: live {:#018x} vs replay {:#018x}",
+                        summary.profile.key,
+                        live.digest(),
+                        replayed.digest(),
+                    );
+                }
+                let ds = trafficgen::ResidenceDataset {
+                    profile: summary.profile,
+                    flows: collect.into_records(),
+                    scale: summary.scale,
+                    num_days: summary.num_days,
+                    gateway: summary.gateway,
+                    drops: summary.drops,
+                };
+                analyses.push(ipv6view_core::client::analyze_residence(&ds));
+                write_logs(&ds)?;
+            }
+            write("residence_analyses.json", &analyses)?;
+        }
     }
     Ok(())
 }
@@ -130,11 +193,13 @@ pub fn export_all(session: &mut Session, out_dir: &Path) -> std::io::Result<()> 
 /// `Serialize` without generics-in-closures gymnastics.
 mod erased_ser {
     pub trait Ser {
-        fn to_json(&self) -> String;
+        /// Pretty-print into `w` (buffered by the caller); byte-identical
+        /// to serializing to a string first.
+        fn write_json(&self, w: &mut dyn std::io::Write) -> std::io::Result<()>;
     }
     impl<T: serde::Serialize> Ser for T {
-        fn to_json(&self) -> String {
-            serde_json::to_string_pretty(self).expect("serializable")
+        fn write_json(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+            serde_json::to_writer_pretty(w, self).map_err(|e| std::io::Error::other(format!("{e}")))
         }
     }
 }
@@ -163,5 +228,36 @@ mod tests {
         }
         assert!(found >= 8, "expected at least 8 dataset files, got {found}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_export_is_byte_identical() {
+        let base =
+            std::env::temp_dir().join(format!("ipv6view-export-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (dir_a, dir_b, spill) = (base.join("a"), base.join("b"), base.join("spill"));
+        let cfg = || RunConfig::default().sites(200).seed(77).days(2);
+
+        let mut plain = Session::new(cfg());
+        export_all(&mut plain, &dir_a).expect("in-memory export");
+        let mut spilled = Session::new(cfg().threads(3).spill(&spill));
+        export_all(&mut spilled, &dir_b).expect("spilled export");
+
+        let names = |dir: &std::path::Path| -> Vec<String> {
+            let mut v: Vec<String> = std::fs::read_dir(dir)
+                .expect("dir exists")
+                .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        let files = names(&dir_a);
+        assert_eq!(files, names(&dir_b), "spill must not change the file set");
+        for name in &files {
+            let a = std::fs::read(dir_a.join(name)).expect("readable");
+            let b = std::fs::read(dir_b.join(name)).expect("readable");
+            assert_eq!(a, b, "{name} differs between in-memory and spilled export");
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -47,6 +47,7 @@ pub mod client_exps;
 pub mod cloud_exps;
 pub mod export;
 pub mod fault_exps;
+pub mod millsubs_exps;
 pub mod report;
 pub mod scenario;
 pub mod server_exps;

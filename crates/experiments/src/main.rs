@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]
-//!                  [--threads N] [--day-threads N]
+//!                  [--threads N] [--day-threads N] [--spill DIR]
 //! repro list       # enumerate the scenario registry (name<TAB>description)
 //! repro all        # every registered scenario, in paper order
 //! repro export     # write every exportable dataset as JSON
@@ -60,6 +60,7 @@ fn main() {
             "--days" => config.days = num_value(flag, inline, &mut it),
             "--threads" => config.threads = Some(num_value(flag, inline, &mut it)),
             "--day-threads" => config.day_threads = Some(num_value(flag, inline, &mut it)),
+            "--spill" => config.spill = Some(str_value(flag, inline, &mut it).into()),
             "--full" => {
                 no_value("--full");
                 config = config.full();
@@ -214,6 +215,19 @@ fn num_value<'a, T: std::str::FromStr>(
         .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
 }
 
+/// Take one string flag value, inline (`--flag=V`) or from the next
+/// argument (`--flag V`).
+fn str_value<'a>(
+    flag: &str,
+    inline: Option<&str>,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> String {
+    inline
+        .map(str::to_string)
+        .or_else(|| it.next().cloned())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         obs::error!("error: {msg}\n");
@@ -221,7 +235,7 @@ fn usage(msg: &str) -> ! {
     obs::error!(
         "usage: repro <scenario> [--sites N] [--seed S] [--days D] [--full] [--json]\n\
          \x20                    [--threads N] [--day-threads N] [--metrics] [--metrics-json]\n\
-         \x20                    [--no-compiled-lpm]\n\
+         \x20                    [--no-compiled-lpm] [--spill DIR]\n\
          \x20      repro list | all | export | bench-snapshot [--check]\n\
          `repro list` prints every registered scenario; `all` runs them in\n\
          paper order; `export` writes the JSON datasets; `bench-snapshot`\n\
@@ -235,7 +249,9 @@ fn usage(msg: &str) -> ! {
          prints only the raw metrics snapshot as JSON. --no-compiled-lpm\n\
          runs RIB lookups on the radix trie instead of the compiled multibit\n\
          engine (output is byte-identical; differential debugging only).\n\
-         REPRO_LOG=off|error|\n\
+         --spill DIR streams flow records through sorted columnar day-parts\n\
+         under DIR instead of memory; replays are digest-verified and\n\
+         reports stay byte-identical. REPRO_LOG=off|error|\n\
          warn|info|debug|trace filters progress diagnostics on stderr."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

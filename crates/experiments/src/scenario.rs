@@ -263,6 +263,12 @@ scenarios! {
         run: crate::asfrac_exps::as_fractions,
         export: crate::asfrac_exps::as_fractions_export_report
     },
+    /// Adoption tiers over a provider-scale subscriber population.
+    MillionSubs {
+        name: "million-subs",
+        describe: "adoption tiers over a million-subscriber population (spillable via --spill)",
+        run: crate::millsubs_exps::million_subs
+    },
     /// Per-class fault-injection sweep on the NAT64 line.
     FaultsSweep {
         name: "faults-sweep",

@@ -459,6 +459,7 @@ pub fn robustness(s: &mut Session) -> Report {
             num_sites: sites,
             num_epochs: 3,
             long_tail_ases: 0,
+            subscribers: 0,
             calibration: worldgen::Calibration::default(),
         };
         let world = World::generate(&cfg);

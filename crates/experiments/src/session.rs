@@ -63,6 +63,13 @@ pub struct RunConfig {
     /// so this exists for differential testing and perf comparison, not
     /// correctness.
     pub compiled_lpm: bool,
+    /// Spill directory for flow streams (`--spill DIR`). When set, the
+    /// flow-producing passes write sorted columnar day-parts
+    /// ([`flowstore`]) instead of holding records, and every replay is
+    /// digest-verified against the live stream. Scenario reports stay
+    /// byte-identical to in-memory runs — the registry tests assert it —
+    /// so this trades disk for peak RSS, never answers.
+    pub spill: Option<std::path::PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -78,6 +85,7 @@ impl Default for RunConfig {
             faults: FaultPlan::default(),
             metrics: false,
             compiled_lpm: true,
+            spill: None,
         }
     }
 }
@@ -135,6 +143,14 @@ impl RunConfig {
         self
     }
 
+    /// Spill flow streams to sorted columnar day-parts under `dir`. Every
+    /// replay is digest-verified against the live stream and scenario
+    /// output stays byte-identical to in-memory runs.
+    pub fn spill(mut self, dir: impl Into<std::path::PathBuf>) -> RunConfig {
+        self.spill = Some(dir.into());
+        self
+    }
+
     /// The paper's full 100k-site scale.
     pub fn full(mut self) -> RunConfig {
         self.sites = 100_000;
@@ -189,6 +205,7 @@ impl Session {
             num_sites: sites,
             num_epochs: 3,
             long_tail_ases: 0,
+            subscribers: 0,
             calibration: worldgen::Calibration::default(),
         };
         let mut world = {
@@ -335,14 +352,72 @@ impl Session {
             let _span = obs::span!("streaming");
             let cfg = self.traffic_config();
             let world = &self.world;
-            let results = synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| {
+            let make_aggs = || {
                 (
                     ScopeFamilyAgg::new(cfg.num_days),
                     FlowStatsAgg::new(),
                     AsAgg::new(&world.rib, &world.registry),
                     DomainAgg::new(&world.client_zone, &world.psl),
                 )
-            });
+            };
+            let results = match self.config.spill.clone() {
+                None => {
+                    synthesize_profiles_with(world, paper_residences(), &cfg, |_, _| make_aggs())
+                }
+                Some(spill) => {
+                    // Spill mode: tee every residence's stream into a
+                    // columnar day-part writer alongside the aggregators,
+                    // then replay the sealed parts and insist the replay
+                    // digest matches the live stream byte for byte.
+                    let dir = spill.join("residences");
+                    if dir.exists() {
+                        if let Err(e) = std::fs::remove_dir_all(&dir) {
+                            panic!("clearing spill dir {}: {e}", dir.display());
+                        }
+                    }
+                    let with_spill =
+                        synthesize_profiles_with(world, paper_residences(), &cfg, |i, _| {
+                            let spill_sink = match flowstore::SpillSink::new(&dir, i as u64) {
+                                Ok(s) => s,
+                                Err(e) => panic!("opening spill sink {i}: {e}"),
+                            };
+                            (make_aggs(), (flowstore::DigestSink::new(), spill_sink))
+                        });
+                    let mut results = Vec::with_capacity(with_spill.len());
+                    for (summary, (aggs, (live, spill_sink))) in with_spill {
+                        let metas = match spill_sink.finish() {
+                            Ok(m) => m,
+                            Err(e) => panic!("sealing spill parts: {e}"),
+                        };
+                        let mut replayed = flowstore::DigestSink::new();
+                        let stats = match flowstore::PartSet::from_metas(metas)
+                            .replay_into(&mut replayed)
+                        {
+                            Ok(s) => s,
+                            Err(e) => panic!("replaying spilled parts: {e}"),
+                        };
+                        if replayed.digest() != live.digest() {
+                            panic!(
+                                "spill replay diverged for residence {}: live {:#018x} ({} rows) vs replay {:#018x} ({} rows)",
+                                summary.profile.key,
+                                live.digest(),
+                                live.count(),
+                                replayed.digest(),
+                                stats.rows,
+                            );
+                        }
+                        obs::debug!(
+                            "[repro] spill verified: residence {} — {} parts, {} rows, digest {:#018x}",
+                            summary.profile.key,
+                            stats.parts,
+                            stats.rows,
+                            live.digest(),
+                        );
+                        results.push((summary, aggs));
+                    }
+                    results
+                }
+            };
             let mut analyses = Vec::with_capacity(results.len());
             let mut as_rows = Vec::new();
             let mut sketches = Vec::with_capacity(results.len());

@@ -51,6 +51,27 @@ fn every_scenario_runs_and_is_thread_invariant() {
     }
 }
 
+/// Spilling through columnar day-parts is a pure memory substitution:
+/// every scenario's Report JSON must be byte-identical with `--spill` on
+/// and off, even combined with thread fan-out — the flowstore replay
+/// reproduces the in-memory stream exactly (each spill pass also
+/// digest-verifies itself and panics on divergence).
+#[test]
+fn every_scenario_is_spill_invariant() {
+    let dir = std::env::temp_dir().join(format!("registry-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let in_memory = run_registry(tiny());
+    let spilled = run_registry(tiny().threads(3).day_threads(2).spill(&dir));
+    for ((name_a, json_a), (name_b, json_b)) in in_memory.iter().zip(&spilled) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            json_a, json_b,
+            "{name_a}: report JSON must be byte-identical with spilling on vs off"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The compiled (frozen multibit) LPM engine is a pure performance
 /// substitution: every scenario's Report JSON must be byte-identical with
 /// it enabled and disabled — the same contract the faults and obs planes

@@ -1,0 +1,53 @@
+//! Error type for the flow store. Everything fallible returns
+//! [`Result`]; the crate contains no `unwrap`/`expect` outside tests.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Failure while writing, reading, or verifying a part.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying filesystem failure, tagged with the path involved.
+    Io {
+        /// Path the operation was touching.
+        path: std::path::PathBuf,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// Structural corruption: bad magic, truncated footer, codec overrun,
+    /// or a content digest that does not match the footer.
+    Corrupt(String),
+}
+
+impl Error {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+
+    pub(crate) fn io(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "io error at {}: {source}", path.display()),
+            Error::Corrupt(msg) => write!(f, "corrupt part: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            Error::Corrupt(_) => None,
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod longtail;
 pub mod par;
 pub mod profile;
 pub mod provider;
+pub mod subs;
 pub mod synth;
 
 pub use longtail::{synthesize_long_tail_into, LongTailTrafficConfig};
@@ -46,6 +47,10 @@ pub use profile::{
     isp_cohort, paper_residences, transition_residences, EventDayProfile, ResidenceProfile,
 };
 pub use provider::{synthesize_isp, synthesize_isps, IspRun, IspSpec, SubscriberStats};
+pub use subs::{
+    num_shards, shard_day_records, subscriber_of_src, subscriber_src, synthesize_shard_day,
+    synthesize_subscribers_into, SubscriberTrafficConfig,
+};
 pub use synth::{
     synthesize_all, synthesize_profiles, synthesize_profiles_with, synthesize_residence,
     synthesize_residence_into, ResidenceDataset, ResidenceSummary, SportAlloc, TrafficConfig,

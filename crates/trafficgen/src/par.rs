@@ -1,17 +1,28 @@
 //! Deterministic fan-out over scoped worker threads.
 //!
 //! Every parallel axis of the suite — residences, days inside a residence,
-//! ISPs in a provider sweep — uses this one primitive instead of growing
-//! per-call-site thread pools. The determinism contract is the caller's:
-//! `f` must derive all randomness from its index argument alone, so the
-//! result vector is byte-identical at any thread count.
+//! ISPs in a provider sweep, subscriber shards — uses this one primitive
+//! instead of growing per-call-site thread pools. The determinism contract
+//! is the caller's: `f` must derive all randomness from its index argument
+//! alone, so the result vector is byte-identical at any thread count.
+//!
+//! Scheduling is **work-stealing**: workers claim task indices from one
+//! shared atomic counter over the canonical task list, so a worker that
+//! drew cheap items keeps pulling instead of idling the way the old static
+//! round-robin split did. Completion order varies run to run; the *output*
+//! does not — results land in input-order slots, and the caller's
+//! index-derived seeding makes each result independent of which worker
+//! computed it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Fan `items` out over up to `threads` scoped workers, returning results
-/// in input order. Assignment is round-robin (item `i` on worker
-/// `i % threads`) so heavy items spread; `threads <= 1` runs inline.
+/// in input order. Workers claim the next unstarted index from a shared
+/// atomic queue (work-stealing); `threads <= 1` runs inline.
 /// Thread-count invariance is the *caller's* contract: `f` must derive all
 /// randomness from its index argument alone — every call site (residences,
-/// days, ISPs) seeds its RNG from exactly that.
+/// days, ISPs, shards) seeds its RNG from exactly that.
 pub fn fan_out<T: Send, R: Send>(
     items: Vec<T>,
     threads: usize,
@@ -25,29 +36,68 @@ pub fn fan_out<T: Send, R: Send>(
             .map(|(i, x)| f(i, x))
             .collect();
     }
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let mut per_worker: Vec<Vec<(usize, T, &mut Option<R>)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    for (i, (x, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
-        per_worker[i % threads].push((i, x, slot));
-    }
+    let n = items.len();
+    // The task queue: each slot holds one input item; the atomic cursor is
+    // the next unclaimed index. `Mutex<Option<T>>` hands the item to exactly
+    // one worker without unsafe code; the lock is uncontended by construction
+    // (an index is claimed once) so the cost is one CAS per task.
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let next = AtomicUsize::new(0);
+    let tasks = &tasks;
+    let next = &next;
     let f = &f;
     // Telemetry spans opened inside `f` must nest under the caller's span
     // path, not start fresh per worker thread — otherwise the set of span
     // paths (and per-path counts) would depend on the thread layout.
     let span_parent = obs::current_span_path();
     let span_parent = &span_parent;
-    std::thread::scope(|scope| {
-        for batch in per_worker {
-            scope.spawn(move || {
-                let _span_path = obs::enter_path(span_parent);
-                for (i, x, slot) in batch {
-                    *slot = Some(f(i, x));
-                }
-            });
-        }
+    let mut results: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let _span_path = obs::enter_path(span_parent);
+                    let mut done: Vec<(usize, R)> = Vec::with_capacity(n / threads + 1);
+                    // Tasks a static split would have given other workers.
+                    // Diagnostic only: steal counts are scheduling-dependent,
+                    // so they go to the debug log, never into `obs` metrics
+                    // (the metrics fingerprint is layout-invariant by test).
+                    let mut stolen = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let Some(x) = tasks[i].lock().ok().and_then(|mut slot| slot.take())
+                        else {
+                            continue;
+                        };
+                        if i % threads != worker {
+                            stolen += 1;
+                        }
+                        done.push((i, f(i, x)));
+                    }
+                    obs::debug!(
+                        "fan_out worker {worker}/{threads}: {} tasks ({stolen} stolen vs static split)",
+                        done.len()
+                    );
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(done) => done,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
+    // Scatter the per-worker completions back into input order.
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(n, || None);
+    for (i, r) in results.drain(..).flatten() {
+        slots[i] = Some(r);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("worker filled every slot"))
@@ -91,5 +141,29 @@ mod tests {
         for threads in [2, 5, 16] {
             assert_eq!(fan_out(items.clone(), threads, work), seq);
         }
+    }
+
+    #[test]
+    fn uneven_task_costs_still_order_correctly() {
+        // Heavily skewed costs exercise actual stealing: worker 0's static
+        // share would be the slow half. Output must stay input-ordered.
+        let out = fan_out((0..40).collect(), 4, |i, x: u64| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 10
+        });
+        assert_eq!(out, (0..40).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            fan_out((0..8).collect(), 3, |i, _x: u32| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 }

@@ -31,6 +31,7 @@ pub mod calibration;
 pub mod clientsvc;
 pub mod clouds;
 pub mod longtail;
+pub mod subs;
 pub mod web;
 pub mod world;
 pub mod xlat;
@@ -39,6 +40,7 @@ pub use calibration::Calibration;
 pub use clientsvc::{ClientService, ServiceKind, CLIENT_AS_CATALOG};
 pub use clouds::CloudRuntime;
 pub use longtail::{LongTail, LongTailAs};
+pub use subs::{SubscriberProfile, Subscribers, SUBSCRIBER_V6_RATE};
 pub use web::{EpochState, HttpFailure, SiteClassTruth, ThirdParty};
 pub use world::{World, WorldConfig};
 pub use xlat::TransitionRuntime;

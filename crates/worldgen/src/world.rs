@@ -27,6 +27,11 @@ pub struct WorldConfig {
     /// seeded independently of every other knob, so enabling the tail
     /// never perturbs the head world.
     pub long_tail_ases: usize,
+    /// Subscriber population size for million-subscriber worlds
+    /// (0 = disabled). The population is modeled lazily — worldgen stores
+    /// only `(count, seed)` and profiles derive on demand — so this knob
+    /// is O(1) however large it is set.
+    pub subscribers: usize,
     /// Calibration targets.
     pub calibration: Calibration,
 }
@@ -39,6 +44,7 @@ impl WorldConfig {
             num_sites: 2_000,
             num_epochs: 3,
             long_tail_ases: 0,
+            subscribers: 0,
             calibration: Calibration::default(),
         }
     }
@@ -70,6 +76,13 @@ impl WorldConfig {
         self.long_tail_ases = n;
         self
     }
+
+    /// Enable a subscriber population of `n` (1M+ is fine — the model is
+    /// lazy, so this costs nothing at generation time).
+    pub fn with_subscribers(mut self, n: usize) -> WorldConfig {
+        self.subscribers = n;
+        self
+    }
 }
 
 /// The synthetic Internet: routing, DNS, web, clouds and client services.
@@ -97,6 +110,8 @@ pub struct World {
     pub transition: crate::xlat::TransitionRuntime,
     /// Long-tail AS population (empty unless `config.long_tail_ases > 0`).
     pub long_tail: crate::longtail::LongTail,
+    /// Lazy subscriber population (count 0 unless `config.subscribers > 0`).
+    pub subscribers: crate::subs::Subscribers,
 }
 
 impl World {
@@ -172,6 +187,12 @@ impl World {
             client_zone,
             transition,
             long_tail,
+            // Seeded independently of every other structure, like the long
+            // tail: enabling subscribers never perturbs the head world.
+            subscribers: crate::subs::Subscribers::new(
+                config.subscribers,
+                config.seed.wrapping_add(0x5eb5_c21b_ed5a_0d6d),
+            ),
         }
     }
 

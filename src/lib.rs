@@ -93,6 +93,52 @@
 //! trie, which remains the mutable authority under RIB churn). See the
 //! `iputil` crate docs for the architecture and churn/fallback semantics.
 //!
+//! ## Spilling flow streams to disk
+//!
+//! Million-subscriber runs cannot hold their flow records. The `flowstore`
+//! crate spills any [`prelude::FlowSink`] stream into sorted, immutable,
+//! columnar **day-parts** (delta/dictionary/RLE-compressed, one file per
+//! stream-day with a digest-bearing footer) and replays them back in
+//! canonical order, reproducing the stream byte for byte:
+//!
+//! ```
+//! use ipv6view::flowmon::{CollectSink, FlowKey, FlowRecord, FlowSink, Scope, DAY};
+//! use ipv6view::flowstore::{PartSet, SpillSink};
+//!
+//! # fn main() -> Result<(), ipv6view::flowstore::Error> {
+//! # use std::net::{Ipv4Addr, Ipv6Addr};
+//! let rec = |day: u64, i: u64| FlowRecord {
+//!     key: FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1).into(), 5_000 + i as u16,
+//!                       Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 7).into(), 53),
+//!     start: day * DAY + i,
+//!     end: day * DAY + i + 3,
+//!     bytes_orig: i, bytes_reply: 2 * i,
+//!     packets_orig: 1, packets_reply: 1,
+//!     scope: Scope::External,
+//! };
+//! let records: Vec<FlowRecord> =
+//!     (0..2).flat_map(|d| (0..100).map(move |i| rec(d, i))).collect();
+//!
+//! let dir = std::env::temp_dir().join("ipv6view-facade-spill");
+//! let mut spill = SpillSink::new(&dir, 0)?;   // one part sealed per day
+//! spill.accept_batch(&records);
+//! let parts = spill.finish()?;
+//!
+//! let mut replay = CollectSink::new();
+//! PartSet::from_metas(parts).replay_into(&mut replay)?;
+//! assert_eq!(replay.records, records);        // byte-identical round trip
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The experiment engine wires this in end to end:
+//! [`prelude::RunConfig::spill`] (the CLI's `--spill DIR`) routes the
+//! streaming passes of `million-subs`, `as-fractions` and `repro export`
+//! through day-parts — peak RSS becomes one in-flight day-part per worker —
+//! and every replay is digest-verified against the live stream, with
+//! reports byte-identical to in-memory runs.
+//!
 //! ## Determinism contract
 //!
 //! Everything above rests on one invariant: **scenario output is
@@ -152,6 +198,9 @@ pub use experiments;
 /// gateways, paths and the RIB.
 pub use faults;
 pub use flowmon;
+/// The spillable columnar flow store: sorted immutable day-parts, digest-
+/// verified replay, and the `--spill` path behind million-subscriber runs.
+pub use flowstore;
 pub use happyeyeballs;
 /// IP primitives: prefixes, the radix-trie LPM authority and its compiled
 /// flattened-multibit twin, symbol interning, prefix-preserving
@@ -181,6 +230,7 @@ pub mod prelude {
     pub use faults::{DnsFailure, FaultKind, FaultPlan, PoolTarget, Window};
     pub use flowmon::sink::{Fanout, FlowSink, Tee};
     pub use flowmon::{DropCause, DropCounters};
+    pub use flowstore::{DigestSink, PartSet, SpillSink};
     pub use obs::MetricsReport;
     pub use trafficgen::TrafficConfig;
     pub use worldgen::{World, WorldConfig};

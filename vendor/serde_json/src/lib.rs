@@ -129,68 +129,107 @@ impl Value {
 // Serialization: a writer targeting compact or pretty output.
 // ---------------------------------------------------------------------------
 
-struct Writer {
-    out: String,
+/// Where serialized bytes go: an in-memory `String` ([`to_string`]) or an
+/// [`std::io::Write`] stream ([`to_writer`]). The serializer emits through
+/// this trait only, so both destinations produce byte-identical JSON.
+trait Emit {
+    fn emit(&mut self, s: &str);
+    fn emit_char(&mut self, c: char);
+}
+
+impl Emit for String {
+    fn emit(&mut self, s: &str) {
+        self.push_str(s);
+    }
+    fn emit_char(&mut self, c: char) {
+        self.push(c);
+    }
+}
+
+/// Streams tokens straight into an `io::Write`, latching the first I/O
+/// error (the `Emit` methods are infallible; the error surfaces once at the
+/// end of serialization). Callers hand in a `BufWriter` when token-sized
+/// writes would otherwise hit the OS.
+struct IoEmit<W: std::io::Write> {
+    w: W,
+    err: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> Emit for IoEmit<W> {
+    fn emit(&mut self, s: &str) {
+        if self.err.is_none() {
+            if let Err(e) = self.w.write_all(s.as_bytes()) {
+                self.err = Some(e);
+            }
+        }
+    }
+    fn emit_char(&mut self, c: char) {
+        self.emit(c.encode_utf8(&mut [0u8; 4]));
+    }
+}
+
+struct Writer<E: Emit> {
+    out: E,
     pretty: bool,
     depth: usize,
 }
 
-impl Writer {
+impl<E: Emit> Writer<E> {
     fn newline_indent(&mut self) {
         if self.pretty {
-            self.out.push('\n');
+            self.out.emit_char('\n');
             for _ in 0..self.depth {
-                self.out.push_str("  ");
+                self.out.emit("  ");
             }
         }
     }
 
     fn push_escaped(&mut self, s: &str) {
-        self.out.push('"');
+        self.out.emit_char('"');
         for c in s.chars() {
             match c {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\r' => self.out.push_str("\\r"),
-                '\t' => self.out.push_str("\\t"),
+                '"' => self.out.emit("\\\""),
+                '\\' => self.out.emit("\\\\"),
+                '\n' => self.out.emit("\\n"),
+                '\r' => self.out.emit("\\r"),
+                '\t' => self.out.emit("\\t"),
                 c if (c as u32) < 0x20 => {
-                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    self.out.emit(&format!("\\u{:04x}", c as u32));
                 }
-                c => self.out.push(c),
+                c => self.out.emit_char(c),
             }
         }
-        self.out.push('"');
+        self.out.emit_char('"');
     }
 
     fn push_f64(&mut self, v: f64) {
         if !v.is_finite() {
             // Real serde_json refuses non-finite floats; emitting null keeps
             // exported datasets parseable instead of aborting an export run.
-            self.out.push_str("null");
+            self.out.emit("null");
         } else if v == v.trunc() && v.abs() < 1e15 {
             // Keep integral floats recognizably float-typed, like serde_json.
-            self.out.push_str(&format!("{v:.1}"));
+            self.out.emit(&format!("{v:.1}"));
         } else {
-            self.out.push_str(&format!("{v}"));
+            self.out.emit(&format!("{v}"));
         }
     }
 }
 
-struct Ser<'a> {
-    w: &'a mut Writer,
+struct Ser<'a, E: Emit> {
+    w: &'a mut Writer<E>,
 }
 
-struct SerCompound<'a> {
-    w: &'a mut Writer,
+struct SerCompound<'a, E: Emit> {
+    w: &'a mut Writer<E>,
     first: bool,
     closer: char,
 }
 
-impl SerCompound<'_> {
+impl<E: Emit> SerCompound<'_, E> {
     fn before_item(&mut self) {
         if !self.first {
-            self.w.out.push(',');
+            self.w.out.emit_char(',');
         }
         self.first = false;
         self.w.newline_indent();
@@ -201,39 +240,39 @@ impl SerCompound<'_> {
         if !self.first {
             self.w.newline_indent();
         }
-        self.w.out.push(self.closer);
+        self.w.out.emit_char(self.closer);
     }
 }
 
-impl<'a> Serializer for Ser<'a> {
+impl<'a, E: Emit> Serializer for Ser<'a, E> {
     type Ok = ();
     type Error = Error;
-    type SerializeSeq = SerCompound<'a>;
-    type SerializeMap = SerCompound<'a>;
-    type SerializeStruct = SerCompound<'a>;
+    type SerializeSeq = SerCompound<'a, E>;
+    type SerializeMap = SerCompound<'a, E>;
+    type SerializeStruct = SerCompound<'a, E>;
 
     fn serialize_bool(self, v: bool) -> Result<(), Error> {
-        self.w.out.push_str(if v { "true" } else { "false" });
+        self.w.out.emit(if v { "true" } else { "false" });
         Ok(())
     }
 
     fn serialize_i64(self, v: i64) -> Result<(), Error> {
-        self.w.out.push_str(&v.to_string());
+        self.w.out.emit(&v.to_string());
         Ok(())
     }
 
     fn serialize_u64(self, v: u64) -> Result<(), Error> {
-        self.w.out.push_str(&v.to_string());
+        self.w.out.emit(&v.to_string());
         Ok(())
     }
 
     fn serialize_i128(self, v: i128) -> Result<(), Error> {
-        self.w.out.push_str(&v.to_string());
+        self.w.out.emit(&v.to_string());
         Ok(())
     }
 
     fn serialize_u128(self, v: u128) -> Result<(), Error> {
-        self.w.out.push_str(&v.to_string());
+        self.w.out.emit(&v.to_string());
         Ok(())
     }
 
@@ -248,12 +287,12 @@ impl<'a> Serializer for Ser<'a> {
     }
 
     fn serialize_unit(self) -> Result<(), Error> {
-        self.w.out.push_str("null");
+        self.w.out.emit("null");
         Ok(())
     }
 
     fn serialize_none(self) -> Result<(), Error> {
-        self.w.out.push_str("null");
+        self.w.out.emit("null");
         Ok(())
     }
 
@@ -278,23 +317,23 @@ impl<'a> Serializer for Ser<'a> {
         variant: &'static str,
         value: &T,
     ) -> Result<(), Error> {
-        self.w.out.push('{');
+        self.w.out.emit_char('{');
         self.w.depth += 1;
         self.w.newline_indent();
         self.w.push_escaped(variant);
-        self.w.out.push(':');
+        self.w.out.emit_char(':');
         if self.w.pretty {
-            self.w.out.push(' ');
+            self.w.out.emit_char(' ');
         }
         value.serialize(Ser { w: self.w })?;
         self.w.depth -= 1;
         self.w.newline_indent();
-        self.w.out.push('}');
+        self.w.out.emit_char('}');
         Ok(())
     }
 
-    fn serialize_seq(self, _len: Option<usize>) -> Result<SerCompound<'a>, Error> {
-        self.w.out.push('[');
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SerCompound<'a, E>, Error> {
+        self.w.out.emit_char('[');
         self.w.depth += 1;
         Ok(SerCompound {
             w: self.w,
@@ -303,8 +342,8 @@ impl<'a> Serializer for Ser<'a> {
         })
     }
 
-    fn serialize_map(self, _len: Option<usize>) -> Result<SerCompound<'a>, Error> {
-        self.w.out.push('{');
+    fn serialize_map(self, _len: Option<usize>) -> Result<SerCompound<'a, E>, Error> {
+        self.w.out.emit_char('{');
         self.w.depth += 1;
         Ok(SerCompound {
             w: self.w,
@@ -313,8 +352,12 @@ impl<'a> Serializer for Ser<'a> {
         })
     }
 
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<SerCompound<'a>, Error> {
-        self.w.out.push('{');
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<SerCompound<'a, E>, Error> {
+        self.w.out.emit_char('{');
         self.w.depth += 1;
         Ok(SerCompound {
             w: self.w,
@@ -324,7 +367,7 @@ impl<'a> Serializer for Ser<'a> {
     }
 }
 
-impl SerializeSeq for SerCompound<'_> {
+impl<E: Emit> SerializeSeq for SerCompound<'_, E> {
     type Ok = ();
     type Error = Error;
 
@@ -341,8 +384,8 @@ impl SerializeSeq for SerCompound<'_> {
 
 /// Serialize a map key: JSON object keys must be strings, so only types that
 /// serialize as strings or integers are accepted.
-struct KeySer<'a> {
-    w: &'a mut Writer,
+struct KeySer<'a, E: Emit> {
+    w: &'a mut Writer<E>,
 }
 
 struct NoCompound;
@@ -388,7 +431,7 @@ impl SerializeStruct for NoCompound {
     }
 }
 
-impl<'a> Serializer for KeySer<'a> {
+impl<'a, E: Emit> Serializer for KeySer<'a, E> {
     type Ok = ();
     type Error = Error;
     type SerializeSeq = NoCompound;
@@ -460,7 +503,7 @@ impl<'a> Serializer for KeySer<'a> {
     }
 }
 
-impl SerializeMap for SerCompound<'_> {
+impl<E: Emit> SerializeMap for SerCompound<'_, E> {
     type Ok = ();
     type Error = Error;
 
@@ -471,9 +514,9 @@ impl SerializeMap for SerCompound<'_> {
     ) -> Result<(), Error> {
         self.before_item();
         key.serialize(KeySer { w: self.w })?;
-        self.w.out.push(':');
+        self.w.out.emit_char(':');
         if self.w.pretty {
-            self.w.out.push(' ');
+            self.w.out.emit_char(' ');
         }
         value.serialize(Ser { w: self.w })
     }
@@ -484,7 +527,7 @@ impl SerializeMap for SerCompound<'_> {
     }
 }
 
-impl SerializeStruct for SerCompound<'_> {
+impl<E: Emit> SerializeStruct for SerCompound<'_, E> {
     type Ok = ();
     type Error = Error;
 
@@ -495,9 +538,9 @@ impl SerializeStruct for SerCompound<'_> {
     ) -> Result<(), Error> {
         self.before_item();
         self.w.push_escaped(key);
-        self.w.out.push(':');
+        self.w.out.emit_char(':');
         if self.w.pretty {
-            self.w.out.push(' ');
+            self.w.out.emit_char(' ');
         }
         value.serialize(Ser { w: self.w })
     }
@@ -526,6 +569,46 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// Serialize to pretty-printed JSON (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     serialize_with(value, true)
+}
+
+fn writer_with<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+    pretty: bool,
+) -> Result<(), Error> {
+    let mut w = Writer {
+        out: IoEmit {
+            w: writer,
+            err: None,
+        },
+        pretty,
+        depth: 0,
+    };
+    value.serialize(Ser { w: &mut w })?;
+    match w.out.err {
+        None => Ok(()),
+        Some(e) => Err(Error(format!("I/O error: {e}"))),
+    }
+}
+
+/// Serialize compact JSON straight into an [`std::io::Write`] — the whole
+/// document never exists in memory. Byte-identical to [`to_string`].
+/// Wrap slow writers in a `BufWriter`: the serializer emits token-sized
+/// writes.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer_with(writer, value, false)
+}
+
+/// Serialize pretty-printed JSON straight into an [`std::io::Write`].
+/// Byte-identical to [`to_string_pretty`].
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer_with(writer, value, true)
 }
 
 // ---------------------------------------------------------------------------
@@ -776,5 +859,36 @@ mod tests {
         assert!(from_str("{").is_err());
         assert!(from_str("[1,]").is_err());
         assert!(from_str("12 34").is_err());
+    }
+
+    #[test]
+    fn writer_output_is_byte_identical_to_string_output() {
+        let map: std::collections::BTreeMap<String, Vec<f64>> = [
+            ("series\n".to_string(), vec![1.0, 0.25, f64::NAN]),
+            ("empty".to_string(), vec![]),
+        ]
+        .into_iter()
+        .collect();
+        let mut compact = Vec::new();
+        to_writer(&mut compact, &map).unwrap();
+        assert_eq!(compact, to_string(&map).unwrap().into_bytes());
+        let mut pretty = Vec::new();
+        to_writer_pretty(std::io::BufWriter::new(&mut pretty), &map).unwrap();
+        assert_eq!(pretty, to_string_pretty(&map).unwrap().into_bytes());
+    }
+
+    #[test]
+    fn writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Broken, &vec![1u32, 2]).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
     }
 }
